@@ -1,0 +1,58 @@
+// Ablation (paper §2.2): the paper adopts Spectral Penalty Selection
+// because "Residual Balancing ... is still not effective in practice"
+// while SPS "yields significant improvement in the efficiency of ADMM".
+//
+// The paper's claim is a *smaller hyper-parameter space*: with SPS, the
+// initial penalty ρ₀ barely matters, whereas fixed-ρ ADMM lives or dies
+// by it. We sweep ρ₀ across four orders of magnitude and report the
+// final objective after a fixed epoch budget for each policy.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Penalty-policy ablation: robustness to rho0");
+  bench::add_common_options(cli);
+  cli.add_int("workers", 8, "number of simulated workers");
+  cli.add_int("epochs", 60, "fixed epoch budget per run");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Ablation — ADMM penalty policies (fixed | rb | sps)",
+                "paper §2.2 (smaller hyper-parameter space via SPS)");
+
+  for (const char* dataset : {"mnist", "cifar"}) {
+    auto cfg = bench::config_from_cli(cli, dataset);
+    // Half the default size: this ablation runs 12 full-budget solves.
+    cfg.n_train /= 2;
+    cfg.workers = static_cast<int>(cli.get_int("workers"));
+    cfg.lambda = 1e-5;
+    cfg.iterations = static_cast<int>(cli.get_int("epochs"));
+    const auto tt = runner::make_data(cfg);
+    std::printf("\n--- %s: final objective after %d epochs ---\n", dataset,
+                cfg.iterations);
+
+    Table t({"rho0", "fixed", "rb", "sps", "sps mean rho at exit"});
+    for (double rho0 : {0.01, 1.0, 100.0, 10000.0}) {
+      std::vector<std::string> row{Table::fmt(rho0, 2)};
+      double sps_rho = 0.0;
+      for (const char* policy : {"fixed", "rb", "sps"}) {
+        auto opts = runner::admm_options(cfg);
+        opts.penalty.rule = core::penalty_rule_from_string(policy);
+        opts.penalty.rho0 = rho0;
+        opts.evaluate_accuracy = false;
+        auto cluster = runner::make_cluster(cfg);
+        const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+        row.push_back(Table::fmt(r.final_objective, 3));
+        if (std::string(policy) == "sps") sps_rho = r.trace.back().rho_mean;
+      }
+      row.push_back(Table::fmt(sps_rho, 3));
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  std::printf(
+      "\nexpected shape: the fixed-rho column varies by orders of magnitude\n"
+      "across rho0 (the tuning burden), while SPS converges to a similar\n"
+      "objective from every rho0 — the paper's 'significantly smaller\n"
+      "hyper-parameter space' claim. RB sits in between.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 1: training objective vs. time for Newton-ADMM, GIANT,
+// InexactDANE and AIDE on the MNIST-like dataset, λ = 1e−5.
+//
+// Paper settings mirrored: 10 CG iterations at tol 1e−4 for both
+// Newton-type methods, 10 line-search iterations, 8 workers; DANE/AIDE
+// use η=1, µ=0 and an SVRG inner solver, and run far fewer epochs
+// because each epoch is orders of magnitude slower — the phenomenon this
+// figure demonstrates ("InexactDANE takes around an hour and a half to
+// reach what Newton-ADMM reaches in 2.4 seconds").
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Figure 1: solver comparison on MNIST-like data");
+  bench::add_common_options(cli);
+  cli.add_int("workers", 8, "number of simulated workers");
+  cli.add_int("epochs", 40, "epochs for Newton-ADMM / GIANT");
+  cli.add_int("dane-epochs", 4, "epochs for InexactDANE / AIDE");
+  cli.add_int("svrg-outer", 10, "SVRG outer iterations inside DANE");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Figure 1 — objective vs. time, MNIST-like, lambda=1e-5",
+                "paper Figure 1");
+
+  auto cfg = bench::config_from_cli(cli, "mnist");
+  cfg.workers = static_cast<int>(cli.get_int("workers"));
+  cfg.lambda = 1e-5;
+  cfg.iterations = static_cast<int>(cli.get_int("epochs"));
+  const auto tt = runner::make_data(cfg);
+  std::printf("dataset: n=%zu p=%zu C=%d, %d workers\n\n",
+              tt.train.num_samples(), tt.train.num_features(),
+              tt.train.num_classes(), cfg.workers);
+
+  std::vector<core::RunResult> results;
+  {
+    auto cluster = runner::make_cluster(cfg);
+    results.push_back(
+        runner::run_solver("newton-admm", cluster, tt.train, &tt.test, cfg));
+  }
+  {
+    auto cluster = runner::make_cluster(cfg);
+    results.push_back(
+        runner::run_solver("giant", cluster, tt.train, &tt.test, cfg));
+  }
+  for (const char* solver : {"inexact-dane", "aide"}) {
+    auto dcfg = cfg;
+    auto opts = runner::dane_options(dcfg);
+    opts.max_iterations = static_cast<int>(cli.get_int("dane-epochs"));
+    opts.svrg.max_outer = static_cast<int>(cli.get_int("svrg-outer"));
+    opts.accelerate = std::string(solver) == "aide";
+    auto cluster = runner::make_cluster(dcfg);
+    results.push_back(
+        baselines::inexact_dane(cluster, tt.train, &tt.test, opts));
+  }
+
+  // The figure's series: objective at cumulative simulated time.
+  for (const auto& r : results) {
+    std::printf("--- %s ---\n", r.solver.c_str());
+    Table t({"epoch", "sim time (s)", "objective", "test acc"});
+    const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 10);
+    for (std::size_t i = 0; i < r.trace.size(); i += stride) {
+      const auto& it = r.trace[i];
+      t.add_row({Table::fmt_int(it.iteration), Table::fmt(it.sim_seconds, 4),
+                 Table::fmt(it.objective, 4), Table::fmt(it.test_accuracy, 4)});
+    }
+    t.print();
+    bench::maybe_write_csv(cli, r, "fig1_" + r.solver);
+  }
+
+  std::printf("\nsummary (the figure's headline comparison):\n");
+  Table s({"solver", "avg epoch (ms)", "final objective",
+           "sim time to obj<=0.25n*logC/n (s)"});
+  // Paper quotes "objective < 0.25" on per-sample scale; our objective is
+  // a sum, so scale the threshold by n.
+  const double target = 0.25 * static_cast<double>(tt.train.num_samples());
+  for (const auto& r : results) {
+    const double t_hit = r.sim_time_to_objective(target);
+    s.add_row({r.solver, Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3),
+               Table::fmt(r.final_objective, 4),
+               t_hit < 0 ? "not reached" : Table::fmt(t_hit, 4)});
+  }
+  s.print();
+  std::printf(
+      "\nexpected shape: DANE/AIDE epochs are orders of magnitude slower\n"
+      "than Newton-ADMM/GIANT epochs; Newton-ADMM reaches a low objective\n"
+      "first (paper: seconds vs ~1.5 hours).\n");
+  return 0;
+}

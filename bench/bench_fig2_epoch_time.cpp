@@ -1,0 +1,66 @@
+// Figure 2: average epoch time under strong scaling (s1–s8: fixed total
+// problem, growing worker count) and weak scaling (w1–w8: fixed per-worker
+// shard) for Newton-ADMM and GIANT on all four datasets.
+//
+// Expected shape (paper): strong scaling roughly halves epoch time as the
+// worker count doubles (HIGGS near-ideal); weak scaling keeps epoch time
+// roughly constant.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Figure 2: avg epoch time, strong & weak scaling");
+  bench::add_common_options(cli);
+  cli.add_int("epochs", 8, "epochs to average over");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Figure 2 — average epoch time (ms), strong & weak scaling",
+                "paper Figure 2");
+
+  const std::vector<int> worker_counts{1, 2, 4, 8};
+  const std::vector<std::string> datasets{"higgs", "mnist", "cifar", "e18"};
+  const std::vector<std::string> solvers{"newton-admm", "giant"};
+
+  for (const char* mode : {"strong", "weak"}) {
+    const bool weak = std::string(mode) == "weak";
+    std::printf("\n=== %s scaling ===\n", mode);
+    Table t({"solver", "dataset", weak ? "n / worker" : "n (total)", "w1",
+             "w2", "w4", "w8"});
+    for (const auto& solver : solvers) {
+      for (const auto& dataset : datasets) {
+        std::vector<std::string> row{solver, dataset, ""};
+        for (int workers : worker_counts) {
+          auto cfg = bench::config_from_cli(cli, dataset);
+          cfg.workers = workers;
+          cfg.lambda = 1e-5;
+          cfg.iterations = static_cast<int>(cli.get_int("epochs"));
+          if (weak) {
+            // Fixed per-worker shard (a quarter of the strong-scaling
+            // total, so the 8-worker case stays within budget).
+            const std::size_t shard = cfg.n_train / 4;
+            cfg.n_train = shard * static_cast<std::size_t>(workers);
+            row[2] = Table::fmt_int(static_cast<long long>(shard));
+          }
+          const auto tt = runner::make_data(cfg);
+          auto cluster = runner::make_cluster(cfg);
+          const auto r = runner::run_solver(solver, cluster, tt.train,
+                                            nullptr, cfg);
+          if (!weak) {
+            row[2] = Table::fmt_int(
+                static_cast<long long>(tt.train.num_samples()));
+          }
+          row.push_back(Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3));
+          bench::maybe_write_csv(
+              cli, r, std::string("fig2_") + mode + "_" + solver + "_" +
+                          dataset + "_w" + std::to_string(workers));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    t.print();
+  }
+  std::printf(
+      "\nexpected shape: strong scaling ~halves epoch time per worker\n"
+      "doubling; weak scaling stays roughly flat (paper Figure 2).\n");
+  return 0;
+}

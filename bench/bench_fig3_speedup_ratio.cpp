@@ -1,0 +1,98 @@
+// Figure 3: speed-up ratio of Newton-ADMM over GIANT — the fraction of
+// (simulated) time GIANT needs to reach relative objective θ < 0.05 over
+// the time Newton-ADMM needs, under strong and weak scaling.
+//
+// θ = (F(x_k) − F(x*)) / F(x*), with x* from a high-precision single-node
+// Newton solve (core::solve_reference), exactly as the paper defines it.
+// As in the paper, E18 is excluded from weak scaling (the aggregate
+// dataset would be too large for the single-node reference).
+//
+// Expected shape: ratio ≥ 1 everywhere; roughly constant modest ratio on
+// the well-conditioned HIGGS; growing ratio with worker count on the
+// ill-conditioned CIFAR.
+#include "bench_util.hpp"
+
+#include "core/reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Figure 3: Newton-ADMM vs GIANT speed-up to theta < 0.05");
+  bench::add_common_options(cli);
+  cli.add_int("max-epochs", 120, "iteration cap while chasing theta");
+  cli.add_double("theta", 0.05, "relative objective target");
+  cli.add_double("fig3-scale", 0.3,
+                 "extra dataset shrink for this bench (time-to-theta runs "
+                 "many epochs; the single-node reference is also costly)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Figure 3 — speed-up ratio (time_GIANT / time_Newton-ADMM)",
+                "paper Figure 3");
+
+  const std::vector<int> worker_counts{1, 2, 4, 8};
+  const double theta = cli.get_double("theta");
+
+  for (const char* mode : {"strong", "weak"}) {
+    std::printf("\n=== %s scaling ===\n", mode);
+    std::vector<std::string> datasets{"higgs", "mnist", "cifar"};
+    if (std::string(mode) == "strong") datasets.push_back("e18");
+
+    Table t({"dataset", "workers", "t_admm (s)", "t_giant (s)", "speed-up"});
+    for (const auto& dataset : datasets) {
+      for (int workers : worker_counts) {
+        auto cfg = bench::config_from_cli(cli, dataset);
+        cfg.n_train = static_cast<std::size_t>(
+            static_cast<double>(cfg.n_train) * cli.get_double("fig3-scale"));
+        cfg.workers = workers;
+        cfg.lambda = 1e-5;
+        cfg.iterations = static_cast<int>(cli.get_int("max-epochs"));
+        if (std::string(mode) == "weak") {
+          cfg.n_train = cfg.n_train / 4 * static_cast<std::size_t>(workers);
+        }
+        const auto tt = runner::make_data(cfg);
+        // Reference optimum for theta (single-node, high precision).
+        const auto ref = core::solve_reference(tt.train, cfg.lambda, 1e-8, 60);
+        const double target = ref.objective * (1.0 + theta);
+
+        auto admm_opts = runner::admm_options(cfg);
+        admm_opts.objective_target = target;
+        admm_opts.evaluate_accuracy = false;
+        auto c1 = runner::make_cluster(cfg);
+        const auto admm =
+            core::newton_admm(c1, tt.train, nullptr, admm_opts);
+
+        auto giant_opts = runner::giant_options(cfg);
+        giant_opts.objective_target = target;
+        giant_opts.evaluate_accuracy = false;
+        auto c2 = runner::make_cluster(cfg);
+        const auto gnt = baselines::giant(c2, tt.train, nullptr, giant_opts);
+
+        const double t_admm = admm.sim_time_to_objective(target);
+        const double t_giant = gnt.sim_time_to_objective(target);
+        std::string ratio = "n/a";
+        if (t_admm > 0 && t_giant > 0) {
+          ratio = Table::fmt(t_giant / t_admm, 2);
+        } else if (t_admm > 0 && gnt.iterations < cfg.iterations) {
+          // GIANT's line search stagnated before the target: it will never
+          // reach theta, so the speed-up is unbounded.
+          ratio = "inf (GIANT stalled)";
+        } else if (t_admm > 0) {
+          ratio = ">" + Table::fmt(gnt.total_sim_seconds / t_admm, 1);
+        }
+        t.add_row({dataset, std::to_string(workers),
+                   t_admm < 0 ? "not reached" : Table::fmt(t_admm, 4),
+                   t_giant < 0 ? "not reached" : Table::fmt(t_giant, 4),
+                   ratio});
+      }
+    }
+    t.print();
+  }
+  std::printf(
+      "\nexpected shape: speed-up >= ~1 and roughly flat on the\n"
+      "well-conditioned HIGGS (paper: constant 1.3x). Caveat for the\n"
+      "multiclass datasets: at bench scale n is comparable to the\n"
+      "parameter count (C-1)p, so the optimum interpolates and F* ~ 0,\n"
+      "making theta stricter than at paper scale; consensus ADMM's tail\n"
+      "is slow in that regime and ratios can dip below 1 (see\n"
+      "EXPERIMENTS.md). Run with --scale >= 4 to leave that regime.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind every epoch:
+// dense GEMM in the two orientations the softmax objective uses, CSR
+// SpMM, the fused softmax forward / gradient / Hessian-vector product,
+// and the simulated collectives. Sizes are drawn from the four datasets.
+#include <benchmark/benchmark.h>
+
+#include "comm/cluster.hpp"
+#include "data/generators.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/sparse_matrix.hpp"
+#include "la/vector_ops.hpp"
+#include "model/softmax.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nadmm;
+
+la::DenseMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix m(r, c);
+  for (double& v : m.data()) v = rng.normal();
+  return m;
+}
+
+// Shapes: {n, p, C-1} for (samples × features × classes).
+void BM_GemmScores(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  const auto c = static_cast<std::size_t>(state.range(2));
+  const auto a = random_matrix(n, p, 1);
+  const auto x = random_matrix(p, c, 2);
+  la::DenseMatrix s(n, c);
+  for (auto _ : state) {
+    la::gemm_nn(1.0, a, x, 0.0, s);
+    benchmark::DoNotOptimize(s.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+BENCHMARK(BM_GemmScores)
+    ->Args({2000, 28, 1})     // HIGGS-like
+    ->Args({2000, 784, 9})    // MNIST-like
+    ->Args({600, 3072, 9})    // CIFAR-like
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GemmGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  const auto c = static_cast<std::size_t>(state.range(2));
+  const auto a = random_matrix(n, p, 3);
+  const auto w = random_matrix(n, c, 4);
+  la::DenseMatrix g(p, c);
+  for (auto _ : state) {
+    la::gemm_tn(1.0, a, w, 0.0, g);
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+BENCHMARK(BM_GemmGradient)
+    ->Args({2000, 784, 9})
+    ->Args({600, 3072, 9})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SparseSpmm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  auto tt = data::make_e18_like(n, 10, p, 5);
+  const auto& a = tt.train.sparse_features();
+  const auto x = random_matrix(p, 19, 6);
+  la::DenseMatrix s(a.rows(), 19);
+  for (auto _ : state) {
+    la::spmm_nn(1.0, a, x, 0.0, s);
+    benchmark::DoNotOptimize(s.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * a.nnz() * 19));
+}
+BENCHMARK(BM_SparseSpmm)->Args({1500, 1400})->Unit(benchmark::kMicrosecond);
+
+void BM_SoftmaxForward(benchmark::State& state) {
+  auto tt = data::make_mnist_like(static_cast<std::size_t>(state.range(0)),
+                                  10, 7);
+  model::SoftmaxObjective obj(tt.train, 1e-5);
+  Rng rng(8);
+  std::vector<double> x(obj.dim());
+  for (auto _ : state) {
+    // Perturb so the forward cache misses every iteration.
+    x[rng.uniform_index(x.size())] += 1e-6;
+    benchmark::DoNotOptimize(obj.value(x));
+  }
+}
+BENCHMARK(BM_SoftmaxForward)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_SoftmaxHvpCached(benchmark::State& state) {
+  // The CG inner loop: repeated products at a fixed point (cached forward).
+  auto tt = data::make_mnist_like(static_cast<std::size_t>(state.range(0)),
+                                  10, 9);
+  model::SoftmaxObjective obj(tt.train, 1e-5);
+  Rng rng(10);
+  std::vector<double> x(obj.dim()), v(obj.dim()), hv(obj.dim());
+  for (double& e : v) e = rng.normal();
+  (void)obj.value(x);
+  for (auto _ : state) {
+    obj.hessian_vec(x, v, hv);
+    benchmark::DoNotOptimize(hv.data());
+  }
+}
+BENCHMARK(BM_SoftmaxHvpCached)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto len = static_cast<std::size_t>(state.range(1));
+  comm::SimCluster cluster(ranks, la::p100_device(), comm::ideal_network());
+  for (auto _ : state) {
+    cluster.run([&](comm::RankCtx& ctx) {
+      std::vector<double> v(len, 1.0);
+      for (int i = 0; i < 8; ++i) ctx.allreduce_sum(v);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(len) * ranks);
+}
+BENCHMARK(BM_Allreduce)
+    ->Args({4, 7056})   // MNIST-like parameter vector (784×9)
+    ->Args({8, 7056})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_VectorDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::dot(x, y));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_VectorDot)->Arg(7056)->Arg(27648)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Shared helpers for the bench binaries (one binary per paper table /
+// figure — see DESIGN.md §4). Each binary prints the same rows/series the
+// paper reports, on scaled-down synthetic datasets, and is also runnable
+// with --full for larger sizes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "runner/harness.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace nadmm::bench {
+
+/// Default scaled-down sample counts per dataset (CPU-minutes budget).
+/// --scale multiplies these.
+struct BenchScale {
+  double factor = 1.0;
+
+  // Defaults are chosen so that, at the P100-like device rating, per-epoch
+  // compute dominates the one-round communication at 8 workers — the same
+  // regime as the paper's full-size datasets. Smaller values make the
+  // high-dimensional problems latency-bound, which inverts Figure 2.
+  [[nodiscard]] std::size_t n_train(const std::string& dataset) const {
+    double base = 8000;
+    if (dataset == "higgs") base = 400000;
+    if (dataset == "mnist") base = 12000;
+    if (dataset == "cifar") base = 2400;
+    if (dataset == "e18") base = 20000;
+    return static_cast<std::size_t>(base * factor);
+  }
+  [[nodiscard]] std::size_t n_test(const std::string& dataset) const {
+    return std::max<std::size_t>(200, n_train(dataset) / 10);
+  }
+  [[nodiscard]] std::size_t e18_features() const {
+    return static_cast<std::size_t>(1400 * std::min(1.0, factor) +
+                                    0.5);  // cap: dim explodes as (C−1)p
+  }
+};
+
+/// Common CLI options shared by all bench binaries.
+inline void add_common_options(CliParser& cli) {
+  cli.add_double("scale", 1.0, "dataset size multiplier");
+  cli.add_int("seed", 42, "generator seed");
+  cli.add_string("device", "p100", "device model (p100|cpu|<gflops>)");
+  cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
+  cli.add_string("csv-dir", "", "if set, write per-run trace CSVs here");
+}
+
+inline runner::ExperimentConfig config_from_cli(const CliParser& cli,
+                                                const std::string& dataset) {
+  BenchScale scale{cli.get_double("scale")};
+  runner::ExperimentConfig c;
+  c.dataset = dataset;
+  c.n_train = scale.n_train(dataset);
+  c.n_test = scale.n_test(dataset);
+  c.e18_features = scale.e18_features();
+  c.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  c.device = cli.get_string("device");
+  c.network = cli.get_string("network");
+  return c;
+}
+
+/// Optionally dump a run's trace CSV next to the figure data.
+inline void maybe_write_csv(const CliParser& cli, const core::RunResult& r,
+                            const std::string& tag) {
+  const std::string dir = cli.get_string("csv-dir");
+  if (dir.empty()) return;
+  runner::write_trace_csv(r, dir + "/" + tag + ".csv");
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace nadmm::bench

@@ -1,0 +1,58 @@
+// Scaling study example: runs Newton-ADMM under strong and weak scaling
+// on a chosen dataset and prints how epoch time decomposes into compute
+// and communication — the trade-off the paper's Figure 2 explores.
+//
+//   ./examples/distributed_scaling --dataset mnist --network eth10
+#include <cstdio>
+
+#include "runner/harness.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Strong/weak scaling of Newton-ADMM with time breakdown");
+  cli.add_string("dataset", "mnist", "higgs|mnist|cifar|e18|blobs");
+  cli.add_int("n-train", 8000, "total samples (strong) / 4x shard (weak)");
+  cli.add_int("epochs", 8, "epochs to average over");
+  cli.add_string("device", "p100", "device model");
+  cli.add_string("network", "ib100", "network model");
+  if (!cli.parse(argc, argv)) return 0;
+
+  for (const char* mode : {"strong", "weak"}) {
+    std::printf("\n=== %s scaling (%s, network=%s) ===\n", mode,
+                cli.get_string("dataset").c_str(),
+                cli.get_string("network").c_str());
+    Table t({"workers", "n (total)", "epoch (ms)", "compute share",
+             "comm share"});
+    for (int workers : {1, 2, 4, 8}) {
+      runner::ExperimentConfig cfg;
+      cfg.dataset = cli.get_string("dataset");
+      cfg.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+      if (std::string(mode) == "weak") {
+        cfg.n_train = cfg.n_train / 4 * static_cast<std::size_t>(workers);
+      }
+      cfg.n_test = 200;
+      cfg.workers = workers;
+      cfg.device = cli.get_string("device");
+      cfg.network = cli.get_string("network");
+      cfg.iterations = static_cast<int>(cli.get_int("epochs"));
+      const auto tt = runner::make_data(cfg);
+      auto cluster = runner::make_cluster(cfg);
+      const auto r =
+          runner::run_solver("newton-admm", cluster, tt.train, nullptr, cfg);
+      const double comm = r.trace.back().comm_sim_seconds;
+      const double total = r.total_sim_seconds;
+      t.add_row({std::to_string(workers),
+                 Table::fmt_int(static_cast<long long>(tt.train.num_samples())),
+                 Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3),
+                 Table::fmt(100.0 * (total - comm) / total, 1) + "%",
+                 Table::fmt(100.0 * comm / total, 1) + "%"});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nTry --network eth1 or wan to watch the communication share grow —\n"
+      "and Newton-ADMM's single round per epoch keep it modest.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Penalty-policy walkthrough: how the ADMM penalty ρ evolves under the
+// three policies the library ships (fixed, residual balancing, spectral
+// penalty selection), and what that does to convergence — the design
+// choice the paper motivates in §2.2.
+//
+//   ./examples/penalty_comparison --dataset cifar
+#include <cstdio>
+
+#include "core/newton_admm.hpp"
+#include "runner/harness.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("ADMM penalty policies: fixed vs residual balancing vs SPS");
+  cli.add_string("dataset", "mnist", "higgs|mnist|cifar|e18|blobs");
+  cli.add_int("n-train", 4000, "training samples");
+  cli.add_int("workers", 8, "simulated workers");
+  cli.add_int("epochs", 60, "ADMM iterations");
+  cli.add_double("rho0", 1.0, "initial penalty");
+  if (!cli.parse(argc, argv)) return 0;
+
+  runner::ExperimentConfig cfg;
+  cfg.dataset = cli.get_string("dataset");
+  cfg.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+  cfg.n_test = cfg.n_train / 10;
+  cfg.workers = static_cast<int>(cli.get_int("workers"));
+  cfg.iterations = static_cast<int>(cli.get_int("epochs"));
+  const auto tt = runner::make_data(cfg);
+
+  for (const char* policy : {"fixed", "rb", "sps"}) {
+    auto opts = runner::admm_options(cfg);
+    opts.penalty.rule = core::penalty_rule_from_string(policy);
+    opts.penalty.rho0 = cli.get_double("rho0");
+    auto cluster = runner::make_cluster(cfg);
+    const auto r = core::newton_admm(cluster, tt.train, &tt.test, opts);
+    std::printf("\n--- policy: %s ---\n", policy);
+    Table t({"iter", "objective", "primal res", "dual res", "mean rho"});
+    const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 8);
+    for (std::size_t i = 0; i < r.trace.size(); i += stride) {
+      const auto& it = r.trace[i];
+      t.add_row({Table::fmt_int(it.iteration), Table::fmt(it.objective, 4),
+                 Table::fmt(it.primal_residual, 5),
+                 Table::fmt(it.dual_residual, 5),
+                 Table::fmt(it.rho_mean, 4)});
+    }
+    t.print();
+    std::printf("final objective %.4f, test accuracy %.2f%%\n",
+                r.final_objective, 100.0 * r.final_test_accuracy);
+  }
+  std::printf(
+      "\nSPS adapts rho per node from curvature estimates and typically\n"
+      "drives both residuals down fastest (paper §2.2).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: train a multiclass softmax classifier with Newton-ADMM on a
+// synthetic Gaussian-blob problem, using 4 simulated GPU workers.
+//
+//   ./examples/quickstart [--workers N] [--iterations K]
+//
+// Walks through the whole public API: generate data → build a simulated
+// cluster → run the solver → inspect the trace and test accuracy.
+#include <cstdio>
+
+#include "runner/harness.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  nadmm::CliParser cli(
+      "Newton-ADMM quickstart on a synthetic 10-class problem");
+  cli.add_int("workers", 4, "number of simulated workers");
+  cli.add_int("iterations", 30, "ADMM outer iterations (epochs)");
+  cli.add_int("n-train", 4000, "training samples");
+  cli.add_double("lambda", 1e-5, "l2 regularization");
+  if (!cli.parse(argc, argv)) return 0;
+
+  nadmm::runner::ExperimentConfig config;
+  config.dataset = "blobs";
+  config.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+  config.n_test = config.n_train / 4;
+  config.workers = static_cast<int>(cli.get_int("workers"));
+  config.iterations = static_cast<int>(cli.get_int("iterations"));
+  config.lambda = cli.get_double("lambda");
+
+  std::printf("generating %zu train / %zu test samples...\n", config.n_train,
+              config.n_test);
+  const auto data = nadmm::runner::make_data(config);
+  std::printf("dataset: n=%zu p=%zu C=%d density=%.2f\n",
+              data.train.num_samples(), data.train.num_features(),
+              data.train.num_classes(), data.train.feature_density());
+
+  auto cluster = nadmm::runner::make_cluster(config);
+  std::printf("cluster: %d ranks, device=%s, network=%s\n\n", cluster.size(),
+              config.device.c_str(), config.network.c_str());
+
+  const auto result = nadmm::runner::run_solver("newton-admm", cluster,
+                                                data.train, &data.test, config);
+  nadmm::runner::print_trace_summary(result);
+
+  std::printf("\nfinal test accuracy: %.2f%%\n",
+              100.0 * result.final_test_accuracy);
+  return 0;
+}

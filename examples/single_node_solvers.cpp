@@ -1,0 +1,78 @@
+// Single-node solver shoot-out: the paper's §1 motivation in one run.
+// Newton-CG (second order) against gradient descent, heavy-ball
+// momentum, Adagrad and Adam (first order) on the same convex softmax
+// problem — iteration counts, objective quality, and the first-order
+// family's step-size sensitivity.
+//
+//   ./examples/single_node_solvers --dataset mnist --n-train 2000
+#include <cstdio>
+
+#include "data/generators.hpp"
+#include "model/softmax.hpp"
+#include "solvers/first_order.hpp"
+#include "solvers/newton.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nadmm;
+  CliParser cli("Newton-CG vs first-order methods on one node");
+  cli.add_string("dataset", "blobs", "higgs|mnist|cifar|e18|blobs");
+  cli.add_int("n-train", 2000, "training samples");
+  cli.add_double("lambda", 1e-3, "l2 regularization");
+  cli.add_int("fo-iterations", 3000, "first-order iteration budget");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto tt = data::make_by_name(cli.get_string("dataset"),
+                                     static_cast<std::size_t>(cli.get_int("n-train")),
+                                     200, 64, 42);
+  model::SoftmaxObjective objective(tt.train, cli.get_double("lambda"));
+  const std::size_t dim = objective.dim();
+  std::printf("problem: n=%zu, d=%zu, C=%d\n\n", tt.train.num_samples(), dim,
+              tt.train.num_classes());
+
+  Table t({"solver", "step size", "iterations", "final objective",
+           "grad norm", "wall (s)"});
+
+  {
+    solvers::NewtonOptions opts;
+    opts.gradient_tol = 1e-6;
+    opts.max_iterations = 100;
+    WallTimer timer;
+    const auto r = solvers::newton_cg(objective,
+                                      std::vector<double>(dim, 0.0), opts);
+    t.add_row({"newton-cg", "line search", Table::fmt_int(r.iterations),
+               Table::fmt(r.final_value, 4),
+               Table::fmt(r.final_gradient_norm, 6),
+               Table::fmt(timer.seconds(), 2)});
+  }
+
+  struct Entry {
+    solvers::FirstOrderRule rule;
+    double step;
+  };
+  for (const auto& [rule, step] :
+       {Entry{solvers::FirstOrderRule::kGradientDescent, 2e-3},
+        Entry{solvers::FirstOrderRule::kMomentum, 5e-4},
+        Entry{solvers::FirstOrderRule::kAdagrad, 0.5},
+        Entry{solvers::FirstOrderRule::kAdam, 0.05}}) {
+    solvers::FirstOrderOptions opts;
+    opts.rule = rule;
+    opts.step_size = step;
+    opts.max_iterations = static_cast<int>(cli.get_int("fo-iterations"));
+    opts.gradient_tol = 1e-6;
+    WallTimer timer;
+    const auto r = solvers::first_order_minimize(
+        objective, {}, std::vector<double>(dim, 0.0), opts);
+    t.add_row({to_string(rule), Table::fmt(step, 4),
+               Table::fmt_int(r.iterations), Table::fmt(r.final_value, 4),
+               Table::fmt(r.final_gradient_norm, 6),
+               Table::fmt(timer.seconds(), 2)});
+  }
+  t.print();
+  std::printf(
+      "\nNewton-CG needs orders of magnitude fewer iterations and no\n"
+      "step-size tuning — the gap the paper's distributed design builds on.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "baselines/diag.hpp"
+
+#include "la/vector_ops.hpp"
+
+namespace nadmm::baselines {
+
+EpochRecorder::EpochRecorder(comm::RankCtx& ctx,
+                             model::SoftmaxObjective& local_loss,
+                             double lambda, const data::Dataset& test_shard,
+                             std::size_t test_total, core::RunResult& result)
+    : ctx_(&ctx),
+      local_loss_(&local_loss),
+      lambda_(lambda),
+      test_total_(test_total),
+      result_(&result) {
+  if (!test_shard.empty()) {
+    test_eval_ = std::make_unique<model::SoftmaxObjective>(test_shard, 0.0);
+    test_shard_size_ = test_shard.num_samples();
+  }
+}
+
+double EpochRecorder::record(int k, std::span<const double> w) {
+  ctx_->clock().pause();
+  const double sim_time = ctx_->allreduce_max(ctx_->clock().total_seconds());
+  double objective = ctx_->allreduce_sum(local_loss_->value(w));
+  if (lambda_ > 0.0) objective += 0.5 * lambda_ * la::nrm2_sq(w);
+  double accuracy = -1.0;
+  if (test_eval_ != nullptr && test_total_ > 0) {
+    const double hits = test_eval_->accuracy(w) *
+                        static_cast<double>(test_shard_size_);
+    accuracy = ctx_->allreduce_sum(hits) / static_cast<double>(test_total_);
+  }
+  if (ctx_->is_root()) {
+    core::IterationStats s;
+    s.iteration = k;
+    s.objective = objective;
+    s.test_accuracy = accuracy;
+    s.sim_seconds = sim_time;
+    s.wall_seconds = wall_.seconds();
+    s.epoch_sim_seconds = sim_time - prev_sim_time_;
+    s.comm_sim_seconds = ctx_->clock().comm_seconds();
+    result_->trace.push_back(s);
+    result_->iterations = k;
+    result_->final_objective = objective;
+    result_->final_test_accuracy = accuracy;
+    result_->total_sim_seconds = sim_time;
+    result_->total_wall_seconds = wall_.seconds();
+  }
+  prev_sim_time_ = sim_time;
+  ctx_->clock().resume();
+  return objective;
+}
+
+}  // namespace nadmm::baselines

@@ -1,0 +1,44 @@
+// Shared per-epoch diagnostics for the distributed baselines.
+//
+// Runs on a paused simulated clock so that trace timings measure only the
+// algorithm's own compute + communication (same convention as the
+// Newton-ADMM driver).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "comm/cluster.hpp"
+#include "core/trace.hpp"
+#include "data/dataset.hpp"
+#include "model/softmax.hpp"
+#include "support/timer.hpp"
+
+namespace nadmm::baselines {
+
+/// Per-rank diagnostics state for one solver run.
+class EpochRecorder {
+ public:
+  /// `test_shard` may be empty (accuracy reported as −1). `test_total` is
+  /// the global test-set size for averaging the per-shard hit counts.
+  EpochRecorder(comm::RankCtx& ctx, model::SoftmaxObjective& local_loss,
+                double lambda, const data::Dataset& test_shard,
+                std::size_t test_total, core::RunResult& result);
+
+  /// Record iteration k (1-based in the trace) at global iterate `w`.
+  /// Every rank must call this collectively. Returns the objective F(w).
+  double record(int k, std::span<const double> w);
+
+ private:
+  comm::RankCtx* ctx_;
+  model::SoftmaxObjective* local_loss_;
+  double lambda_;
+  std::size_t test_total_;
+  std::unique_ptr<model::SoftmaxObjective> test_eval_;
+  std::size_t test_shard_size_ = 0;
+  core::RunResult* result_;
+  WallTimer wall_;
+  double prev_sim_time_ = 0.0;
+};
+
+}  // namespace nadmm::baselines

@@ -1,0 +1,77 @@
+// Per-rank simulated clock.
+//
+// Tracks two components:
+//   * compute seconds — flops executed on this rank (polled from the
+//     thread-local counter in la/flops.hpp) divided by the device rating;
+//   * communication seconds — collective costs from the NetworkModel.
+// Figures report simulated time so results are deterministic and
+// independent of host load; wall-clock is tracked alongside for sanity.
+#pragma once
+
+#include <cstdint>
+
+#include "la/device.hpp"
+#include "la/flops.hpp"
+
+namespace nadmm::comm {
+
+class SimClock {
+ public:
+  explicit SimClock(la::DeviceModel device = la::p100_device())
+      : device_(std::move(device)),
+        flops_at_last_sync_(nadmm::flops::read()) {}
+
+  /// Fold any flops executed since the last call into compute time.
+  /// Must be called from the rank's own thread.
+  void sync_compute() {
+    const std::uint64_t now = nadmm::flops::read();
+    if (!paused_) {
+      total_flops_ += now - flops_at_last_sync_;
+      compute_s_ += device_.seconds_for_flops(now - flops_at_last_sync_);
+    }
+    flops_at_last_sync_ = now;
+  }
+
+  /// Charge communication time (from the NetworkModel formulas).
+  void add_comm(double seconds) {
+    if (!paused_) comm_s_ += seconds;
+  }
+
+  /// Diagnostics (trace objective values, accuracy evaluations) run inside
+  /// a paused scope so they do not distort the simulated epoch times the
+  /// figures report. Nesting is not supported.
+  void pause() {
+    sync_compute();
+    paused_ = true;
+  }
+  void resume() {
+    flops_at_last_sync_ = nadmm::flops::read();
+    paused_ = false;
+  }
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Charge explicit compute seconds (for work not expressed in flops).
+  void add_compute(double seconds) { compute_s_ += seconds; }
+
+  [[nodiscard]] double compute_seconds() const { return compute_s_; }
+  [[nodiscard]] double comm_seconds() const { return comm_s_; }
+  [[nodiscard]] double total_seconds() const { return compute_s_ + comm_s_; }
+  [[nodiscard]] std::uint64_t total_flops() const { return total_flops_; }
+  [[nodiscard]] const la::DeviceModel& device() const { return device_; }
+
+  void reset() {
+    compute_s_ = comm_s_ = 0.0;
+    total_flops_ = 0;
+    flops_at_last_sync_ = nadmm::flops::read();
+  }
+
+ private:
+  la::DeviceModel device_;
+  bool paused_ = false;
+  double compute_s_ = 0.0;
+  double comm_s_ = 0.0;
+  std::uint64_t total_flops_ = 0;
+  std::uint64_t flops_at_last_sync_ = 0;
+};
+
+}  // namespace nadmm::comm

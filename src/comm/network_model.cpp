@@ -1,0 +1,17 @@
+#include "comm/network_model.hpp"
+
+#include "support/check.hpp"
+
+namespace nadmm::comm {
+
+NetworkModel network_from_string(const std::string& spec) {
+  if (spec == "ib100") return infiniband_100g();
+  if (spec == "eth10") return ethernet_10g();
+  if (spec == "eth1") return ethernet_1g();
+  if (spec == "wan") return wan();
+  if (spec == "ideal") return ideal_network();
+  throw InvalidArgument("unknown network preset '" + spec +
+                        "' (expected ib100|eth10|eth1|wan|ideal)");
+}
+
+}  // namespace nadmm::comm

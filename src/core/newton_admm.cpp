@@ -1,0 +1,170 @@
+#include "core/newton_admm.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "data/partition.hpp"
+#include "la/vector_ops.hpp"
+#include "model/prox.hpp"
+#include "model/softmax.hpp"
+#include "solvers/newton.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace nadmm::core {
+
+RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
+                      const data::Dataset* test,
+                      const NewtonAdmmOptions& options) {
+  NADMM_CHECK(options.max_iterations >= 1, "newton_admm: need >= 1 iteration");
+  NADMM_CHECK(options.local_newton_steps >= 1,
+              "newton_admm: need >= 1 local Newton step");
+  NADMM_CHECK(options.lambda >= 0.0, "newton_admm: lambda must be >= 0");
+
+  RunResult result;
+  result.solver = "newton-admm";
+  const int n_ranks = cluster.size();
+  const std::size_t dim =
+      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+
+  cluster.run([&](comm::RankCtx& ctx) {
+    const int rank = ctx.rank();
+    // --- setup (untimed: data distribution is not part of an epoch) ---
+    ctx.clock().pause();
+    const data::Dataset shard =
+        data::shard_contiguous(train, n_ranks, rank);
+    const data::Dataset test_shard =
+        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
+            ? data::shard_contiguous(*test, n_ranks, rank)
+            : data::Dataset{};
+    model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
+    model::SoftmaxObjective* test_eval = nullptr;
+    std::unique_ptr<model::SoftmaxObjective> test_eval_owner;
+    if (!test_shard.empty()) {
+      test_eval_owner = std::make_unique<model::SoftmaxObjective>(test_shard, 0.0);
+      test_eval = test_eval_owner.get();
+    }
+    ctx.clock().resume();
+
+    std::vector<double> x(dim, 0.0), z(dim, 0.0), z_prev(dim, 0.0),
+        y(dim, 0.0), y_hat(dim, 0.0), center(dim, 0.0), packed(dim + 1, 0.0);
+    std::vector<double> gathered;  // root only
+    model::ProxAugmentedObjective prox(local, options.penalty.rho0, center);
+    PenaltyController penalty(options.penalty, dim);
+
+    solvers::NewtonOptions newton_opts;
+    newton_opts.max_iterations = options.local_newton_steps;
+    newton_opts.gradient_tol = 0.0;  // always take the configured steps
+    newton_opts.cg = options.cg;
+    newton_opts.line_search = options.line_search;
+
+    WallTimer wall;
+    double prev_sim_time = 0.0;
+    bool stop = false;
+
+    for (int k = 0; k < options.max_iterations && !stop; ++k) {
+      const double rho = penalty.rho();
+      // --- local x-update (eq. 6a) ---
+      for (std::size_t j = 0; j < dim; ++j) center[j] = z[j] + y[j] / rho;
+      nadmm::flops::add(2 * dim);
+      prox.set_center(center);
+      prox.set_rho(rho);
+      auto local_result = solvers::newton_cg(prox, x, newton_opts);
+      x = std::move(local_result.x);
+
+      // Intermediate dual ĥ_i = y_i + ρ_i(z^k − x_i^{k+1}) for SPS.
+      for (std::size_t j = 0; j < dim; ++j) y_hat[j] = y[j] + rho * (z[j] - x[j]);
+      nadmm::flops::add(3 * dim);
+
+      // --- one communication round: gather, z-update (eq. 7), scatter ---
+      for (std::size_t j = 0; j < dim; ++j) packed[j] = rho * x[j] - y[j];
+      packed[dim] = rho;
+      nadmm::flops::add(2 * dim);
+      ctx.gather(packed, gathered, /*root=*/0);
+      la::copy(z, z_prev);
+      if (ctx.is_root()) {
+        double rho_sum = 0.0;
+        la::fill(z, 0.0);
+        for (int r = 0; r < n_ranks; ++r) {
+          const double* src = gathered.data() +
+                              static_cast<std::size_t>(r) * (dim + 1);
+          for (std::size_t j = 0; j < dim; ++j) z[j] += src[j];
+          rho_sum += src[dim];
+        }
+        const double denom = options.lambda + rho_sum;
+        la::scal(1.0 / denom, z);
+        nadmm::flops::add(static_cast<std::uint64_t>(n_ranks) * dim + dim);
+      }
+      ctx.broadcast(z, /*root=*/0);
+
+      // --- local dual update (eq. 6c) and penalty adaptation (step 8) ---
+      for (std::size_t j = 0; j < dim; ++j) y[j] += rho * (z[j] - x[j]);
+      nadmm::flops::add(3 * dim);
+      penalty.observe(k, x, z, z_prev, y, y_hat);
+
+      // --- diagnostics on the paused clock ---
+      ctx.clock().pause();
+      const double iter_sim_time = ctx.allreduce_max(ctx.clock().total_seconds());
+      double objective = ctx.allreduce_sum(local.value(z));
+      if (options.lambda > 0.0) {
+        objective += 0.5 * options.lambda * la::nrm2_sq(z);
+      }
+      const double primal_sq = ctx.allreduce_sum(
+          [&] {
+            const double d = la::dist2(x, z);
+            return d * d;
+          }());
+      const double dz = la::dist2(z, z_prev);
+      const double dual_sq = ctx.allreduce_sum(rho * rho * dz * dz);
+      const double rho_mean = ctx.allreduce_sum(penalty.rho()) / n_ranks;
+      double accuracy = -1.0;
+      if (test_eval != nullptr) {
+        const double local_hits =
+            test_eval->accuracy(z) * static_cast<double>(test_shard.num_samples());
+        accuracy = ctx.allreduce_sum(local_hits) /
+                   static_cast<double>(test->num_samples());
+      }
+      if (ctx.is_root() && options.record_trace) {
+        IterationStats s;
+        s.iteration = k + 1;
+        s.objective = objective;
+        s.test_accuracy = accuracy;
+        s.sim_seconds = iter_sim_time;
+        s.wall_seconds = wall.seconds();
+        s.epoch_sim_seconds = iter_sim_time - prev_sim_time;
+        s.comm_sim_seconds = ctx.clock().comm_seconds();
+        s.primal_residual = std::sqrt(primal_sq);
+        s.dual_residual = std::sqrt(dual_sq);
+        s.rho_mean = rho_mean;
+        result.trace.push_back(s);
+      }
+      prev_sim_time = iter_sim_time;
+      if (options.primal_tol > 0.0 && options.dual_tol > 0.0 &&
+          std::sqrt(primal_sq) <= options.primal_tol &&
+          std::sqrt(dual_sq) <= options.dual_tol) {
+        stop = true;  // identical on every rank: residuals came via allreduce
+      }
+      if (options.objective_target > 0.0 &&
+          objective <= options.objective_target) {
+        stop = true;  // objective came via allreduce: uniform across ranks
+      }
+      if (ctx.is_root()) {
+        result.iterations = k + 1;
+        result.final_objective = objective;
+        result.final_test_accuracy = accuracy;
+        result.total_sim_seconds = iter_sim_time;
+        result.total_wall_seconds = wall.seconds();
+      }
+      ctx.clock().resume();
+    }
+    if (ctx.is_root()) result.x = z;
+  });
+
+  if (result.iterations > 0) {
+    result.avg_epoch_sim_seconds =
+        result.total_sim_seconds / result.iterations;
+  }
+  return result;
+}
+
+}  // namespace nadmm::core

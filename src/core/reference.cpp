@@ -1,0 +1,27 @@
+#include "core/reference.hpp"
+
+#include "model/softmax.hpp"
+#include "solvers/newton.hpp"
+
+namespace nadmm::core {
+
+ReferenceResult solve_reference(const data::Dataset& train, double lambda,
+                                double gradient_tol, int max_iterations) {
+  model::SoftmaxObjective objective(train, lambda);
+  solvers::NewtonOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.gradient_tol = gradient_tol;
+  opts.cg.max_iterations = 250;
+  opts.cg.rel_tol = 1e-8;
+  opts.line_search.max_iterations = 40;
+  auto newton = solvers::newton_cg(
+      objective, std::vector<double>(objective.dim(), 0.0), opts);
+  ReferenceResult result;
+  result.x = std::move(newton.x);
+  result.objective = newton.final_value;
+  result.iterations = newton.iterations;
+  result.converged = newton.converged;
+  return result;
+}
+
+}  // namespace nadmm::core

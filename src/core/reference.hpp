@@ -1,0 +1,27 @@
+// High-precision single-node reference solve.
+//
+// The paper's Figure 3 defines the relative objective
+// θ = (F(x_k) − F(x*)) / F(x*) with x* "obtained by running Newton's
+// method on a single node to high precision". This helper is that run.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::core {
+
+struct ReferenceResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize the full regularized softmax objective on one node with
+/// Newton-CG at tight tolerances.
+ReferenceResult solve_reference(const data::Dataset& train, double lambda,
+                                double gradient_tol = 1e-9,
+                                int max_iterations = 200);
+
+}  // namespace nadmm::core

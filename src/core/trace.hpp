@@ -1,0 +1,56 @@
+// Per-iteration trace types shared by Newton-ADMM and all baselines, so
+// the experiment harness can plot every solver in the same coordinates
+// the paper's figures use (objective / accuracy vs. time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nadmm::core {
+
+/// One outer iteration ("epoch") of any distributed solver.
+struct IterationStats {
+  int iteration = 0;
+  double objective = 0.0;        ///< F(x) on the full training set
+  double test_accuracy = -1.0;   ///< fraction in [0,1]; −1 if no test set
+  double sim_seconds = 0.0;      ///< cumulative simulated time (max over ranks)
+  double wall_seconds = 0.0;     ///< cumulative wall-clock time
+  double epoch_sim_seconds = 0.0;///< this iteration's simulated time
+  double comm_sim_seconds = 0.0; ///< cumulative simulated communication time
+  // ADMM-specific (0 for other solvers):
+  double primal_residual = 0.0;  ///< √Σ‖x_i − z‖²
+  double dual_residual = 0.0;    ///< √Σ‖ρ_i(z^{k+1} − z^k)‖²
+  double rho_mean = 0.0;         ///< mean per-node penalty
+};
+
+/// Final result of a distributed solver run.
+struct RunResult {
+  std::string solver;
+  std::vector<double> x;              ///< final consensus / global iterate
+  std::vector<IterationStats> trace;
+  int iterations = 0;
+  double final_objective = 0.0;
+  double final_test_accuracy = -1.0;
+  double total_sim_seconds = 0.0;
+  double total_wall_seconds = 0.0;
+  double avg_epoch_sim_seconds = 0.0;
+
+  /// Earliest cumulative simulated time at which the trace objective is
+  /// ≤ threshold; −1 if never reached.
+  [[nodiscard]] double sim_time_to_objective(double threshold) const {
+    for (const auto& it : trace) {
+      if (it.objective <= threshold) return it.sim_seconds;
+    }
+    return -1.0;
+  }
+
+  /// Earliest iteration index reaching the threshold; −1 if never.
+  [[nodiscard]] int iterations_to_objective(double threshold) const {
+    for (const auto& it : trace) {
+      if (it.objective <= threshold) return it.iteration;
+    }
+    return -1;
+  }
+};
+
+}  // namespace nadmm::core

@@ -1,0 +1,102 @@
+#include "data/dataset.hpp"
+
+#include "support/check.hpp"
+
+namespace nadmm::data {
+
+namespace {
+void validate_labels(std::span<const std::int32_t> labels, int num_classes) {
+  NADMM_CHECK(num_classes >= 2, "dataset needs at least two classes");
+  for (std::int32_t y : labels) {
+    NADMM_CHECK(y >= 0 && y < num_classes, "label out of [0, num_classes)");
+  }
+}
+}  // namespace
+
+Dataset Dataset::dense(la::DenseMatrix features,
+                       std::vector<std::int32_t> labels, int num_classes) {
+  NADMM_CHECK(features.rows() == labels.size(),
+              "dense dataset: row/label count mismatch");
+  validate_labels(labels, num_classes);
+  Dataset d;
+  d.is_sparse_ = false;
+  d.num_features_ = features.cols();
+  d.num_classes_ = num_classes;
+  d.dense_ = std::move(features);
+  d.labels_ = std::move(labels);
+  return d;
+}
+
+Dataset Dataset::sparse(la::CsrMatrix features,
+                        std::vector<std::int32_t> labels, int num_classes) {
+  NADMM_CHECK(features.rows() == labels.size(),
+              "sparse dataset: row/label count mismatch");
+  validate_labels(labels, num_classes);
+  Dataset d;
+  d.is_sparse_ = true;
+  d.num_features_ = features.cols();
+  d.num_classes_ = num_classes;
+  d.sparse_ = std::move(features);
+  d.labels_ = std::move(labels);
+  return d;
+}
+
+const la::DenseMatrix& Dataset::dense_features() const {
+  NADMM_CHECK(!is_sparse_, "dataset is sparse; dense_features() unavailable");
+  return dense_;
+}
+
+const la::CsrMatrix& Dataset::sparse_features() const {
+  NADMM_CHECK(is_sparse_, "dataset is dense; sparse_features() unavailable");
+  return sparse_;
+}
+
+Dataset Dataset::row_slice(std::size_t begin, std::size_t end) const {
+  NADMM_CHECK(begin <= end && end <= num_samples(), "row_slice: bad range");
+  std::vector<std::int32_t> labels(labels_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   labels_.begin() + static_cast<std::ptrdiff_t>(end));
+  if (is_sparse_) {
+    return Dataset::sparse(sparse_.row_slice(begin, end), std::move(labels),
+                           num_classes_);
+  }
+  la::DenseMatrix sub(end - begin, num_features_);
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto src = dense_.row(r);
+    std::copy(src.begin(), src.end(), sub.row(r - begin).begin());
+  }
+  return Dataset::dense(std::move(sub), std::move(labels), num_classes_);
+}
+
+void Dataset::scores(const la::DenseMatrix& x, la::DenseMatrix& s) const {
+  if (is_sparse_) {
+    la::spmm_nn(1.0, sparse_, x, 0.0, s);
+  } else {
+    la::gemm_nn(1.0, dense_, x, 0.0, s);
+  }
+}
+
+void Dataset::accumulate_gradient(double alpha, const la::DenseMatrix& w,
+                                  double beta, la::DenseMatrix& g) const {
+  if (is_sparse_) {
+    la::spmm_tn(alpha, sparse_, w, beta, g);
+  } else {
+    la::gemm_tn(alpha, dense_, w, beta, g);
+  }
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes_), 0);
+  for (std::int32_t y : labels_) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+double Dataset::feature_density() const {
+  if (num_samples() == 0 || num_features_ == 0) return 0.0;
+  if (is_sparse_) return sparse_.density();
+  std::size_t nz = 0;
+  for (double v : dense_.data()) nz += (v != 0.0);
+  return static_cast<double>(nz) /
+         (static_cast<double>(num_samples()) * static_cast<double>(num_features_));
+}
+
+}  // namespace nadmm::data

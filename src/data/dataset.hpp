@@ -1,0 +1,67 @@
+// Dataset container: features (dense or CSR) + integer class labels.
+//
+// The objective code (src/model) is storage-agnostic: it calls the
+// dispatching products below, so the same solver stack runs MNIST-like
+// dense shards and E18-like sparse shards (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "la/sparse_matrix.hpp"
+
+namespace nadmm::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Dense dataset. Labels must be in [0, num_classes).
+  static Dataset dense(la::DenseMatrix features, std::vector<std::int32_t> labels,
+                       int num_classes);
+
+  /// Sparse (CSR) dataset. Labels must be in [0, num_classes).
+  static Dataset sparse(la::CsrMatrix features, std::vector<std::int32_t> labels,
+                        int num_classes);
+
+  [[nodiscard]] std::size_t num_samples() const { return labels_.size(); }
+  [[nodiscard]] std::size_t num_features() const { return num_features_; }
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+  [[nodiscard]] bool is_sparse() const { return is_sparse_; }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+
+  [[nodiscard]] std::span<const std::int32_t> labels() const { return labels_; }
+
+  /// Throws unless the dataset is dense / sparse respectively.
+  [[nodiscard]] const la::DenseMatrix& dense_features() const;
+  [[nodiscard]] const la::CsrMatrix& sparse_features() const;
+
+  /// Contiguous row shard [begin, end).
+  [[nodiscard]] Dataset row_slice(std::size_t begin, std::size_t end) const;
+
+  /// S = A · X  (A = features, n×p; X: p×c; S: n×c).
+  void scores(const la::DenseMatrix& x, la::DenseMatrix& s) const;
+
+  /// G = alpha · Aᵀ · W + beta · G  (W: n×c; G: p×c).
+  void accumulate_gradient(double alpha, const la::DenseMatrix& w, double beta,
+                           la::DenseMatrix& g) const;
+
+  /// Per-class sample counts (diagnostics and stratified checks).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Fraction of nonzero feature entries (1.0 reported for dense data is
+  /// the true stored density of the dense buffer).
+  [[nodiscard]] double feature_density() const;
+
+ private:
+  bool is_sparse_ = false;
+  std::size_t num_features_ = 0;
+  int num_classes_ = 0;
+  la::DenseMatrix dense_;
+  la::CsrMatrix sparse_;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace nadmm::data

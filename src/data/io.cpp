@@ -1,0 +1,166 @@
+#include "data/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace nadmm::data {
+
+Dataset load_libsvm(const std::string& path, std::size_t num_features) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open LIBSVM file: " + path);
+
+  std::vector<std::int64_t> row_ptr{0};
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  std::vector<std::int64_t> raw_labels;
+  std::size_t max_col = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::int64_t label = 0;
+    if (!(ls >> label)) {
+      throw RuntimeError(path + ":" + std::to_string(line_no) +
+                         ": cannot parse label");
+    }
+    raw_labels.push_back(label);
+    std::string token;
+    std::int64_t prev_idx = 0;
+    while (ls >> token) {
+      const auto colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw RuntimeError(path + ":" + std::to_string(line_no) +
+                           ": malformed feature token '" + token + "'");
+      }
+      const std::int64_t idx = std::stoll(token.substr(0, colon));
+      const double val = std::stod(token.substr(colon + 1));
+      if (idx < 1) {
+        throw RuntimeError(path + ":" + std::to_string(line_no) +
+                           ": LIBSVM indices are 1-based");
+      }
+      if (idx <= prev_idx) {
+        throw RuntimeError(path + ":" + std::to_string(line_no) +
+                           ": feature indices must be strictly increasing");
+      }
+      prev_idx = idx;
+      col_idx.push_back(idx - 1);
+      values.push_back(val);
+      max_col = std::max(max_col, static_cast<std::size_t>(idx));
+    }
+    row_ptr.push_back(static_cast<std::int64_t>(values.size()));
+  }
+
+  const std::size_t p = num_features > 0 ? num_features : max_col;
+  NADMM_CHECK(max_col <= p, "load_libsvm: file has feature index beyond " +
+                                std::to_string(p));
+
+  // Remap labels to [0, C) in ascending order of the raw values.
+  std::map<std::int64_t, std::int32_t> remap;
+  for (std::int64_t l : raw_labels) remap.emplace(l, 0);
+  std::int32_t next = 0;
+  for (auto& [raw, mapped] : remap) mapped = next++;
+  std::vector<std::int32_t> labels;
+  labels.reserve(raw_labels.size());
+  for (std::int64_t l : raw_labels) labels.push_back(remap.at(l));
+
+  la::CsrMatrix features(raw_labels.size(), p, std::move(row_ptr),
+                         std::move(col_idx), std::move(values));
+  return Dataset::sparse(std::move(features), std::move(labels),
+                         std::max<std::int32_t>(next, 2));
+}
+
+void save_libsvm(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open file for writing: " + path);
+  const auto labels = ds.labels();
+  char buf[64];
+  if (ds.is_sparse()) {
+    const auto& a = ds.sparse_features();
+    const auto rp = a.row_ptr();
+    const auto ci = a.col_idx();
+    const auto va = a.values();
+    for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+      out << labels[i];
+      for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+        std::snprintf(buf, sizeof buf, " %lld:%.17g",
+                      static_cast<long long>(ci[e] + 1), va[e]);
+        out << buf;
+      }
+      out << '\n';
+    }
+  } else {
+    const auto& a = ds.dense_features();
+    for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+      out << labels[i];
+      const auto row = a.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (row[j] == 0.0) continue;
+        std::snprintf(buf, sizeof buf, " %lld:%.17g",
+                      static_cast<long long>(j + 1), row[j]);
+        out << buf;
+      }
+      out << '\n';
+    }
+  }
+}
+
+Dataset load_csv(const std::string& path, int num_classes) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open CSV file: " + path);
+  std::vector<std::vector<double>> rows;
+  std::vector<std::int32_t> labels;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t p = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> vals;
+    std::stringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) vals.push_back(std::stod(cell));
+    NADMM_CHECK(vals.size() >= 2, path + ":" + std::to_string(line_no) +
+                                      ": need label plus >=1 feature");
+    if (p == 0) {
+      p = vals.size() - 1;
+    } else {
+      NADMM_CHECK(vals.size() - 1 == p,
+                  path + ":" + std::to_string(line_no) + ": ragged row");
+    }
+    labels.push_back(static_cast<std::int32_t>(vals[0]));
+    vals.erase(vals.begin());
+    rows.push_back(std::move(vals));
+  }
+  la::DenseMatrix x(rows.size(), p);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), x.row(i).begin());
+  }
+  return Dataset::dense(std::move(x), std::move(labels), num_classes);
+}
+
+void save_csv(const Dataset& ds, const std::string& path) {
+  NADMM_CHECK(!ds.is_sparse(), "save_csv supports dense datasets only");
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open file for writing: " + path);
+  const auto labels = ds.labels();
+  const auto& a = ds.dense_features();
+  char buf[64];
+  for (std::size_t i = 0; i < ds.num_samples(); ++i) {
+    out << labels[i];
+    for (double v : a.row(i)) {
+      std::snprintf(buf, sizeof buf, ",%.17g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace nadmm::data

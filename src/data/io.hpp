@@ -1,0 +1,29 @@
+// Dataset file I/O.
+//
+// LIBSVM format (sparse, `label idx:value ...`, 1-based indices) and a
+// simple dense CSV (`label,f0,f1,...`). Loaders let users run the solver
+// stack on the real HIGGS / MNIST / CIFAR-10 / E18 data unchanged.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::data {
+
+/// Load a LIBSVM file as a sparse dataset. Labels may be arbitrary
+/// integers; they are remapped to [0, C) in ascending order.
+/// `num_features` = 0 infers the dimension from the file.
+Dataset load_libsvm(const std::string& path, std::size_t num_features = 0);
+
+/// Write a dataset (dense or sparse) in LIBSVM format.
+void save_libsvm(const Dataset& ds, const std::string& path);
+
+/// Load a dense CSV: one sample per line, first column is the integer
+/// label (already in [0, C)), remaining columns are features.
+Dataset load_csv(const std::string& path, int num_classes);
+
+/// Write a dense dataset as CSV (label first).
+void save_csv(const Dataset& ds, const std::string& path);
+
+}  // namespace nadmm::data

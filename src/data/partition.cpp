@@ -1,0 +1,76 @@
+#include "data/partition.hpp"
+
+#include "la/sparse_matrix.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::data {
+
+std::vector<RowRange> partition_rows(std::size_t n, int parts) {
+  NADMM_CHECK(parts >= 1, "partition_rows: parts must be >= 1");
+  std::vector<RowRange> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  std::size_t at = 0;
+  for (int r = 0; r < parts; ++r) {
+    const std::size_t len = base + (static_cast<std::size_t>(r) < extra ? 1 : 0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  NADMM_ASSERT(at == n);
+  return out;
+}
+
+Dataset shard_contiguous(const Dataset& full, int parts, int rank) {
+  NADMM_CHECK(rank >= 0 && rank < parts, "shard_contiguous: bad rank");
+  const auto ranges = partition_rows(full.num_samples(), parts);
+  const RowRange r = ranges[static_cast<std::size_t>(rank)];
+  return full.row_slice(r.begin, r.end);
+}
+
+Dataset shard_strided(const Dataset& full, int parts, int rank) {
+  NADMM_CHECK(rank >= 0 && rank < parts, "shard_strided: bad rank");
+  const std::size_t n = full.num_samples();
+  std::vector<std::size_t> mine;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < n;
+       i += static_cast<std::size_t>(parts)) {
+    mine.push_back(i);
+  }
+  std::vector<std::int32_t> labels;
+  labels.reserve(mine.size());
+  const auto full_labels = full.labels();
+  for (std::size_t i : mine) labels.push_back(full_labels[i]);
+
+  if (!full.is_sparse()) {
+    const auto& src = full.dense_features();
+    la::DenseMatrix x(mine.size(), full.num_features());
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      const auto row = src.row(mine[k]);
+      std::copy(row.begin(), row.end(), x.row(k).begin());
+    }
+    return Dataset::dense(std::move(x), std::move(labels), full.num_classes());
+  }
+  const auto& src = full.sparse_features();
+  const auto rp = src.row_ptr();
+  const auto ci = src.col_idx();
+  const auto va = src.values();
+  std::vector<std::int64_t> row_ptr(mine.size() + 1, 0);
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    row_ptr[k + 1] = row_ptr[k] + (rp[mine[k] + 1] - rp[mine[k]]);
+  }
+  std::vector<std::int64_t> col_idx(static_cast<std::size_t>(row_ptr.back()));
+  std::vector<double> values(static_cast<std::size_t>(row_ptr.back()));
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    auto dst = static_cast<std::size_t>(row_ptr[k]);
+    for (std::int64_t e = rp[mine[k]]; e < rp[mine[k] + 1]; ++e, ++dst) {
+      col_idx[dst] = ci[e];
+      values[dst] = va[e];
+    }
+  }
+  la::CsrMatrix shard(mine.size(), full.num_features(), std::move(row_ptr),
+                      std::move(col_idx), std::move(values));
+  return Dataset::sparse(std::move(shard), std::move(labels),
+                         full.num_classes());
+}
+
+}  // namespace nadmm::data

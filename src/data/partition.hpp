@@ -1,0 +1,31 @@
+// Row partitioning of a dataset across workers.
+//
+// Strong scaling splits a fixed dataset into N shards; weak scaling keeps
+// the shard size fixed and grows N. Contiguous partitioning matches the
+// paper's setup (data pre-sharded per node); striped partitioning is
+// provided for label-balance when the row order is not shuffled.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::data {
+
+struct RowRange {
+  std::size_t begin;
+  std::size_t end;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Balanced contiguous ranges: first (n % parts) ranges get one extra row.
+std::vector<RowRange> partition_rows(std::size_t n, int parts);
+
+/// Shard `parts` ways, returning the shard for `rank` (contiguous rows).
+Dataset shard_contiguous(const Dataset& full, int parts, int rank);
+
+/// Shard by striding: rank r takes rows r, r+parts, r+2·parts, ...
+/// Keeps class balance when rows are ordered by label.
+Dataset shard_strided(const Dataset& full, int parts, int rank);
+
+}  // namespace nadmm::data

@@ -1,0 +1,85 @@
+#include "data/standardize.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace nadmm::data {
+
+void Standardizer::fit(const Dataset& train) {
+  NADMM_CHECK(!train.empty(), "Standardizer: empty training set");
+  const std::size_t p = train.num_features();
+  shift_.assign(p, 0.0);
+  scale_.assign(p, 1.0);
+  sparse_mode_ = train.is_sparse();
+
+  if (sparse_mode_) {
+    const auto& a = train.sparse_features();
+    const auto ci = a.col_idx();
+    const auto va = a.values();
+    std::vector<double> max_abs(p, 0.0);
+    for (std::size_t e = 0; e < a.nnz(); ++e) {
+      const auto c = static_cast<std::size_t>(ci[e]);
+      max_abs[c] = std::max(max_abs[c], std::abs(va[e]));
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      scale_[j] = max_abs[j] > 0.0 ? 1.0 / max_abs[j] : 1.0;
+    }
+  } else {
+    const auto& a = train.dense_features();
+    const auto n = static_cast<double>(train.num_samples());
+    for (std::size_t i = 0; i < train.num_samples(); ++i) {
+      const auto row = a.row(i);
+      for (std::size_t j = 0; j < p; ++j) shift_[j] += row[j];
+    }
+    for (std::size_t j = 0; j < p; ++j) shift_[j] /= n;
+    std::vector<double> var(p, 0.0);
+    for (std::size_t i = 0; i < train.num_samples(); ++i) {
+      const auto row = a.row(i);
+      for (std::size_t j = 0; j < p; ++j) {
+        const double d = row[j] - shift_[j];
+        var[j] += d * d;
+      }
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      const double sd = std::sqrt(var[j] / n);
+      scale_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+    }
+  }
+  fitted_ = true;
+}
+
+Dataset Standardizer::transform(const Dataset& ds) const {
+  NADMM_CHECK(fitted_, "Standardizer: transform before fit");
+  NADMM_CHECK(ds.num_features() == shift_.size(),
+              "Standardizer: feature count mismatch");
+  NADMM_CHECK(ds.is_sparse() == sparse_mode_,
+              "Standardizer: storage kind mismatch with fitted data");
+  std::vector<std::int32_t> labels(ds.labels().begin(), ds.labels().end());
+
+  if (sparse_mode_) {
+    const auto& a = ds.sparse_features();
+    std::vector<std::int64_t> rp(a.row_ptr().begin(), a.row_ptr().end());
+    std::vector<std::int64_t> ci(a.col_idx().begin(), a.col_idx().end());
+    std::vector<double> va(a.values().begin(), a.values().end());
+    for (std::size_t e = 0; e < va.size(); ++e) {
+      va[e] *= scale_[static_cast<std::size_t>(ci[e])];
+    }
+    la::CsrMatrix scaled(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                         std::move(va));
+    return Dataset::sparse(std::move(scaled), std::move(labels),
+                           ds.num_classes());
+  }
+  const auto& a = ds.dense_features();
+  la::DenseMatrix scaled(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto src = a.row(i);
+    auto dst = scaled.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      dst[j] = (src[j] - shift_[j]) * scale_[j];
+    }
+  }
+  return Dataset::dense(std::move(scaled), std::move(labels), ds.num_classes());
+}
+
+}  // namespace nadmm::data

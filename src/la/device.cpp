@@ -1,0 +1,17 @@
+#include "la/device.hpp"
+
+#include <cstdlib>
+
+namespace nadmm::la {
+
+DeviceModel device_from_string(const std::string& spec) {
+  if (spec == "p100") return p100_device();
+  if (spec == "cpu") return cpu_device();
+  char* end = nullptr;
+  const double gf = std::strtod(spec.c_str(), &end);
+  NADMM_CHECK(end != nullptr && *end == '\0' && gf > 0.0,
+              "device spec must be 'p100', 'cpu', or a positive GF/s number");
+  return {"custom", gf};
+}
+
+}  // namespace nadmm::la

@@ -1,0 +1,39 @@
+// Compute-device model.
+//
+// The paper's per-node compute runs on Tesla P100 GPUs. We model a device
+// as a sustained GF/s rating: the simulated clock converts the flops a
+// rank executed (counted by the kernels in this library) into simulated
+// device-seconds. Presets let benches compare "P100-like" against
+// CPU-like ratings, and keep epoch-time figures machine-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace nadmm::la {
+
+/// A compute device with a sustained throughput rating.
+struct DeviceModel {
+  std::string name;
+  double gflops;  ///< sustained double-precision GF/s
+
+  /// Simulated seconds to execute `flop_count` operations.
+  [[nodiscard]] double seconds_for_flops(std::uint64_t flop_count) const {
+    NADMM_CHECK(gflops > 0.0, "device gflops must be positive");
+    return static_cast<double>(flop_count) / (gflops * 1e9);
+  }
+};
+
+/// Tesla P100-like: ~4.7 TF/s peak FP64; we rate sustained GEMM-bound
+/// throughput at 3 TF/s, matching the paper's hardware class.
+inline DeviceModel p100_device() { return {"p100", 3000.0}; }
+
+/// A contemporary server CPU socket (~50 GF/s sustained FP64).
+inline DeviceModel cpu_device() { return {"cpu", 50.0}; }
+
+/// Look up a preset by name ("p100", "cpu") or parse a number as GF/s.
+DeviceModel device_from_string(const std::string& spec);
+
+}  // namespace nadmm::la

@@ -1,0 +1,37 @@
+// Floating-point-operation accounting.
+//
+// Every kernel in nadmm::la credits its flop count to a thread-local
+// counter. The simulated-cluster clock (src/comm/clock.hpp) polls this
+// counter to convert local compute into simulated device-seconds under a
+// configurable GF/s rating — this is how we model "the GPU did the GEMMs"
+// without a GPU (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace nadmm::flops {
+
+namespace detail {
+inline thread_local std::uint64_t counter = 0;
+}
+
+/// Credit `n` floating-point operations to the calling thread.
+inline void add(std::uint64_t n) { detail::counter += n; }
+
+/// Total flops credited to the calling thread since the last reset.
+inline std::uint64_t read() { return detail::counter; }
+
+/// Reset the calling thread's counter to zero.
+inline void reset() { detail::counter = 0; }
+
+/// RAII helper: measures the flops executed on this thread within a scope.
+class Scope {
+ public:
+  Scope() : start_(read()) {}
+  [[nodiscard]] std::uint64_t elapsed() const { return read() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace nadmm::flops

@@ -1,0 +1,180 @@
+#include "la/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/flops.hpp"
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::la {
+
+namespace {
+// Same threshold as the dense kernels: small products stay serial.
+constexpr std::size_t kParallelFlops = 1 << 17;
+}  // namespace
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    NADMM_CHECK(t.row < rows && t.col < cols, "CsrMatrix: triplet out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  row_ptr_.assign(rows + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    const Triplet& t = triplets[i];
+    if (!values_.empty() && i > 0 && triplets[i - 1].row == t.row &&
+        triplets[i - 1].col == t.col) {
+      values_.back() += t.value;  // merge duplicates
+      continue;
+    }
+    col_idx_.push_back(static_cast<std::int64_t>(t.col));
+    values_.push_back(t.value);
+    ++row_ptr_[t.row + 1];
+  }
+  std::partial_sum(row_ptr_.begin(), row_ptr_.end(), row_ptr_.begin());
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::int64_t> row_ptr,
+                     std::vector<std::int64_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  NADMM_CHECK(row_ptr_.size() == rows + 1, "CsrMatrix: row_ptr size mismatch");
+  NADMM_CHECK(col_idx_.size() == values_.size(),
+              "CsrMatrix: col_idx/values size mismatch");
+  NADMM_CHECK(row_ptr_.front() == 0 &&
+                  row_ptr_.back() == static_cast<std::int64_t>(values_.size()),
+              "CsrMatrix: row_ptr does not cover values");
+  for (std::size_t r = 0; r < rows; ++r) {
+    NADMM_CHECK(row_ptr_[r] <= row_ptr_[r + 1], "CsrMatrix: row_ptr not monotone");
+  }
+  for (std::int64_t c : col_idx_) {
+    NADMM_CHECK(c >= 0 && static_cast<std::size_t>(c) < cols,
+                "CsrMatrix: column index out of range");
+  }
+}
+
+double CsrMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+CsrMatrix CsrMatrix::row_slice(std::size_t begin, std::size_t end) const {
+  NADMM_CHECK(begin <= end && end <= rows_, "row_slice: bad range");
+  const std::int64_t lo = row_ptr_[begin];
+  const std::int64_t hi = row_ptr_[end];
+  std::vector<std::int64_t> rp(end - begin + 1);
+  for (std::size_t r = 0; r <= end - begin; ++r) rp[r] = row_ptr_[begin + r] - lo;
+  std::vector<std::int64_t> ci(col_idx_.begin() + lo, col_idx_.begin() + hi);
+  std::vector<double> vals(values_.begin() + lo, values_.begin() + hi);
+  return CsrMatrix(end - begin, cols_, std::move(rp), std::move(ci),
+                   std::move(vals));
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      d.at(r, static_cast<std::size_t>(col_idx_[e])) = values_[e];
+    }
+  }
+  return d;
+}
+
+void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.cols() == b.rows(), "spmm_nn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "spmm_nn: output shape mismatch");
+  const std::size_t n = b.cols();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+#pragma omp parallel for schedule(dynamic, 64) if (parallel)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
+    double* crow = pc + static_cast<std::size_t>(i) * n;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+      const double av = alpha * va[e];
+      const double* brow = pb + static_cast<std::size_t>(ci[e]) * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  flops::add(2 * a.nnz() * n);
+}
+
+void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "spmm_tn: output shape mismatch");
+  const std::size_t n = b.cols();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  if (beta == 0.0) {
+    std::fill(c.data().begin(), c.data().end(), 0.0);
+  } else if (beta != 1.0) {
+    scal(beta, c.data());
+  }
+  const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+#pragma omp parallel if (parallel)
+  {
+    std::vector<double> local(c.size(), 0.0);
+#pragma omp for schedule(dynamic, 64)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
+      const double* brow = pb + static_cast<std::size_t>(i) * n;
+      for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+        double* lrow = local.data() + static_cast<std::size_t>(ci[e]) * n;
+        const double av = va[e];
+        for (std::size_t j = 0; j < n; ++j) lrow[j] += av * brow[j];
+      }
+    }
+#pragma omp critical(nadmm_spmm_tn_reduce)
+    {
+      for (std::size_t e = 0; e < local.size(); ++e) pc[e] += alpha * local[e];
+    }
+  }
+  flops::add(2 * a.nnz() * n);
+}
+
+void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+          double beta, std::span<double> y) {
+  NADMM_CHECK(a.cols() == x.size(), "spmv: x size mismatch");
+  NADMM_CHECK(a.rows() == y.size(), "spmv: y size mismatch");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const bool parallel = 2 * a.nnz() >= kParallelFlops;
+#pragma omp parallel for schedule(dynamic, 64) if (parallel)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
+    double acc = 0.0;
+    for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+      acc += va[e] * x[static_cast<std::size_t>(ci[e])];
+    }
+    y[i] = alpha * acc + beta * y[i];
+  }
+  flops::add(2 * a.nnz());
+}
+
+}  // namespace nadmm::la

@@ -1,0 +1,77 @@
+// Compressed sparse row (CSR) matrix.
+//
+// The E18 dataset the paper evaluates is single-cell RNA count data:
+// extremely high-dimensional (p ≈ 28k) and very sparse. The dense path
+// cannot hold such shards, so the softmax objective also runs over CSR
+// features with SpMM / SpMM^T kernels mirroring the dense GEMMs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+
+namespace nadmm::la {
+
+/// One nonzero entry, used when building a CSR matrix from triplets.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix of doubles.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets (duplicates are summed). Triplets may be in any
+  /// order. Throws if any index is out of range.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets);
+
+  /// Build directly from CSR arrays. `row_ptr` has rows+1 entries.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::int64_t> row_ptr, std::vector<std::int64_t> col_idx,
+            std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// Fraction of entries that are stored (nnz / (rows*cols)).
+  [[nodiscard]] double density() const;
+
+  [[nodiscard]] std::span<const std::int64_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const std::int64_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// Extract a contiguous row range [begin, end) as a new CSR matrix with
+  /// the same column dimension. Used by the data partitioner.
+  [[nodiscard]] CsrMatrix row_slice(std::size_t begin, std::size_t end) const;
+
+  /// Densify (tests and small problems only).
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_{0};
+  std::vector<std::int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// C = alpha * A * B + beta * C.  A: m×k CSR, B: k×n dense, C: m×n dense.
+void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c);
+
+/// C = alpha * A^T * B + beta * C.  A: k×m CSR, B: k×n dense, C: m×n dense.
+void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c);
+
+/// y = alpha * A * x + beta * y.
+void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+}  // namespace nadmm::la

@@ -1,0 +1,74 @@
+#include "model/fd_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "support/rng.hpp"
+
+namespace nadmm::model {
+
+namespace {
+std::vector<double> random_unit(std::size_t dim, Rng& rng) {
+  std::vector<double> v(dim);
+  for (double& e : v) e = rng.normal();
+  const double norm = la::nrm2(v);
+  if (norm > 0) la::scal(1.0 / norm, v);
+  return v;
+}
+}  // namespace
+
+double gradient_fd_error(Objective& obj, std::span<const double> x, int trials,
+                         double eps, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = obj.dim();
+  std::vector<double> g(dim);
+  obj.gradient(x, g);
+  std::vector<double> xp(x.begin(), x.end());
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto v = random_unit(dim, rng);
+    const double analytic = la::dot(g, v);
+    std::copy(x.begin(), x.end(), xp.begin());
+    la::axpy(eps, v, xp);
+    const double fp = obj.value(xp);
+    std::copy(x.begin(), x.end(), xp.begin());
+    la::axpy(-eps, v, xp);
+    const double fm = obj.value(xp);
+    const double fd = (fp - fm) / (2.0 * eps);
+    const double denom = std::max({std::abs(analytic), std::abs(fd), 1e-8});
+    worst = std::max(worst, std::abs(analytic - fd) / denom);
+  }
+  return worst;
+}
+
+double hessian_fd_error(Objective& obj, std::span<const double> x, int trials,
+                        double eps, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = obj.dim();
+  std::vector<double> hv(dim), gp(dim), gm(dim), xp(x.begin(), x.end());
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto v = random_unit(dim, rng);
+    obj.hessian_vec(x, v, hv);
+    std::copy(x.begin(), x.end(), xp.begin());
+    la::axpy(eps, v, xp);
+    obj.gradient(xp, gp);
+    std::copy(x.begin(), x.end(), xp.begin());
+    la::axpy(-eps, v, xp);
+    obj.gradient(xp, gm);
+    // fd = (g(x+εv) − g(x−εv)) / 2ε, compared to hv in norm.
+    double diff_sq = 0.0, ref_sq = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double fd = (gp[i] - gm[i]) / (2.0 * eps);
+      const double d = fd - hv[i];
+      diff_sq += d * d;
+      ref_sq += std::max(fd * fd, hv[i] * hv[i]);
+    }
+    worst = std::max(worst, std::sqrt(diff_sq / std::max(ref_sq, 1e-16)));
+  }
+  return worst;
+}
+
+}  // namespace nadmm::model

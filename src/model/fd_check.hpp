@@ -1,0 +1,25 @@
+// Finite-difference derivative validation (test support, but shipped in
+// the library so users can validate custom objectives).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/objective.hpp"
+
+namespace nadmm::model {
+
+/// Max relative error between analytic directional derivatives ⟨g, v⟩ and
+/// central finite differences of the value, over `trials` random
+/// directions at point `x`.
+double gradient_fd_error(Objective& obj, std::span<const double> x,
+                         int trials = 5, double eps = 1e-6,
+                         std::uint64_t seed = 42);
+
+/// Max relative error between H·v and the central finite difference of
+/// the gradient, over `trials` random directions.
+double hessian_fd_error(Objective& obj, std::span<const double> x,
+                        int trials = 5, double eps = 1e-5,
+                        std::uint64_t seed = 42);
+
+}  // namespace nadmm::model

@@ -1,0 +1,60 @@
+// Regularized (multi-output) least-squares objective.
+//
+// A second instance of the paper's finite-sum template (eq. 1) besides
+// softmax: F(X) = ½‖A·X − B‖²_F + (λ/2)‖X‖², with X ∈ R^{p×m} flattened
+// to a vector. Its Hessian is constant (AᵀA + λI), which makes it the
+// reference problem for validating the Hessian-free solver stack — CG on
+// it is *exact* Newton — and a useful objective in its own right
+// (ridge regression / one-hot least-squares classification).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "la/dense_matrix.hpp"
+#include "model/objective.hpp"
+
+namespace nadmm::model {
+
+class LeastSquaresObjective final : public Objective {
+ public:
+  /// Regression onto explicit targets. `targets` must have
+  /// shard.num_samples() rows; its column count sets the output width.
+  LeastSquaresObjective(const data::Dataset& shard, la::DenseMatrix targets,
+                        double l2_lambda);
+
+  /// Classification shortcut: one-hot targets built from the shard's
+  /// labels (m = num_classes columns).
+  static LeastSquaresObjective one_hot(const data::Dataset& shard,
+                                       double l2_lambda);
+
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t num_samples() const override {
+    return shard_->num_samples();
+  }
+  [[nodiscard]] std::size_t outputs() const { return m_; }
+
+  double value(std::span<const double> x) override;
+  void gradient(std::span<const double> x, std::span<double> g) override;
+  double value_and_gradient(std::span<const double> x,
+                            std::span<double> g) override;
+  void hessian_vec(std::span<const double> x, std::span<const double> v,
+                   std::span<double> hv) override;
+
+ private:
+  /// Residual R = A·X − B into panel_; returns ½‖R‖²_F.
+  double forward(std::span<const double> x);
+
+  const data::Dataset* shard_;
+  double lambda_;
+  std::size_t p_;
+  std::size_t m_;
+  std::size_t dim_;
+  la::DenseMatrix targets_;  // n × m
+  la::DenseMatrix panel_;    // n × m residual scratch
+  la::DenseMatrix xm_;       // p × m parameter view
+  la::DenseMatrix gm_;       // p × m gradient accumulator
+};
+
+}  // namespace nadmm::model

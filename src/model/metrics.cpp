@@ -1,0 +1,18 @@
+#include "model/metrics.hpp"
+
+#include "model/softmax.hpp"
+
+namespace nadmm::model {
+
+double accuracy(const data::Dataset& ds, std::span<const double> x) {
+  SoftmaxObjective obj(ds, 0.0);
+  return obj.accuracy(x);
+}
+
+double objective_value(const data::Dataset& ds, std::span<const double> x,
+                       double l2_lambda) {
+  SoftmaxObjective obj(ds, l2_lambda);
+  return obj.value(x);
+}
+
+}  // namespace nadmm::model

@@ -1,0 +1,17 @@
+// Evaluation helpers shared by the experiment harness.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::model {
+
+/// Test accuracy of parameter vector `x` ((C−1)·p softmax layout) on `ds`.
+double accuracy(const data::Dataset& ds, std::span<const double> x);
+
+/// Full regularized objective Σ loss + (λ/2)‖x‖² of `x` on `ds`.
+double objective_value(const data::Dataset& ds, std::span<const double> x,
+                       double l2_lambda);
+
+}  // namespace nadmm::model

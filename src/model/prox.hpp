@@ -1,0 +1,88 @@
+// Proximal-augmented objective: the ADMM local subproblem (paper eq. 6a).
+//
+//   φ(x) = f(x) + (ρ/2) ‖x − v‖²,  with  v = z + y/ρ.
+//
+// Wrapping keeps the Newton-CG solver unaware of ADMM: the penalty adds
+// ρ(x−v) to the gradient and ρ·I to the Hessian (which also improves the
+// CG conditioning — part of why the paper's local solves are cheap).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "model/objective.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::model {
+
+class ProxAugmentedObjective final : public Objective {
+ public:
+  /// `base` must outlive this wrapper.
+  ProxAugmentedObjective(Objective& base, double rho, std::vector<double> center)
+      : base_(&base), rho_(rho), center_(std::move(center)) {
+    NADMM_CHECK(rho >= 0.0, "prox rho must be nonnegative");
+    NADMM_CHECK(center_.size() == base.dim(), "prox center dimension mismatch");
+  }
+
+  /// Update ρ / center in place between ADMM iterations (no realloc).
+  void set_rho(double rho) {
+    NADMM_CHECK(rho >= 0.0, "prox rho must be nonnegative");
+    rho_ = rho;
+  }
+  void set_center(std::span<const double> center) {
+    NADMM_CHECK(center.size() == center_.size(), "prox center dimension mismatch");
+    std::copy(center.begin(), center.end(), center_.begin());
+  }
+  [[nodiscard]] double rho() const { return rho_; }
+  [[nodiscard]] std::span<const double> center() const { return center_; }
+
+  [[nodiscard]] std::size_t dim() const override { return base_->dim(); }
+  [[nodiscard]] std::size_t num_samples() const override {
+    return base_->num_samples();
+  }
+
+  double value(std::span<const double> x) override {
+    double f = base_->value(x);
+    f += 0.5 * rho_ * penalty_sq(x);
+    return f;
+  }
+
+  void gradient(std::span<const double> x, std::span<double> g) override {
+    base_->gradient(x, g);
+    add_penalty_gradient(x, g);
+  }
+
+  double value_and_gradient(std::span<const double> x,
+                            std::span<double> g) override {
+    double f = base_->value_and_gradient(x, g);
+    f += 0.5 * rho_ * penalty_sq(x);
+    add_penalty_gradient(x, g);
+    return f;
+  }
+
+  void hessian_vec(std::span<const double> x, std::span<const double> v,
+                   std::span<double> hv) override {
+    base_->hessian_vec(x, v, hv);
+    la::axpy(rho_, v, hv);
+  }
+
+ private:
+  [[nodiscard]] double penalty_sq(std::span<const double> x) const {
+    const double d = la::dist2(x, center_);
+    return d * d;
+  }
+
+  void add_penalty_gradient(std::span<const double> x, std::span<double> g) const {
+    // g += ρ (x − v)
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      g[i] += rho_ * (x[i] - center_[i]);
+    }
+  }
+
+  Objective* base_;
+  double rho_;
+  std::vector<double> center_;
+};
+
+}  // namespace nadmm::model

@@ -1,0 +1,75 @@
+// Multiclass softmax / cross-entropy objective (paper §5) with the
+// Log-Sum-Exp stabilization of §6.
+//
+// Parameters are x = [x_1; …; x_{C−1}] ∈ R^{(C−1)p} (class C is the
+// implicit reference with score 0). The objective is the paper's eq. (8)
+// — a *sum* over samples — plus an optional ℓ2 term (λ/2)‖x‖²:
+//
+//   F(x) = Σ_i [ log(1 + Σ_c e^{⟨a_i, x_c⟩}) − ⟨a_i, x_{b_i}⟩ ] + λ/2 ‖x‖².
+//
+// All heavy work is GEMM-shaped (scores S = A·X, gradient Aᵀ(P−Y),
+// Hessian-vector product AᵀW) and runs over dense or CSR features.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "la/dense_matrix.hpp"
+#include "model/objective.hpp"
+
+namespace nadmm::model {
+
+class SoftmaxObjective final : public Objective {
+ public:
+  /// `shard` must outlive the objective. `l2_lambda` ≥ 0 adds the ridge
+  /// term (use 0 for ADMM local objectives — the consensus z-update owns
+  /// the regularizer, eq. 7).
+  SoftmaxObjective(const data::Dataset& shard, double l2_lambda);
+
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+  [[nodiscard]] std::size_t num_samples() const override {
+    return shard_->num_samples();
+  }
+  [[nodiscard]] int num_classes() const { return shard_->num_classes(); }
+  [[nodiscard]] double l2_lambda() const { return lambda_; }
+
+  double value(std::span<const double> x) override;
+  void gradient(std::span<const double> x, std::span<double> g) override;
+  double value_and_gradient(std::span<const double> x,
+                            std::span<double> g) override;
+  void hessian_vec(std::span<const double> x, std::span<const double> v,
+                   std::span<double> hv) override;
+
+  /// Predicted class (argmax over the C−1 scores and the implicit 0).
+  /// `x` is a parameter vector of dim(); `sample_scores` is a scratch row.
+  [[nodiscard]] std::vector<std::int32_t> predict(std::span<const double> x);
+
+  /// Classification accuracy of `x` on this objective's shard.
+  [[nodiscard]] double accuracy(std::span<const double> x);
+
+ private:
+  /// Recompute scores/probabilities if `x` differs from the cached point.
+  void ensure_forward(std::span<const double> x);
+
+  const data::Dataset* shard_;
+  double lambda_;
+  std::size_t p_;
+  std::size_t cm1_;  // C-1 score columns
+  std::size_t dim_;
+
+  // Cached forward pass at cached_x_.
+  std::vector<double> cached_x_;
+  bool cache_valid_ = false;
+  la::DenseMatrix scores_;  // n × (C−1)
+  la::DenseMatrix probs_;   // n × (C−1), P_ic
+  std::vector<double> lse_; // per-sample log(1 + Σ e^{s})
+  double loss_sum_ = 0.0;
+
+  // Scratch reused across calls.
+  la::DenseMatrix panel_;   // n × (C−1) residual / W panel
+  la::DenseMatrix xm_;      // p × (C−1) parameter matrix view
+  la::DenseMatrix gm_;      // p × (C−1) gradient accumulator
+};
+
+}  // namespace nadmm::model

@@ -1,0 +1,65 @@
+// Experiment harness: wires dataset → simulated cluster → solver and
+// emits traces. All bench binaries (one per paper table/figure) and the
+// examples are thin drivers over this header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/dane.hpp"
+#include "baselines/disco.hpp"
+#include "baselines/giant.hpp"
+#include "baselines/sync_sgd.hpp"
+#include "comm/cluster.hpp"
+#include "core/newton_admm.hpp"
+#include "core/trace.hpp"
+#include "data/generators.hpp"
+
+namespace nadmm::runner {
+
+/// Shared experiment knobs (paper defaults).
+struct ExperimentConfig {
+  std::string dataset = "mnist";  ///< higgs|mnist|cifar|e18|blobs
+  std::size_t n_train = 8'000;
+  std::size_t n_test = 2'000;
+  std::size_t e18_features = 1'400;  ///< scaled-down E18 dimension
+  std::uint64_t seed = 42;
+  int workers = 8;
+  std::string device = "p100";    ///< la::device_from_string spec
+  std::string network = "ib100";  ///< comm::network_from_string preset
+  double lambda = 1e-5;           ///< paper default
+  int iterations = 100;           ///< paper runs 100 epochs
+  int cg_iterations = 10;         ///< paper: 10
+  double cg_tol = 1e-4;           ///< paper: 1e-4
+  int line_search_iterations = 10;///< paper: 10
+};
+
+/// Generate (deterministically) the dataset named by the config.
+data::TrainTest make_data(const ExperimentConfig& config);
+
+/// Construct the simulated cluster named by the config.
+comm::SimCluster make_cluster(const ExperimentConfig& config);
+
+/// Option builders pre-filled from the shared config.
+core::NewtonAdmmOptions admm_options(const ExperimentConfig& config);
+baselines::GiantOptions giant_options(const ExperimentConfig& config);
+baselines::SyncSgdOptions sgd_options(const ExperimentConfig& config);
+baselines::DaneOptions dane_options(const ExperimentConfig& config);
+baselines::DiscoOptions disco_options(const ExperimentConfig& config);
+
+/// Dispatch by solver name: newton-admm | giant | sync-sgd | inexact-dane
+/// | aide | disco.
+core::RunResult run_solver(const std::string& solver,
+                           comm::SimCluster& cluster,
+                           const data::Dataset& train,
+                           const data::Dataset* test,
+                           const ExperimentConfig& config);
+
+/// Write the full per-iteration trace as CSV (columns match
+/// core::IterationStats).
+void write_trace_csv(const core::RunResult& result, const std::string& path);
+
+/// Print a short console summary of a run (first/middle/last iterations).
+void print_trace_summary(const core::RunResult& result, int max_rows = 12);
+
+}  // namespace nadmm::runner

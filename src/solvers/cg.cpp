@@ -1,0 +1,65 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::solvers {
+
+CgResult conjugate_gradient(const HvpFn& hvp, std::span<const double> g,
+                            std::span<double> p, const CgOptions& options) {
+  NADMM_CHECK(g.size() == p.size(), "cg: size mismatch");
+  NADMM_CHECK(options.max_iterations >= 1, "cg: max_iterations must be >= 1");
+  NADMM_CHECK(options.rel_tol > 0.0, "cg: rel_tol must be positive");
+
+  const std::size_t n = g.size();
+  CgResult result;
+
+  la::fill(p, 0.0);
+  const double g_norm = la::nrm2(g);
+  if (g_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double target = options.rel_tol * g_norm;
+
+  // r = −g − Hp = −g at p = 0;  d = r.
+  std::vector<double> r(n), d(n), hd(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = -g[i];
+  la::copy(r, d);
+  double r_sq = la::nrm2_sq(r);
+
+  for (int k = 0; k < options.max_iterations; ++k) {
+    hvp(d, hd);
+    const double curvature = la::dot(d, hd);
+    if (curvature <= 0.0) {
+      result.hit_negative_curvature = true;
+      if (k == 0) {
+        // Fall back to steepest descent so the outer loop still descends.
+        la::copy(r, p);
+      }
+      break;
+    }
+    const double alpha = r_sq / curvature;
+    la::axpy(alpha, d, p);
+    la::axpy(-alpha, hd, r);
+    const double r_sq_new = la::nrm2_sq(r);
+    result.iterations = k + 1;
+    if (std::sqrt(r_sq_new) <= target) {
+      r_sq = r_sq_new;
+      result.converged = true;
+      break;
+    }
+    const double beta = r_sq_new / r_sq;
+    r_sq = r_sq_new;
+    // d = r + beta d
+    la::axpby(1.0, r, beta, d);
+  }
+  result.rel_residual = std::sqrt(r_sq) / g_norm;
+  if (result.rel_residual <= options.rel_tol) result.converged = true;
+  return result;
+}
+
+}  // namespace nadmm::solvers

@@ -1,0 +1,37 @@
+// Conjugate gradient for the Newton system H p = −g (paper eq. 4).
+//
+// Hessian-free: H enters only through a product callback. Termination is
+// the paper's θ-relative inexactness condition (eq. 3b):
+//   ‖H p + g‖ ≤ θ ‖g‖,
+// equivalently the CG residual dropping below θ‖g‖. Early stopping with a
+// mild θ preserves Newton's convergence (Roosta-Khorasani & Mahoney).
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace nadmm::solvers {
+
+struct CgOptions {
+  int max_iterations = 10;   ///< paper default: 10 CG iterations
+  double rel_tol = 1e-4;     ///< θ in eq. (3b); paper default 1e-4
+};
+
+struct CgResult {
+  int iterations = 0;
+  double rel_residual = 0.0;      ///< ‖Hp + g‖ / ‖g‖ at exit
+  bool hit_negative_curvature = false;
+  bool converged = false;         ///< rel_residual ≤ θ
+};
+
+/// Hessian-vector product callback: out = H · v.
+using HvpFn = std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Solves H p = −g starting from p = 0. On negative curvature (possible
+/// only through numerical noise for convex objectives) returns the best
+/// iterate so far — or the steepest-descent direction −g if it occurs on
+/// the first iteration — which keeps the outer line search descending.
+CgResult conjugate_gradient(const HvpFn& hvp, std::span<const double> g,
+                            std::span<double> p, const CgOptions& options);
+
+}  // namespace nadmm::solvers

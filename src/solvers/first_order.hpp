@@ -1,0 +1,57 @@
+// Single-node first-order methods: full-batch gradient descent and the
+// stochastic family the paper's §1.2 surveys (SGD with momentum,
+// Adagrad, Adam).
+//
+// They serve two roles: as reference optimizers in tests (every convex
+// objective they minimize must agree with Newton-CG), and as the
+// single-node counterparts of the distributed first-order baselines —
+// showing why the paper moves to second-order methods: many more
+// iterations, step-size sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/objective.hpp"
+
+namespace nadmm::solvers {
+
+enum class FirstOrderRule { kGradientDescent, kMomentum, kAdagrad, kAdam };
+
+FirstOrderRule first_order_rule_from_string(const std::string& name);
+std::string to_string(FirstOrderRule rule);
+
+struct FirstOrderOptions {
+  FirstOrderRule rule = FirstOrderRule::kGradientDescent;
+  int max_iterations = 1000;
+  double step_size = 1e-3;
+  double momentum = 0.9;          ///< kMomentum
+  double beta1 = 0.9;             ///< kAdam
+  double beta2 = 0.999;           ///< kAdam
+  double epsilon = 1e-8;          ///< kAdagrad / kAdam denominator guard
+  double gradient_tol = 0.0;      ///< stop when ‖g‖ < tol (0: run all)
+  std::size_t batch_size = 0;     ///< 0 = full batch (deterministic GD)
+  std::uint64_t seed = 99;        ///< batch sampling seed
+  bool record_trace = false;
+};
+
+struct FirstOrderResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double final_value = 0.0;
+  double final_gradient_norm = 0.0;
+  bool converged = false;
+  std::vector<double> value_trace;  ///< per-iteration F(x) if recorded
+};
+
+/// Minimize `objective` with the selected rule. With batch_size == 0 the
+/// full gradient is used each step; otherwise `batches` (pre-sliced
+/// objectives whose gradients sum to the full one) drive stochastic
+/// steps — pass an empty vector for full-batch mode.
+FirstOrderResult first_order_minimize(
+    model::Objective& objective,
+    std::vector<model::Objective*> batches,  // may be empty
+    std::vector<double> x0, const FirstOrderOptions& options);
+
+}  // namespace nadmm::solvers

@@ -1,0 +1,53 @@
+#include "solvers/linesearch.hpp"
+
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::solvers {
+
+LineSearchResult armijo_backtrack(model::Objective& objective,
+                                  std::span<const double> x,
+                                  std::span<const double> p, double f0,
+                                  double directional,
+                                  const LineSearchOptions& options) {
+  NADMM_CHECK(x.size() == p.size(), "linesearch: size mismatch");
+  NADMM_CHECK(options.alpha0 > 0.0, "linesearch: alpha0 must be positive");
+  NADMM_CHECK(options.backtrack > 0.0 && options.backtrack < 1.0,
+              "linesearch: backtrack factor must be in (0,1)");
+  NADMM_CHECK(options.beta > 0.0 && options.beta < 1.0,
+              "linesearch: beta must be in (0,1)");
+
+  LineSearchResult result;
+  std::vector<double> trial(x.size());
+  double alpha = options.alpha0;
+  double f_trial = f0;
+
+  for (int i = 0; i <= options.max_iterations; ++i) {
+    la::copy(x, trial);
+    la::axpy(alpha, p, trial);
+    f_trial = objective.value(trial);
+    result.iterations = i;
+    if (f_trial <= f0 + alpha * options.beta * directional) {
+      result.alpha = alpha;
+      result.f_new = f_trial;
+      result.satisfied = true;
+      return result;
+    }
+    if (i == options.max_iterations) break;
+    alpha *= options.backtrack;
+  }
+  // i_max exhausted (paper Algorithm 3 `break`): accept the final α if it
+  // still decreases the objective, otherwise refuse the step.
+  if (f_trial < f0) {
+    result.alpha = alpha;
+    result.f_new = f_trial;
+  } else {
+    result.alpha = 0.0;
+    result.f_new = f0;
+  }
+  return result;
+}
+
+}  // namespace nadmm::solvers

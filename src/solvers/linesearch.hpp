@@ -1,0 +1,35 @@
+// Armijo backtracking line search (paper Algorithm 3, condition eq. 3c):
+// find the largest α = ρ^i·α₀ with F(x + αp) ≤ F(x) + αβ pᵀg.
+#pragma once
+
+#include <span>
+
+#include "model/objective.hpp"
+
+namespace nadmm::solvers {
+
+struct LineSearchOptions {
+  double alpha0 = 1.0;      ///< initial step size
+  double beta = 1e-4;       ///< sufficient-decrease constant (0,1)
+  double backtrack = 0.5;   ///< ρ in Algorithm 3
+  int max_iterations = 10;  ///< i_max; paper uses 10
+};
+
+struct LineSearchResult {
+  double alpha = 0.0;       ///< accepted step (0 if no decrease at all)
+  double f_new = 0.0;       ///< objective at x + alpha·p
+  int iterations = 0;       ///< backtracking steps taken
+  bool satisfied = false;   ///< Armijo condition met within i_max
+};
+
+/// `f0` = F(x), `directional` = pᵀg (must be negative for a descent
+/// direction). Following the paper's Algorithm 3, if i_max is exhausted
+/// the current α is accepted as long as it still decreases F; otherwise
+/// α = 0 is returned (caller keeps x).
+LineSearchResult armijo_backtrack(model::Objective& objective,
+                                  std::span<const double> x,
+                                  std::span<const double> p, double f0,
+                                  double directional,
+                                  const LineSearchOptions& options);
+
+}  // namespace nadmm::solvers

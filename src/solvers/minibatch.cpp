@@ -1,0 +1,19 @@
+#include "solvers/minibatch.hpp"
+
+namespace nadmm::solvers {
+
+std::vector<data::Dataset> make_batches(const data::Dataset& shard,
+                                        std::size_t batch_size) {
+  std::vector<data::Dataset> batches;
+  const std::size_t n = shard.num_samples();
+  if (batch_size == 0 || batch_size >= n) {
+    batches.push_back(shard.row_slice(0, n));
+    return batches;
+  }
+  for (std::size_t at = 0; at < n; at += batch_size) {
+    batches.push_back(shard.row_slice(at, std::min(n, at + batch_size)));
+  }
+  return batches;
+}
+
+}  // namespace nadmm::solvers

@@ -1,0 +1,19 @@
+// Minibatch slicing for the stochastic solvers (Synchronous SGD, SVRG).
+//
+// Batches are materialized once per shard and reused across epochs:
+// shuffling permutes the batch visit order, not the rows, which keeps the
+// per-batch objective caches (and their GEMM buffers) warm.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::solvers {
+
+/// Split `shard` into contiguous batches of `batch_size` rows (the final
+/// batch may be smaller). batch_size == 0 yields a single full batch.
+std::vector<data::Dataset> make_batches(const data::Dataset& shard,
+                                        std::size_t batch_size);
+
+}  // namespace nadmm::solvers

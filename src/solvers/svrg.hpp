@@ -1,0 +1,38 @@
+// SVRG (Johnson & Zhang) for composite local objectives.
+//
+// InexactDANE solves its per-node subproblem
+//   φ(x) = f_loc(x) + ⟨linear, x⟩ + (ridge/2)‖x‖² + (µ/2)‖x − center‖²
+// with SVRG (paper §3, "using SVRG to solve subproblems"). The smooth
+// finite-sum part f_loc is given as minibatch softmax objectives whose sum
+// equals the shard loss; the deterministic linear / proximal terms are
+// evaluated exactly at every inner step, and only the randomized batch
+// gradient goes through variance reduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/softmax.hpp"
+
+namespace nadmm::solvers {
+
+struct SvrgOptions {
+  int max_outer = 100;              ///< snapshot rounds (paper: SVRG iters 100)
+  std::size_t update_frequency = 0; ///< inner steps per snapshot; 0 → 2·n_local
+  double step_size = 1e-3;
+  std::uint64_t seed = 1234;
+};
+
+struct SvrgResult {
+  std::vector<double> x;
+  int outer_iterations = 0;
+  double final_subproblem_gradient_norm = 0.0;
+};
+
+SvrgResult svrg_minimize(std::vector<model::SoftmaxObjective>& batches,
+                         std::span<const double> linear, double ridge,
+                         double mu, std::span<const double> center,
+                         std::vector<double> x0, const SvrgOptions& options);
+
+}  // namespace nadmm::solvers

@@ -1,0 +1,63 @@
+// Error-handling primitives shared across the library.
+//
+// We favour exceptions for precondition violations in the public API
+// (callers can recover / report) and use NADMM_ASSERT for internal
+// invariants that indicate a library bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nadmm {
+
+/// Exception thrown when a public-API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when a runtime operation cannot proceed
+/// (I/O failure, dimension mismatch discovered mid-computation, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NADMM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file,
+                                              int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':'
+     << line << " — please report this as a bug";
+  throw RuntimeError(os.str());
+}
+
+}  // namespace detail
+}  // namespace nadmm
+
+/// Validate a public-API precondition; throws nadmm::InvalidArgument.
+#define NADMM_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::nadmm::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check; throws nadmm::RuntimeError. Kept on in release
+/// builds: the checks guard O(1) conditions only.
+#define NADMM_ASSERT(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::nadmm::detail::throw_assert_failure(#expr, __FILE__, __LINE__);  \
+    }                                                                    \
+  } while (false)

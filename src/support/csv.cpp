@@ -1,0 +1,42 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace nadmm {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  if (!out_) throw RuntimeError("cannot open CSV file for writing: " + path);
+  NADMM_CHECK(!header.empty(), "CSV header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  NADMM_CHECK(cells.size() == arity_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(cells);
+}
+
+}  // namespace nadmm

@@ -1,0 +1,31 @@
+// CSV writer for experiment traces. Values are written with full precision
+// so downstream plotting can regenerate the paper's figures exactly.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nadmm {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws nadmm::RuntimeError if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; arity must match the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace nadmm

@@ -1,0 +1,111 @@
+// Deterministic, splittable random number generation.
+//
+// We deliberately avoid <random> distributions: their output is
+// implementation-defined, which would make dataset generation (and hence
+// every experiment) differ across standard libraries. SplitMix64 plus
+// hand-rolled uniform / Box-Muller normal / Poisson samplers give
+// bit-identical streams everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nadmm {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood 2014). Passes BigCrush, 64-bit state,
+/// trivially splittable: `split()` derives an independent stream, which we
+/// use to give each data shard / worker its own generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t t = (0ULL - n) % n;
+      while (lo < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Poisson sample (Knuth for small lambda, normal approximation for large).
+  std::uint64_t poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda < 30.0) {
+      const double l = std::exp(-lambda);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double x = normal(lambda, std::sqrt(lambda));
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent generator (distinct stream) from this one.
+  Rng split() {
+    // Mix the next output through a different finalizer so the child
+    // stream does not overlap with this one's future outputs.
+    std::uint64_t s = next_u64() ^ 0xd1b54a32d192ed03ULL;
+    s *= 0xaef17502108ef2d9ULL;
+    s ^= s >> 29;
+    return Rng(s);
+  }
+
+ private:
+  std::uint64_t state_;
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace nadmm

@@ -1,0 +1,35 @@
+// Console table printer: the bench harnesses use this to print rows in the
+// same shape as the paper's tables / figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nadmm {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+
+  /// Render to a string (also used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nadmm

@@ -1,0 +1,434 @@
+// Tests for src/data: dataset container, the four paper-dataset
+// generators (shape/conditioning/sparsity properties), partitioning,
+// standardization, and file I/O round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "data/dataset.hpp"
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "data/partition.hpp"
+#include "data/standardize.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::data {
+namespace {
+
+// ------------------------------------------------------------ dataset
+
+TEST(Dataset, DenseConstructionAndAccessors) {
+  la::DenseMatrix x(3, 2, {1, 2, 3, 4, 5, 6});
+  auto ds = Dataset::dense(std::move(x), {0, 1, 2}, 3);
+  EXPECT_EQ(ds.num_samples(), 3u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.num_classes(), 3);
+  EXPECT_FALSE(ds.is_sparse());
+  EXPECT_FALSE(ds.empty());
+  EXPECT_THROW(ds.sparse_features(), InvalidArgument);
+  EXPECT_DOUBLE_EQ(ds.dense_features().at(2, 1), 6.0);
+}
+
+TEST(Dataset, LabelValidation) {
+  la::DenseMatrix x(2, 1, {1, 2});
+  EXPECT_THROW(Dataset::dense(std::move(x), {0, 3}, 3), InvalidArgument);
+  la::DenseMatrix x2(2, 1, {1, 2});
+  EXPECT_THROW(Dataset::dense(std::move(x2), {0, -1}, 3), InvalidArgument);
+  la::DenseMatrix x3(2, 1, {1, 2});
+  EXPECT_THROW(Dataset::dense(std::move(x3), {0}, 3), InvalidArgument);
+  la::DenseMatrix x4(2, 1, {1, 2});
+  EXPECT_THROW(Dataset::dense(std::move(x4), {0, 1}, 1), InvalidArgument);
+}
+
+TEST(Dataset, RowSliceDense) {
+  la::DenseMatrix x(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto ds = Dataset::dense(std::move(x), {0, 1, 0, 1}, 2);
+  auto s = ds.row_slice(1, 3);
+  EXPECT_EQ(s.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.dense_features().at(0, 0), 3.0);
+  EXPECT_EQ(s.labels()[1], 0);
+}
+
+TEST(Dataset, RowSliceSparse) {
+  la::CsrMatrix x(3, 4, {{0, 0, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}});
+  auto ds = Dataset::sparse(std::move(x), {0, 1, 1}, 2);
+  auto s = ds.row_slice(1, 3);
+  EXPECT_TRUE(s.is_sparse());
+  EXPECT_EQ(s.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.sparse_features().to_dense().at(0, 2), 2.0);
+}
+
+TEST(Dataset, ScoresDispatchMatchesAcrossStorage) {
+  // Same logical matrix, dense vs sparse, must give identical scores.
+  la::CsrMatrix xs(2, 3, {{0, 1, 2.0}, {1, 0, 1.0}, {1, 2, -1.0}});
+  auto dense_feats = xs.to_dense();
+  auto ds_sparse = Dataset::sparse(std::move(xs), {0, 1}, 2);
+  auto ds_dense = Dataset::dense(std::move(dense_feats), {0, 1}, 2);
+  la::DenseMatrix w(3, 1, {1.0, 2.0, 3.0});
+  la::DenseMatrix s1(2, 1), s2(2, 1);
+  ds_sparse.scores(w, s1);
+  ds_dense.scores(w, s2);
+  EXPECT_DOUBLE_EQ(s1.at(0, 0), s2.at(0, 0));
+  EXPECT_DOUBLE_EQ(s1.at(1, 0), s2.at(1, 0));
+}
+
+TEST(Dataset, ClassHistogramAndDensity) {
+  la::DenseMatrix x(4, 2, {0, 1, 0, 0, 2, 0, 0, 0});
+  auto ds = Dataset::dense(std::move(x), {0, 1, 1, 1}, 2);
+  const auto hist = ds.class_histogram();
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_DOUBLE_EQ(ds.feature_density(), 2.0 / 8.0);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Generators, PaperTable1HasFourDatasets) {
+  const auto info = paper_table1();
+  ASSERT_EQ(info.size(), 4u);
+  EXPECT_EQ(info[0].name, "HIGGS");
+  EXPECT_EQ(info[0].classes, 2);
+  EXPECT_EQ(info[3].features, 27'998u);
+}
+
+TEST(Generators, BlobsShapeAndDeterminism) {
+  auto a = make_blobs(200, 50, 10, 4, 3.0, 1.0, 99);
+  auto b = make_blobs(200, 50, 10, 4, 3.0, 1.0, 99);
+  EXPECT_EQ(a.train.num_samples(), 200u);
+  EXPECT_EQ(a.test.num_samples(), 50u);
+  EXPECT_EQ(a.train.num_features(), 10u);
+  EXPECT_EQ(a.train.num_classes(), 4);
+  // Determinism: identical seeds → identical bytes.
+  const auto da = a.train.dense_features().data();
+  const auto db = b.train.dense_features().data();
+  for (std::size_t i = 0; i < da.size(); i += 37) {
+    ASSERT_DOUBLE_EQ(da[i], db[i]);
+  }
+  EXPECT_TRUE(std::equal(a.train.labels().begin(), a.train.labels().end(),
+                         b.train.labels().begin()));
+}
+
+TEST(Generators, BlobsDifferentSeedsDiffer) {
+  auto a = make_blobs(50, 10, 8, 3, 3.0, 1.0, 1);
+  auto b = make_blobs(50, 10, 8, 3, 3.0, 1.0, 2);
+  const auto da = a.train.dense_features().data();
+  const auto db = b.train.dense_features().data();
+  int same = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) same += (da[i] == db[i]);
+  EXPECT_LT(same, 5);
+}
+
+TEST(Generators, HiggsLikeShape) {
+  auto tt = make_higgs_like(500, 100, 7);
+  EXPECT_EQ(tt.train.num_features(), 28u);  // paper Table 1
+  EXPECT_EQ(tt.train.num_classes(), 2);
+  // Both classes present.
+  const auto hist = tt.train.class_histogram();
+  EXPECT_GT(hist[0], 50u);
+  EXPECT_GT(hist[1], 50u);
+}
+
+TEST(Generators, MnistLikeShapeAndSparsityPattern) {
+  auto tt = make_mnist_like(300, 60, 11);
+  EXPECT_EQ(tt.train.num_features(), 784u);
+  EXPECT_EQ(tt.train.num_classes(), 10);
+  // Pixel-like: values in [0,1], mostly background zeros.
+  double lo = 1e9, hi = -1e9;
+  for (double v : tt.train.dense_features().data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+  EXPECT_LT(tt.train.feature_density(), 0.6);
+  EXPECT_GT(tt.train.feature_density(), 0.02);
+}
+
+TEST(Generators, CifarLikeNeighbourCorrelation) {
+  auto tt = make_cifar_like(400, 50, 13);
+  EXPECT_EQ(tt.train.num_features(), 3072u);
+  EXPECT_EQ(tt.train.num_classes(), 10);
+  // The moving-average construction must correlate adjacent features far
+  // more than distant ones — the ill-conditioning mechanism.
+  const auto& x = tt.train.dense_features();
+  auto column_corr = [&](std::size_t j1, std::size_t j2) {
+    double m1 = 0, m2 = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      m1 += x.at(i, j1);
+      m2 += x.at(i, j2);
+    }
+    m1 /= static_cast<double>(x.rows());
+    m2 /= static_cast<double>(x.rows());
+    double c = 0, v1 = 0, v2 = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const double d1 = x.at(i, j1) - m1;
+      const double d2 = x.at(i, j2) - m2;
+      c += d1 * d2;
+      v1 += d1 * d1;
+      v2 += d2 * d2;
+    }
+    return c / std::sqrt(v1 * v2);
+  };
+  EXPECT_GT(column_corr(1000, 1001), 0.8);
+  EXPECT_LT(std::abs(column_corr(100, 2500)), 0.3);
+}
+
+TEST(Generators, E18LikeSparseCounts) {
+  auto tt = make_e18_like(300, 50, 800, 17);
+  EXPECT_TRUE(tt.train.is_sparse());
+  EXPECT_EQ(tt.train.num_features(), 800u);
+  EXPECT_EQ(tt.train.num_classes(), 20);
+  // scRNA-like sparsity: low density, strictly positive stored values
+  // (log1p of counts).
+  EXPECT_LT(tt.train.feature_density(), 0.30);
+  EXPECT_GT(tt.train.feature_density(), 0.005);
+  for (double v : tt.train.sparse_features().values()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Generators, E18RejectsTinyDimension) {
+  EXPECT_THROW(make_e18_like(10, 5, 8, 1), InvalidArgument);
+}
+
+TEST(Generators, MakeByNameDispatch) {
+  EXPECT_EQ(make_by_name("higgs", 50, 10, 0, 1).train.num_classes(), 2);
+  EXPECT_EQ(make_by_name("mnist", 50, 10, 0, 1).train.num_features(), 784u);
+  EXPECT_EQ(make_by_name("cifar", 50, 10, 0, 1).train.num_features(), 3072u);
+  EXPECT_TRUE(make_by_name("e18", 50, 10, 256, 1).train.is_sparse());
+  EXPECT_EQ(make_by_name("blobs", 50, 10, 20, 1).train.num_features(), 20u);
+  EXPECT_THROW(make_by_name("nope", 10, 10, 10, 1), InvalidArgument);
+}
+
+TEST(Generators, TrainAndTestDrawnFromSameDistribution) {
+  // Class histograms of train and test should be roughly proportional.
+  auto tt = make_blobs(4000, 4000, 10, 5, 3.0, 1.0, 3);
+  const auto ht = tt.train.class_histogram();
+  const auto he = tt.test.class_histogram();
+  for (std::size_t c = 0; c < ht.size(); ++c) {
+    EXPECT_NEAR(static_cast<double>(ht[c]), static_cast<double>(he[c]),
+                0.25 * static_cast<double>(ht[c]) + 30);
+  }
+}
+
+// ------------------------------------------------------------ partition
+
+TEST(Partition, BalancedRanges) {
+  const auto r = partition_rows(10, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].size(), 4u);
+  EXPECT_EQ(r[1].size(), 3u);
+  EXPECT_EQ(r[2].size(), 3u);
+  EXPECT_EQ(r[0].begin, 0u);
+  EXPECT_EQ(r[2].end, 10u);
+}
+
+TEST(Partition, SingletonAndEdgeCases) {
+  EXPECT_EQ(partition_rows(5, 1)[0].size(), 5u);
+  const auto r = partition_rows(2, 4);  // more parts than rows
+  EXPECT_EQ(r[0].size(), 1u);
+  EXPECT_EQ(r[1].size(), 1u);
+  EXPECT_EQ(r[2].size(), 0u);
+  EXPECT_THROW(partition_rows(5, 0), InvalidArgument);
+}
+
+TEST(Partition, ContiguousShardsCoverDataset) {
+  auto tt = make_blobs(101, 10, 6, 3, 3.0, 1.0, 5);
+  std::size_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    total += shard_contiguous(tt.train, 4, r).num_samples();
+  }
+  EXPECT_EQ(total, 101u);
+  EXPECT_THROW(shard_contiguous(tt.train, 4, 4), InvalidArgument);
+}
+
+TEST(Partition, StridedShardsCoverDatasetDense) {
+  auto tt = make_blobs(57, 10, 4, 3, 3.0, 1.0, 5);
+  std::size_t total = 0;
+  std::vector<std::size_t> class_sum(3, 0);
+  for (int r = 0; r < 4; ++r) {
+    const auto s = shard_strided(tt.train, 4, r);
+    total += s.num_samples();
+    const auto h = s.class_histogram();
+    for (std::size_t c = 0; c < 3; ++c) class_sum[c] += h[c];
+  }
+  EXPECT_EQ(total, 57u);
+  const auto full_hist = tt.train.class_histogram();
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(class_sum[c], full_hist[c]);
+}
+
+TEST(Partition, StridedShardsSparse) {
+  auto tt = make_e18_like(60, 10, 128, 5);
+  std::size_t total_nnz = 0, total_rows = 0;
+  for (int r = 0; r < 3; ++r) {
+    const auto s = shard_strided(tt.train, 3, r);
+    EXPECT_TRUE(s.is_sparse());
+    total_rows += s.num_samples();
+    total_nnz += s.sparse_features().nnz();
+  }
+  EXPECT_EQ(total_rows, 60u);
+  EXPECT_EQ(total_nnz, tt.train.sparse_features().nnz());
+}
+
+// ------------------------------------------------------------ standardize
+
+TEST(Standardize, DenseZeroMeanUnitVariance) {
+  auto tt = make_blobs(500, 100, 6, 3, 4.0, 2.0, 21);
+  Standardizer sc;
+  sc.fit(tt.train);
+  ASSERT_TRUE(sc.fitted());
+  const auto scaled = sc.transform(tt.train);
+  const auto& x = scaled.dense_features();
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double mean = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) mean += x.at(i, j);
+    mean /= static_cast<double>(x.rows());
+    double var = 0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      var += (x.at(i, j) - mean) * (x.at(i, j) - mean);
+    }
+    var /= static_cast<double>(x.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-6);
+  }
+}
+
+TEST(Standardize, SparseMaxAbsPreservesSparsity) {
+  auto tt = make_e18_like(120, 20, 256, 9);
+  Standardizer sc;
+  sc.fit(tt.train);
+  const auto scaled = sc.transform(tt.train);
+  EXPECT_TRUE(scaled.is_sparse());
+  EXPECT_EQ(scaled.sparse_features().nnz(), tt.train.sparse_features().nnz());
+  // All scaled magnitudes within [0, 1] on the fit split.
+  for (double v : scaled.sparse_features().values()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Standardize, TransformBeforeFitThrows) {
+  auto tt = make_blobs(20, 5, 4, 2, 3.0, 1.0, 2);
+  Standardizer sc;
+  EXPECT_THROW(sc.transform(tt.train), InvalidArgument);
+}
+
+TEST(Standardize, StorageKindMismatchThrows) {
+  auto dense = make_blobs(20, 5, 64, 2, 3.0, 1.0, 2);
+  auto sparse = make_e18_like(20, 5, 64, 2);
+  Standardizer sc;
+  sc.fit(dense.train);
+  EXPECT_THROW(sc.transform(sparse.train), InvalidArgument);
+}
+
+TEST(Standardize, ConstantColumnHandled) {
+  la::DenseMatrix x(3, 2, {5, 1, 5, 2, 5, 3});
+  auto ds = Dataset::dense(std::move(x), {0, 1, 0}, 2);
+  Standardizer sc;
+  sc.fit(ds);
+  const auto scaled = sc.transform(ds);
+  // Constant column becomes exactly zero (scale guard keeps it finite).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(scaled.dense_features().at(i, 0), 0.0);
+    EXPECT_TRUE(std::isfinite(scaled.dense_features().at(i, 1)));
+  }
+}
+
+// ------------------------------------------------------------ io
+
+TEST(Io, LibsvmRoundTripSparse) {
+  auto tt = make_e18_like(40, 5, 128, 33);
+  const std::string path = testing::TempDir() + "/nadmm_e18.libsvm";
+  save_libsvm(tt.train, path);
+  const auto loaded = load_libsvm(path, 128);
+  EXPECT_EQ(loaded.num_samples(), tt.train.num_samples());
+  EXPECT_EQ(loaded.sparse_features().nnz(), tt.train.sparse_features().nnz());
+  // The loader remaps labels to a dense [0, C) range in ascending order of
+  // the raw values; classes absent from this 40-sample draw collapse the
+  // numbering, so compare against the expected remap rather than raw labels.
+  std::map<std::int32_t, std::int32_t> remap;
+  for (auto l : tt.train.labels()) remap.emplace(l, 0);
+  std::int32_t next = 0;
+  for (auto& [raw, mapped] : remap) mapped = next++;
+  for (std::size_t i = 0; i < loaded.num_samples(); ++i) {
+    EXPECT_EQ(loaded.labels()[i], remap.at(tt.train.labels()[i]));
+  }
+  for (std::size_t e = 0; e < loaded.sparse_features().nnz(); ++e) {
+    EXPECT_DOUBLE_EQ(loaded.sparse_features().values()[e],
+                     tt.train.sparse_features().values()[e]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LibsvmSavesDenseSkipsZeros) {
+  la::DenseMatrix x(2, 3, {1.0, 0.0, 2.0, 0.0, 0.0, 3.0});
+  auto ds = Dataset::dense(std::move(x), {0, 1}, 2);
+  const std::string path = testing::TempDir() + "/nadmm_dense.libsvm";
+  save_libsvm(ds, path);
+  const auto loaded = load_libsvm(path, 3);
+  EXPECT_EQ(loaded.sparse_features().nnz(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.sparse_features().to_dense().at(1, 2), 3.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LibsvmRemapsArbitraryLabels) {
+  const std::string path = testing::TempDir() + "/nadmm_labels.libsvm";
+  {
+    std::ofstream out(path);
+    out << "-1 1:1.0\n7 2:2.0\n-1 1:0.5\n";
+  }
+  const auto ds = load_libsvm(path);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.labels()[0], 0);  // −1 → 0 (ascending remap)
+  EXPECT_EQ(ds.labels()[1], 1);  // 7 → 1
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LibsvmMalformedInputThrows) {
+  const std::string path = testing::TempDir() + "/nadmm_bad.libsvm";
+  {
+    std::ofstream out(path);
+    out << "1 0:1.0\n";  // 0-based index is invalid
+  }
+  EXPECT_THROW(load_libsvm(path), RuntimeError);
+  {
+    std::ofstream out(path);
+    out << "1 2:1.0 1:2.0\n";  // non-increasing indices
+  }
+  EXPECT_THROW(load_libsvm(path), RuntimeError);
+  EXPECT_THROW(load_libsvm("/does/not/exist.libsvm"), RuntimeError);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsvRoundTripDense) {
+  auto tt = make_blobs(25, 5, 6, 3, 3.0, 1.0, 44);
+  const std::string path = testing::TempDir() + "/nadmm_blobs.csv";
+  save_csv(tt.train, path);
+  const auto loaded = load_csv(path, 3);
+  EXPECT_EQ(loaded.num_samples(), 25u);
+  EXPECT_EQ(loaded.num_features(), 6u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(loaded.labels()[i], tt.train.labels()[i]);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(loaded.dense_features().at(i, j),
+                       tt.train.dense_features().at(i, j));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsvRejectsSparseAndRaggedRows) {
+  auto sparse = make_e18_like(10, 5, 128, 1);
+  EXPECT_THROW(save_csv(sparse.train, "/tmp/x.csv"), InvalidArgument);
+  const std::string path = testing::TempDir() + "/nadmm_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "0,1.0,2.0\n1,3.0\n";
+  }
+  EXPECT_THROW(load_csv(path, 2), InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace nadmm::data

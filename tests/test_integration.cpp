@@ -1,0 +1,239 @@
+// Cross-module integration tests: the full harness (dataset → cluster →
+// solver), cross-solver agreement on the same problem, the paper's
+// headline qualitative claims (communication profile, epoch-cost
+// ordering), and CSV trace output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/reference.hpp"
+#include "runner/harness.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::runner {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 600;
+  c.n_test = 150;
+  c.e18_features = 64;  // also used as blobs dimension
+  c.workers = 4;
+  c.iterations = 40;
+  c.lambda = 1e-3;
+  return c;
+}
+
+TEST(Harness, MakeDataDispatchesAllDatasets) {
+  ExperimentConfig c = small_config();
+  c.n_train = 60;
+  c.n_test = 20;
+  for (const char* name : {"higgs", "mnist", "blobs"}) {
+    c.dataset = name;
+    const auto tt = make_data(c);
+    EXPECT_EQ(tt.train.num_samples(), 60u) << name;
+    EXPECT_EQ(tt.test.num_samples(), 20u) << name;
+  }
+  c.dataset = "e18";
+  EXPECT_TRUE(make_data(c).train.is_sparse());
+}
+
+TEST(Harness, RunSolverDispatchesEverySolver) {
+  auto c = small_config();
+  c.iterations = 3;
+  const auto tt = make_data(c);
+  for (const char* solver : {"newton-admm", "giant", "sync-sgd", "disco"}) {
+    auto cluster = make_cluster(c);
+    const auto r = run_solver(solver, cluster, tt.train, &tt.test, c);
+    EXPECT_EQ(r.solver, solver);
+    EXPECT_EQ(r.iterations, 3) << solver;
+    EXPECT_FALSE(r.trace.empty()) << solver;
+  }
+  // DANE variants run fewer, expensive epochs.
+  for (const char* solver : {"inexact-dane", "aide"}) {
+    auto cluster = make_cluster(c);
+    const auto r = run_solver(solver, cluster, tt.train, &tt.test, c);
+    EXPECT_EQ(r.solver, solver);
+    EXPECT_GE(r.iterations, 1) << solver;
+  }
+  auto cluster = make_cluster(c);
+  EXPECT_THROW(run_solver("nope", cluster, tt.train, nullptr, c),
+               InvalidArgument);
+}
+
+TEST(Harness, TraceCsvHasHeaderAndAllRows) {
+  auto c = small_config();
+  c.iterations = 5;
+  const auto tt = make_data(c);
+  auto cluster = make_cluster(c);
+  const auto r = run_solver("newton-admm", cluster, tt.train, &tt.test, c);
+  const std::string path = testing::TempDir() + "/nadmm_trace.csv";
+  write_trace_csv(r, path);
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  std::getline(in, line);
+  EXPECT_NE(line.find("objective"), std::string::npos);
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 5);
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, SecondOrderSolversAgreeOnTheOptimum) {
+  auto c = small_config();
+  // Consensus ADMM's tail is linear; ~120 epochs reach θ < 0.05 on this
+  // near-separable 10-class problem (F* is tiny, making θ strict).
+  c.iterations = 120;
+  const auto tt = make_data(c);
+  const auto ref = core::solve_reference(tt.train, c.lambda);
+
+  auto c1 = make_cluster(c);
+  auto c2 = make_cluster(c);
+  auto c3 = make_cluster(c);
+  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
+  const auto gnt = run_solver("giant", c2, tt.train, nullptr, c);
+  const auto dsc = run_solver("disco", c3, tt.train, nullptr, c);
+  for (const auto* r : {&admm, &gnt, &dsc}) {
+    const double theta =
+        (r->final_objective - ref.objective) / std::abs(ref.objective);
+    EXPECT_LT(theta, 0.05) << r->solver;
+  }
+}
+
+TEST(Integration, AdmmUsesLessCommThanGiantPerEpoch) {
+  // The paper's Remark 1: one round versus three. On a slow network the
+  // per-epoch communication gap must be visible in the simulated clock.
+  auto c = small_config();
+  c.network = "eth1";
+  c.iterations = 10;
+  const auto tt = make_data(c);
+  auto c1 = make_cluster(c);
+  auto c2 = make_cluster(c);
+  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
+  const auto gnt = run_solver("giant", c2, tt.train, nullptr, c);
+  const double admm_comm =
+      admm.trace.back().comm_sim_seconds / admm.iterations;
+  const double giant_comm = gnt.trace.back().comm_sim_seconds / gnt.iterations;
+  EXPECT_LT(admm_comm, giant_comm);
+}
+
+TEST(Integration, SlowNetworkAmplifiesAdmmAdvantage) {
+  // §3: "performance improvements are amplified by slower interconnects".
+  auto cfg = small_config();
+  cfg.iterations = 10;
+  const auto tt = make_data(cfg);
+
+  auto total_epoch_time = [&](const std::string& network,
+                              const std::string& solver) {
+    auto c = cfg;
+    c.network = network;
+    auto cluster = make_cluster(c);
+    const auto r = run_solver(solver, cluster, tt.train, nullptr, c);
+    return r.avg_epoch_sim_seconds;
+  };
+  const double admm_fast = total_epoch_time("ib100", "newton-admm");
+  const double admm_slow = total_epoch_time("wan", "newton-admm");
+  const double giant_fast = total_epoch_time("ib100", "giant");
+  const double giant_slow = total_epoch_time("wan", "giant");
+  // GIANT's epoch-time blowup on the slow network exceeds Newton-ADMM's.
+  EXPECT_GT(giant_slow / giant_fast, admm_slow / admm_fast);
+}
+
+TEST(Integration, SgdNeedsMoreTimeThanAdmmToGoodObjective) {
+  // Figure-4 shape: to reach a near-optimal objective, Newton-ADMM's
+  // simulated time is below Synchronous SGD's.
+  auto c = small_config();
+  c.iterations = 120;
+  const auto tt = make_data(c);
+  const auto ref = core::solve_reference(tt.train, c.lambda);
+  const double target = ref.objective * 1.15;
+
+  auto c1 = make_cluster(c);
+  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
+
+  auto sgd_opts = sgd_options(c);
+  sgd_opts.step_size = 0.5;  // generous, pre-tuned step
+  sgd_opts.batch_size = 32;
+  auto c2 = make_cluster(c);
+  const auto sgd = baselines::sync_sgd(c2, tt.train, nullptr, sgd_opts);
+
+  const double t_admm = admm.sim_time_to_objective(target);
+  const double t_sgd = sgd.sim_time_to_objective(target);
+  ASSERT_GT(t_admm, 0.0);
+  if (t_sgd > 0.0) {
+    EXPECT_LT(t_admm, t_sgd);
+  }  // SGD never reaching the target is also consistent with the paper.
+}
+
+TEST(Integration, SparsePipelineEndToEnd) {
+  ExperimentConfig c;
+  c.dataset = "e18";
+  c.n_train = 400;
+  c.n_test = 100;
+  c.e18_features = 256;
+  c.workers = 4;
+  c.iterations = 15;
+  c.lambda = 1e-3;
+  const auto tt = make_data(c);
+  ASSERT_TRUE(tt.train.is_sparse());
+  auto c1 = make_cluster(c);
+  auto c2 = make_cluster(c);
+  const auto admm = run_solver("newton-admm", c1, tt.train, &tt.test, c);
+  const auto gnt = run_solver("giant", c2, tt.train, &tt.test, c);
+  EXPECT_GT(admm.final_test_accuracy, 0.10);
+  EXPECT_GT(gnt.final_test_accuracy, 0.10);
+  EXPECT_LT(admm.final_objective, admm.trace.front().objective);
+}
+
+TEST(Integration, StrongScalingReducesEpochTime) {
+  // Figure-2 shape: with the total problem fixed, more workers → smaller
+  // average epoch time (compute dominates at these sizes).
+  auto c = small_config();
+  c.dataset = "mnist";
+  c.n_train = 2000;
+  c.n_test = 200;
+  c.iterations = 5;
+  const auto tt = make_data(c);
+  double prev = 1e100;
+  for (int workers : {1, 2, 4, 8}) {
+    auto cc = c;
+    cc.workers = workers;
+    auto cluster = make_cluster(cc);
+    const auto r = run_solver("newton-admm", cluster, tt.train, nullptr, cc);
+    EXPECT_LT(r.avg_epoch_sim_seconds, prev) << "workers=" << workers;
+    prev = r.avg_epoch_sim_seconds;
+  }
+}
+
+TEST(Integration, WeakScalingKeepsEpochTimeRoughlyConstant) {
+  // Figure-2 weak-scaling shape: per-worker shard fixed → epoch time
+  // roughly flat (within 2x here; the paper sees near-constant).
+  auto base = small_config();
+  base.dataset = "mnist";
+  base.iterations = 5;
+  double t1 = 0.0;
+  for (int workers : {1, 4}) {
+    auto c = base;
+    c.workers = workers;
+    c.n_train = 500 * static_cast<std::size_t>(workers);
+    c.n_test = 100;
+    const auto tt = make_data(c);
+    auto cluster = make_cluster(c);
+    const auto r = run_solver("newton-admm", cluster, tt.train, nullptr, c);
+    if (workers == 1) {
+      t1 = r.avg_epoch_sim_seconds;
+    } else {
+      // "Roughly constant": per-epoch local work is fixed, but line-search
+      // and CG effort can vary with the (different) 4-worker dataset, so
+      // allow a generous 3x band around the single-worker time.
+      EXPECT_LT(r.avg_epoch_sim_seconds, 3.0 * t1);
+      EXPECT_GT(r.avg_epoch_sim_seconds, t1 / 3.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nadmm::runner

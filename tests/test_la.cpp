@@ -1,0 +1,357 @@
+// Unit + property tests for src/la: vector kernels, dense GEMM variants,
+// CSR sparse kernels, flop accounting, device model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_matrix.hpp"
+#include "la/device.hpp"
+#include "la/flops.hpp"
+#include "la/sparse_matrix.hpp"
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace nadmm::la {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& e : v) e = rng.normal();
+  return v;
+}
+
+DenseMatrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  DenseMatrix m(r, c);
+  for (double& e : m.data()) e = rng.normal();
+  return m;
+}
+
+/// Naive O(mnk) reference GEMM.
+DenseMatrix ref_gemm(const DenseMatrix& a, const DenseMatrix& b,
+                     bool transpose_a) {
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t k = transpose_a ? a.rows() : a.cols();
+  DenseMatrix c(m, b.cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < k; ++t) {
+        acc += (transpose_a ? a.at(t, i) : a.at(i, t)) * b.at(t, j);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+// ------------------------------------------------------------ vector ops
+
+TEST(VectorOps, AxpyMatchesManual) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(VectorOps, AxpbyMatchesManual) {
+  std::vector<double> x{1, 2}, y{10, 20};
+  axpby(3.0, x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 16.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2_sq(x), 25.0);
+}
+
+TEST(VectorOps, ScalCopyFill) {
+  std::vector<double> x{1, 2, 3}, y(3);
+  scal(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[1], -4.0);
+  copy(x, y);
+  EXPECT_EQ(x, y);
+  fill(y, 7.0);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(VectorOps, Dist2AmaxSum) {
+  std::vector<double> x{1, 1}, y{4, 5};
+  EXPECT_DOUBLE_EQ(dist2(x, y), 5.0);
+  std::vector<double> z{-3, 2};
+  EXPECT_DOUBLE_EQ(amax(z), 3.0);
+  EXPECT_DOUBLE_EQ(sum(z), -1.0);
+  EXPECT_DOUBLE_EQ(amax(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  std::vector<double> x{1, 2}, y{1};
+  EXPECT_THROW(axpy(1.0, x, y), InvalidArgument);
+  EXPECT_THROW(dot(x, y), InvalidArgument);
+  EXPECT_THROW(dist2(x, y), InvalidArgument);
+}
+
+TEST(VectorOps, LargeVectorsUseParallelPathCorrectly) {
+  // Above the OpenMP threshold (1<<15) the parallel path must agree.
+  const std::size_t n = (1 << 16) + 3;
+  Rng rng(1);
+  auto x = random_vec(n, rng);
+  auto y = random_vec(n, rng);
+  double expect_dot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) expect_dot += x[i] * y[i];
+  EXPECT_NEAR(dot(x, y), expect_dot, std::abs(expect_dot) * 1e-10 + 1e-8);
+
+  auto y2 = y;
+  for (std::size_t i = 0; i < n; ++i) y2[i] += 1.5 * x[i];
+  axpy(1.5, x, y);
+  for (std::size_t i = 0; i < n; i += 999) EXPECT_DOUBLE_EQ(y[i], y2[i]);
+}
+
+// ------------------------------------------------------------ dense
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 5.0);
+  m.fill(2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_NEAR(m.frobenius_norm(), 2.0 * std::sqrt(6.0), 1e-12);
+}
+
+TEST(DenseMatrix, AdoptBufferValidatesSize) {
+  EXPECT_NO_THROW(DenseMatrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(DenseMatrix(2, 2, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Gemm, NnMatchesReference) {
+  Rng rng(2);
+  for (auto [m, k, n] : {std::array<std::size_t, 3>{5, 7, 3},
+                         {64, 129, 9}, {1, 300, 1}, {257, 2, 8}}) {
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    DenseMatrix c(m, n);
+    gemm_nn(1.0, a, b, 0.0, c);
+    const auto ref = ref_gemm(a, b, false);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-9) << m << "x" << k << "x" << n;
+      }
+    }
+  }
+}
+
+TEST(Gemm, TnMatchesReference) {
+  Rng rng(3);
+  for (auto [k, m, n] : {std::array<std::size_t, 3>{6, 4, 3},
+                         {200, 33, 9}, {1, 5, 2}}) {
+    const auto a = random_matrix(k, m, rng);  // k×m, used transposed
+    const auto b = random_matrix(k, n, rng);
+    DenseMatrix c(m, n);
+    gemm_tn(1.0, a, b, 0.0, c);
+    const auto ref = ref_gemm(a, b, true);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Gemm, AlphaBetaScaling) {
+  Rng rng(4);
+  const auto a = random_matrix(8, 6, rng);
+  const auto b = random_matrix(6, 4, rng);
+  DenseMatrix c(8, 4);
+  c.fill(1.0);
+  gemm_nn(2.0, a, b, 0.5, c);
+  const auto ref = ref_gemm(a, b, false);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c.at(i, j), 2.0 * ref.at(i, j) + 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  DenseMatrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_nn(1.0, a, b, 0.0, c), InvalidArgument);
+  EXPECT_THROW(gemm_tn(1.0, a, b, 0.0, c), InvalidArgument);
+}
+
+TEST(Gemv, BothOrientationsMatchReference) {
+  Rng rng(5);
+  const auto a = random_matrix(7, 5, rng);
+  const auto x5 = random_vec(5, rng);
+  const auto x7 = random_vec(7, rng);
+  std::vector<double> y7(7, 1.0), y5(5, 1.0);
+  gemv(2.0, a, x5, 1.0, y7);
+  gemv_t(1.0, a, x7, 0.0, y5);
+  for (std::size_t i = 0; i < 7; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) acc += a.at(i, j) * x5[j];
+    EXPECT_NEAR(y7[i], 2.0 * acc + 1.0, 1e-9);
+  }
+  for (std::size_t j = 0; j < 5; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 7; ++i) acc += a.at(i, j) * x7[i];
+    EXPECT_NEAR(y5[j], acc, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ sparse
+
+TEST(Csr, TripletConstructionSortsAndMergesDuplicates) {
+  CsrMatrix m(3, 4, {{2, 1, 5.0}, {0, 3, 1.0}, {0, 3, 2.0}, {1, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  const auto d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d.at(0, 3), 3.0);  // merged duplicate
+  EXPECT_DOUBLE_EQ(d.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+}
+
+TEST(Csr, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(CsrMatrix(2, 2, {{0, 2, 1.0}}), InvalidArgument);
+}
+
+TEST(Csr, RawConstructionValidation) {
+  EXPECT_NO_THROW(CsrMatrix(2, 3, {0, 1, 2}, {1, 2}, {5.0, 6.0}));
+  // row_ptr wrong length
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 1}, {1}, {5.0}), InvalidArgument);
+  // non-monotone row_ptr
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               InvalidArgument);
+  // column out of range
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 1, 2}, {1, 3}, {5.0, 6.0}),
+               InvalidArgument);
+}
+
+TEST(Csr, Density) {
+  CsrMatrix m(2, 4, {{0, 0, 1.0}, {1, 3, 1.0}});
+  EXPECT_DOUBLE_EQ(m.density(), 0.25);
+  EXPECT_DOUBLE_EQ(CsrMatrix().density(), 0.0);
+}
+
+TEST(Csr, RowSlicePreservesContent) {
+  CsrMatrix m(4, 3, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {3, 0, 4.0}});
+  const auto s = m.row_slice(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 3u);
+  const auto d = s.to_dense();
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 3.0);
+  EXPECT_THROW(m.row_slice(3, 2), InvalidArgument);
+}
+
+/// Random sparse matrix with ~density fraction of nonzeros.
+CsrMatrix random_csr(std::size_t r, std::size_t c, double density, Rng& rng) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (rng.bernoulli(density)) t.push_back({i, j, rng.normal()});
+    }
+  }
+  return CsrMatrix(r, c, std::move(t));
+}
+
+TEST(Csr, SpmmNnMatchesDense) {
+  Rng rng(6);
+  const auto a = random_csr(40, 30, 0.1, rng);
+  const auto b = random_matrix(30, 7, rng);
+  DenseMatrix c(40, 7), c_ref(40, 7);
+  spmm_nn(1.0, a, b, 0.0, c);
+  gemm_nn(1.0, a.to_dense(), b, 0.0, c_ref);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_NEAR(c.at(i, j), c_ref.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Csr, SpmmTnMatchesDense) {
+  Rng rng(7);
+  const auto a = random_csr(50, 20, 0.15, rng);
+  const auto b = random_matrix(50, 5, rng);
+  DenseMatrix c(20, 5), c_ref(20, 5);
+  spmm_tn(1.0, a, b, 0.0, c);
+  gemm_tn(1.0, a.to_dense(), b, 0.0, c_ref);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(c.at(i, j), c_ref.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Csr, SpmmBetaAccumulates) {
+  Rng rng(8);
+  const auto a = random_csr(10, 10, 0.3, rng);
+  const auto b = random_matrix(10, 3, rng);
+  DenseMatrix c(10, 3), base(10, 3);
+  base.fill(2.0);
+  c.fill(2.0);
+  spmm_nn(1.5, a, b, 1.0, c);
+  DenseMatrix expected(10, 3);
+  gemm_nn(1.5, a.to_dense(), b, 0.0, expected);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(c.at(i, j), expected.at(i, j) + 2.0, 1e-10);
+    }
+  }
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  Rng rng(9);
+  const auto a = random_csr(25, 18, 0.2, rng);
+  const auto x = random_vec(18, rng);
+  std::vector<double> y(25, 0.0), y_ref(25, 0.0);
+  spmv(1.0, a, x, 0.0, y);
+  gemv(1.0, a.to_dense(), x, 0.0, y_ref);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-10);
+}
+
+// ------------------------------------------------------------ flops/device
+
+TEST(Flops, KernelsCreditExpectedCounts) {
+  flops::reset();
+  std::vector<double> x(100, 1.0), y(100, 2.0);
+  axpy(1.0, x, y);
+  EXPECT_EQ(flops::read(), 200u);
+  (void)dot(x, y);
+  EXPECT_EQ(flops::read(), 400u);
+  flops::Scope scope;
+  (void)sum(x);
+  EXPECT_EQ(scope.elapsed(), 100u);
+}
+
+TEST(Flops, GemmCountsTwoMNK) {
+  flops::reset();
+  DenseMatrix a(4, 5), b(5, 6), c(4, 6);
+  gemm_nn(1.0, a, b, 0.0, c);
+  EXPECT_EQ(flops::read(), 2u * 4 * 5 * 6);
+}
+
+TEST(Device, ConvertsFlopsToSeconds) {
+  const DeviceModel d{"x", 10.0};  // 10 GF/s
+  EXPECT_DOUBLE_EQ(d.seconds_for_flops(10'000'000'000ULL), 1.0);
+  EXPECT_DOUBLE_EQ(d.seconds_for_flops(0), 0.0);
+}
+
+TEST(Device, PresetsAndParsing) {
+  EXPECT_EQ(device_from_string("p100").name, "p100");
+  EXPECT_EQ(device_from_string("cpu").name, "cpu");
+  EXPECT_DOUBLE_EQ(device_from_string("123.5").gflops, 123.5);
+  EXPECT_THROW(device_from_string("bogus"), InvalidArgument);
+  EXPECT_THROW(device_from_string("-3"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nadmm::la

@@ -1,0 +1,157 @@
+// Tests for the regularized least-squares objective — the constant-
+// Hessian reference problem for the Hessian-free solver stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.hpp"
+#include "la/vector_ops.hpp"
+#include "model/fd_check.hpp"
+#include "model/least_squares.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/newton.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace nadmm::model {
+namespace {
+
+std::vector<double> random_point(std::size_t dim, double scale,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(dim);
+  for (double& v : x) v = scale * rng.normal();
+  return x;
+}
+
+la::DenseMatrix random_targets(std::size_t n, std::size_t m,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix t(n, m);
+  for (double& v : t.data()) v = rng.normal();
+  return t;
+}
+
+TEST(LeastSquares, DimensionsAndValueAtZero) {
+  auto tt = data::make_blobs(30, 5, 7, 3, 3.0, 1.0, 1);
+  auto targets = random_targets(30, 4, 2);
+  const double target_sq = la::nrm2_sq(targets.data());
+  LeastSquaresObjective obj(tt.train, std::move(targets), 0.0);
+  EXPECT_EQ(obj.dim(), 7u * 4u);
+  EXPECT_EQ(obj.outputs(), 4u);
+  // At X = 0 the residual is −B, so F = ½‖B‖².
+  std::vector<double> x(obj.dim(), 0.0);
+  EXPECT_NEAR(obj.value(x), 0.5 * target_sq, 1e-9);
+}
+
+TEST(LeastSquares, GradientAndHessianMatchFiniteDifferences) {
+  auto tt = data::make_blobs(40, 5, 6, 3, 3.0, 1.0, 3);
+  LeastSquaresObjective obj(tt.train, random_targets(40, 3, 4), 1e-2);
+  const auto x = random_point(obj.dim(), 0.3, 5);
+  EXPECT_LT(gradient_fd_error(obj, x, 4), 1e-6);
+  EXPECT_LT(hessian_fd_error(obj, x, 4), 1e-6);
+}
+
+TEST(LeastSquares, HessianIsConstantInX) {
+  auto tt = data::make_blobs(25, 5, 5, 3, 3.0, 1.0, 6);
+  LeastSquaresObjective obj(tt.train, random_targets(25, 2, 7), 0.5);
+  const auto x1 = random_point(obj.dim(), 0.5, 8);
+  const auto x2 = random_point(obj.dim(), 2.0, 9);
+  const auto v = random_point(obj.dim(), 1.0, 10);
+  std::vector<double> h1(obj.dim()), h2(obj.dim());
+  obj.hessian_vec(x1, v, h1);
+  obj.hessian_vec(x2, v, h2);
+  for (std::size_t i = 0; i < obj.dim(); ++i) EXPECT_DOUBLE_EQ(h1[i], h2[i]);
+}
+
+TEST(LeastSquares, NewtonSolvesInOneStep) {
+  // Quadratic objective: exact Newton converges in a single iteration.
+  auto tt = data::make_blobs(60, 5, 8, 3, 3.0, 1.0, 11);
+  LeastSquaresObjective obj(tt.train, random_targets(60, 3, 12), 1.0);
+  solvers::NewtonOptions opts;
+  opts.cg.max_iterations = 200;
+  opts.cg.rel_tol = 1e-12;
+  opts.gradient_tol = 1e-8;
+  opts.max_iterations = 3;
+  const auto r = solvers::newton_cg(obj, std::vector<double>(obj.dim(), 0.0),
+                                    opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(LeastSquares, SolutionSatisfiesNormalEquations) {
+  auto tt = data::make_blobs(50, 5, 6, 3, 3.0, 1.0, 13);
+  LeastSquaresObjective obj(tt.train, random_targets(50, 2, 14), 0.1);
+  solvers::NewtonOptions opts;
+  opts.cg.max_iterations = 300;
+  opts.cg.rel_tol = 1e-12;
+  opts.gradient_tol = 1e-10;
+  const auto r = solvers::newton_cg(obj, std::vector<double>(obj.dim(), 0.0),
+                                    opts);
+  // Normal equations: ∇F = Aᵀ(AX−B) + λX = 0.
+  std::vector<double> g(obj.dim());
+  obj.gradient(r.x, g);
+  EXPECT_LT(la::nrm2(g), 1e-8);
+}
+
+TEST(LeastSquares, OneHotBuildsClassifierTargets) {
+  auto tt = data::make_blobs(200, 100, 8, 4, 6.0, 0.6, 15);
+  auto obj = LeastSquaresObjective::one_hot(tt.train, 1e-3);
+  EXPECT_EQ(obj.outputs(), 4u);
+  solvers::NewtonOptions opts;
+  opts.cg.max_iterations = 200;
+  opts.cg.rel_tol = 1e-10;
+  opts.gradient_tol = 1e-8;
+  const auto r = solvers::newton_cg(obj, std::vector<double>(obj.dim(), 0.0),
+                                    opts);
+  // Ridge classifier on well-separated blobs: argmax of A·X recovers most
+  // labels.
+  const auto& feats = tt.train.dense_features();
+  la::DenseMatrix xm(8, 4);
+  std::copy(r.x.begin(), r.x.end(), xm.data().begin());
+  la::DenseMatrix scores(200, 4);
+  la::gemm_nn(1.0, feats, xm, 0.0, scores);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < 4; ++c) {
+      if (scores.at(i, c) > scores.at(i, arg)) arg = c;
+    }
+    hits += (static_cast<std::int32_t>(arg) == tt.train.labels()[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / 200.0, 0.9);
+}
+
+TEST(LeastSquares, WorksOnSparseFeatures) {
+  auto tt = data::make_e18_like(60, 10, 128, 16);
+  auto obj = LeastSquaresObjective::one_hot(tt.train, 1e-2);
+  const auto x = random_point(obj.dim(), 0.2, 17);
+  EXPECT_LT(gradient_fd_error(obj, x, 3), 1e-6);
+  EXPECT_LT(hessian_fd_error(obj, x, 3), 1e-6);
+}
+
+TEST(LeastSquares, ValidatesInputs) {
+  auto tt = data::make_blobs(10, 5, 4, 3, 3.0, 1.0, 18);
+  EXPECT_THROW(LeastSquaresObjective(tt.train, random_targets(9, 2, 19), 0.0),
+               InvalidArgument);
+  EXPECT_THROW(LeastSquaresObjective(tt.train, random_targets(10, 2, 20), -1.0),
+               InvalidArgument);
+  LeastSquaresObjective obj(tt.train, random_targets(10, 2, 21), 0.0);
+  std::vector<double> wrong(obj.dim() + 1, 0.0);
+  EXPECT_THROW(obj.value(wrong), InvalidArgument);
+}
+
+TEST(LeastSquares, FusedValueGradientMatchesSeparate) {
+  auto tt = data::make_blobs(30, 5, 5, 3, 3.0, 1.0, 22);
+  LeastSquaresObjective obj(tt.train, random_targets(30, 3, 23), 0.2);
+  const auto x = random_point(obj.dim(), 0.4, 24);
+  std::vector<double> g1(obj.dim()), g2(obj.dim());
+  const double f1 = obj.value_and_gradient(x, g1);
+  const double f2 = obj.value(x);
+  obj.gradient(x, g2);
+  EXPECT_NEAR(f1, f2, 1e-10 * (1.0 + std::abs(f2)));
+  for (std::size_t i = 0; i < obj.dim(); ++i) EXPECT_DOUBLE_EQ(g1[i], g2[i]);
+}
+
+}  // namespace
+}  // namespace nadmm::model

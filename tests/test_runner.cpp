@@ -1,0 +1,170 @@
+// Tests for the experiment harness (src/runner) and the solver option
+// plumbing the benches rely on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "runner/harness.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::runner {
+namespace {
+
+TEST(HarnessOptions, AdmmOptionsMirrorConfig) {
+  ExperimentConfig c;
+  c.iterations = 17;
+  c.lambda = 0.25;
+  c.cg_iterations = 23;
+  c.cg_tol = 1e-6;
+  c.line_search_iterations = 4;
+  const auto o = admm_options(c);
+  EXPECT_EQ(o.max_iterations, 17);
+  EXPECT_DOUBLE_EQ(o.lambda, 0.25);
+  EXPECT_EQ(o.cg.max_iterations, 23);
+  EXPECT_DOUBLE_EQ(o.cg.rel_tol, 1e-6);
+  EXPECT_EQ(o.line_search.max_iterations, 4);
+}
+
+TEST(HarnessOptions, GiantOptionsMirrorConfig) {
+  ExperimentConfig c;
+  c.iterations = 9;
+  c.lambda = 0.5;
+  c.cg_iterations = 7;
+  c.line_search_iterations = 6;
+  const auto o = giant_options(c);
+  EXPECT_EQ(o.max_iterations, 9);
+  EXPECT_DOUBLE_EQ(o.lambda, 0.5);
+  EXPECT_EQ(o.cg.max_iterations, 7);
+  EXPECT_EQ(o.line_search_steps, 6);
+}
+
+TEST(HarnessOptions, DaneEpochsCappedAtTen) {
+  // The paper runs InexactDANE/AIDE for only 10 epochs.
+  ExperimentConfig c;
+  c.iterations = 100;
+  EXPECT_EQ(dane_options(c).max_iterations, 10);
+  c.iterations = 3;
+  EXPECT_EQ(dane_options(c).max_iterations, 3);
+}
+
+TEST(HarnessOptions, SgdAndDiscoMirrorConfig) {
+  ExperimentConfig c;
+  c.iterations = 12;
+  c.lambda = 2.0;
+  EXPECT_EQ(sgd_options(c).epochs, 12);
+  EXPECT_DOUBLE_EQ(sgd_options(c).lambda, 2.0);
+  EXPECT_EQ(disco_options(c).max_iterations, 12);
+}
+
+TEST(HarnessCluster, BuildsConfiguredClusterAndRejectsBadSpecs) {
+  ExperimentConfig c;
+  c.workers = 3;
+  c.device = "cpu";
+  c.network = "eth10";
+  auto cluster = make_cluster(c);
+  EXPECT_EQ(cluster.size(), 3);
+  EXPECT_EQ(cluster.network().name, "eth10");
+  c.network = "bogus";
+  EXPECT_THROW(make_cluster(c), InvalidArgument);
+  c.network = "ib100";
+  c.device = "bogus";
+  EXPECT_THROW(make_cluster(c), InvalidArgument);
+}
+
+TEST(HarnessData, E18FeatureCountHonoured) {
+  ExperimentConfig c;
+  c.dataset = "e18";
+  c.n_train = 50;
+  c.n_test = 10;
+  c.e18_features = 256;
+  const auto tt = make_data(c);
+  EXPECT_EQ(tt.train.num_features(), 256u);
+}
+
+TEST(HarnessData, SeedChangesData) {
+  ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 40;
+  c.n_test = 10;
+  c.e18_features = 16;
+  c.seed = 1;
+  const auto a = make_data(c);
+  c.seed = 2;
+  const auto b = make_data(c);
+  int same = 0;
+  const auto da = a.train.dense_features().data();
+  const auto db = b.train.dense_features().data();
+  for (std::size_t i = 0; i < da.size(); ++i) same += (da[i] == db[i]);
+  EXPECT_LT(same, 5);
+}
+
+TEST(HarnessCsv, EmptyTraceProducesHeaderOnly) {
+  core::RunResult r;
+  const std::string path = testing::TempDir() + "/nadmm_empty_trace.csv";
+  write_trace_csv(r, path);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1);  // header only
+  std::filesystem::remove(path);
+}
+
+TEST(HarnessTrace, TimeToObjectiveHelpers) {
+  core::RunResult r;
+  core::IterationStats a;
+  a.iteration = 1;
+  a.objective = 10.0;
+  a.sim_seconds = 0.5;
+  core::IterationStats b;
+  b.iteration = 2;
+  b.objective = 2.0;
+  b.sim_seconds = 1.5;
+  r.trace = {a, b};
+  EXPECT_DOUBLE_EQ(r.sim_time_to_objective(5.0), 1.5);
+  EXPECT_EQ(r.iterations_to_objective(5.0), 2);
+  EXPECT_DOUBLE_EQ(r.sim_time_to_objective(11.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.sim_time_to_objective(1.0), -1.0);
+  EXPECT_EQ(r.iterations_to_objective(1.0), -1);
+}
+
+TEST(HarnessEarlyStop, AdmmObjectiveTargetStopsRun) {
+  ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 300;
+  c.n_test = 50;
+  c.e18_features = 10;
+  c.workers = 2;
+  c.iterations = 100;
+  c.lambda = 1e-3;
+  const auto tt = make_data(c);
+  auto opts = admm_options(c);
+  // A loose target the very first iterations can reach.
+  opts.objective_target = 300.0 * 1.5;
+  auto cluster = make_cluster(c);
+  const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+  EXPECT_LT(r.iterations, 100);
+  EXPECT_LE(r.final_objective, opts.objective_target);
+}
+
+TEST(HarnessEarlyStop, GiantObjectiveTargetStopsRun) {
+  ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 300;
+  c.n_test = 50;
+  c.e18_features = 10;
+  c.workers = 2;
+  c.iterations = 100;
+  c.lambda = 1e-3;
+  const auto tt = make_data(c);
+  auto opts = giant_options(c);
+  opts.objective_target = 300.0 * 1.5;
+  auto cluster = make_cluster(c);
+  const auto r = baselines::giant(cluster, tt.train, nullptr, opts);
+  EXPECT_LT(r.iterations, 100);
+  EXPECT_LE(r.final_objective, opts.objective_target);
+}
+
+}  // namespace
+}  // namespace nadmm::runner
