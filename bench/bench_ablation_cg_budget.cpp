@@ -32,12 +32,13 @@ int main(int argc, char** argv) {
            "sim time total (s)"});
   for (int cg : {5, 10, 20, 30}) {
     for (int steps : {1, 2}) {
-      auto opts = runner::admm_options(cfg);
-      opts.cg.max_iterations = cg;
-      opts.local_newton_steps = steps;
-      opts.evaluate_accuracy = false;
-      auto cluster = runner::make_cluster(cfg);
-      const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+      auto run_cfg = cfg;
+      run_cfg.cg_iterations = cg;
+      run_cfg.local_newton_steps = steps;
+      run_cfg.evaluate_accuracy = false;
+      auto cluster = runner::make_cluster(run_cfg);
+      const auto r = runner::run_solver("newton-admm", cluster, tt.train,
+                                        nullptr, run_cfg);
       t.add_row({std::to_string(cg), std::to_string(steps),
                  Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3),
                  Table::fmt(r.final_objective, 4),

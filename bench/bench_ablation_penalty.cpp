@@ -35,12 +35,13 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{Table::fmt(rho0, 2)};
       double sps_rho = 0.0;
       for (const char* policy : {"fixed", "rb", "sps"}) {
-        auto opts = runner::admm_options(cfg);
-        opts.penalty.rule = core::penalty_rule_from_string(policy);
-        opts.penalty.rho0 = rho0;
-        opts.evaluate_accuracy = false;
-        auto cluster = runner::make_cluster(cfg);
-        const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+        auto run_cfg = cfg;
+        run_cfg.penalty = policy;
+        run_cfg.rho0 = rho0;
+        run_cfg.evaluate_accuracy = false;
+        auto cluster = runner::make_cluster(run_cfg);
+        const auto r = runner::run_solver("newton-admm", cluster, tt.train,
+                                          nullptr, run_cfg);
         row.push_back(Table::fmt(r.final_objective, 3));
         if (std::string(policy) == "sps") sps_rho = r.trace.back().rho_mean;
       }

@@ -53,18 +53,15 @@ int main(int argc, char** argv) {
         const auto ref = core::solve_reference(tt.train, cfg.lambda, 1e-8, 60);
         const double target = ref.objective * (1.0 + theta);
 
-        auto admm_opts = runner::admm_options(cfg);
-        admm_opts.objective_target = target;
-        admm_opts.evaluate_accuracy = false;
+        cfg.objective_target = target;
+        cfg.evaluate_accuracy = false;
         auto c1 = runner::make_cluster(cfg);
         const auto admm =
-            core::newton_admm(c1, tt.train, nullptr, admm_opts);
+            runner::run_solver("newton-admm", c1, tt.train, nullptr, cfg);
 
-        auto giant_opts = runner::giant_options(cfg);
-        giant_opts.objective_target = target;
-        giant_opts.evaluate_accuracy = false;
         auto c2 = runner::make_cluster(cfg);
-        const auto gnt = baselines::giant(c2, tt.train, nullptr, giant_opts);
+        const auto gnt =
+            runner::run_solver("giant", c2, tt.train, nullptr, cfg);
 
         const double t_admm = admm.sim_time_to_objective(target);
         const double t_giant = gnt.sim_time_to_objective(target);

@@ -57,11 +57,11 @@ int main(int argc, char** argv) {
     }
     core::RunResult best_sgd;
     for (double step : steps) {
-      auto opts = runner::sgd_options(cfg);
-      opts.batch_size = 128;
-      opts.step_size = step;
-      auto cluster = runner::make_cluster(cfg);
-      auto r = baselines::sync_sgd(cluster, tt.train, &tt.test, opts);
+      auto scfg = cfg;
+      scfg.sgd_batch = 128;
+      scfg.sgd_step = step;
+      auto cluster = runner::make_cluster(scfg);
+      auto r = runner::run_solver("sync-sgd", cluster, tt.train, &tt.test, scfg);
       if (!std::isfinite(r.final_objective)) continue;  // diverged step
       if (best_sgd.trace.empty() ||
           r.final_objective < best_sgd.final_objective) {

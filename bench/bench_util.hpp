@@ -34,8 +34,10 @@ struct BenchScale {
     return std::max<std::size_t>(200, n_train(dataset) / 10);
   }
   [[nodiscard]] std::size_t e18_features() const {
-    return static_cast<std::size_t>(1400 * std::min(1.0, factor) +
-                                    0.5);  // cap: dim explodes as (C−1)p
+    // Cap above: dim explodes as (C−1)p. Floor below: the e18 generator
+    // needs p ≥ 64 for its marker-gene blocks.
+    return std::max<std::size_t>(
+        64, static_cast<std::size_t>(1400 * std::min(1.0, factor) + 0.5));
   }
 };
 

@@ -6,7 +6,6 @@
 //   ./examples/penalty_comparison --dataset cifar
 #include <cstdio>
 
-#include "core/newton_admm.hpp"
 #include "runner/harness.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -30,11 +29,11 @@ int main(int argc, char** argv) {
   const auto tt = runner::make_data(cfg);
 
   for (const char* policy : {"fixed", "rb", "sps"}) {
-    auto opts = runner::admm_options(cfg);
-    opts.penalty.rule = core::penalty_rule_from_string(policy);
-    opts.penalty.rho0 = cli.get_double("rho0");
+    cfg.penalty = policy;
+    cfg.rho0 = cli.get_double("rho0");
     auto cluster = runner::make_cluster(cfg);
-    const auto r = core::newton_admm(cluster, tt.train, &tt.test, opts);
+    const auto r =
+        runner::run_solver("newton-admm", cluster, tt.train, &tt.test, cfg);
     std::printf("\n--- policy: %s ---\n", policy);
     Table t({"iter", "objective", "primal res", "dual res", "mean rho"});
     const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 8);

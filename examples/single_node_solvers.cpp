@@ -4,16 +4,15 @@
 // problem — iteration counts, objective quality, and the first-order
 // family's step-size sensitivity.
 //
+// All solvers are invoked through the registry's single-node family, so
+// this example doubles as a tour of the uniform run interface.
+//
 //   ./examples/single_node_solvers --dataset mnist --n-train 2000
 #include <cstdio>
 
-#include "data/generators.hpp"
-#include "model/softmax.hpp"
-#include "solvers/first_order.hpp"
-#include "solvers/newton.hpp"
+#include "runner/registry.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace nadmm;
@@ -24,51 +23,42 @@ int main(int argc, char** argv) {
   cli.add_int("fo-iterations", 3000, "first-order iteration budget");
   if (!cli.parse(argc, argv)) return 0;
 
-  const auto tt = data::make_by_name(cli.get_string("dataset"),
-                                     static_cast<std::size_t>(cli.get_int("n-train")),
-                                     200, 64, 42);
-  model::SoftmaxObjective objective(tt.train, cli.get_double("lambda"));
-  const std::size_t dim = objective.dim();
-  std::printf("problem: n=%zu, d=%zu, C=%d\n\n", tt.train.num_samples(), dim,
-              tt.train.num_classes());
+  runner::ExperimentConfig cfg;
+  cfg.dataset = cli.get_string("dataset");
+  cfg.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+  cfg.n_test = 200;
+  cfg.e18_features = 64;
+  cfg.workers = 1;
+  cfg.lambda = cli.get_double("lambda");
+  cfg.gradient_tol = 1e-6;  // common stopping rule for the whole field
 
-  Table t({"solver", "step size", "iterations", "final objective",
-           "grad norm", "wall (s)"});
+  const auto tt = runner::make_data(cfg);
+  std::printf("problem: n=%zu, p=%zu, C=%d\n\n", tt.train.num_samples(),
+              tt.train.num_features(), tt.train.num_classes());
 
-  {
-    solvers::NewtonOptions opts;
-    opts.gradient_tol = 1e-6;
-    opts.max_iterations = 100;
-    WallTimer timer;
-    const auto r = solvers::newton_cg(objective,
-                                      std::vector<double>(dim, 0.0), opts);
-    t.add_row({"newton-cg", "line search", Table::fmt_int(r.iterations),
-               Table::fmt(r.final_value, 4),
-               Table::fmt(r.final_gradient_norm, 6),
-               Table::fmt(timer.seconds(), 2)});
-  }
-
+  // Hand-tuned step size per first-order rule (the tuning burden itself
+  // is the point of this comparison; Newton-CG needs none).
   struct Entry {
-    solvers::FirstOrderRule rule;
-    double step;
+    const char* solver;
+    double step;  // 0: solver default / line search
   };
-  for (const auto& [rule, step] :
-       {Entry{solvers::FirstOrderRule::kGradientDescent, 2e-3},
-        Entry{solvers::FirstOrderRule::kMomentum, 5e-4},
-        Entry{solvers::FirstOrderRule::kAdagrad, 0.5},
-        Entry{solvers::FirstOrderRule::kAdam, 0.05}}) {
-    solvers::FirstOrderOptions opts;
-    opts.rule = rule;
-    opts.step_size = step;
-    opts.max_iterations = static_cast<int>(cli.get_int("fo-iterations"));
-    opts.gradient_tol = 1e-6;
-    WallTimer timer;
-    const auto r = solvers::first_order_minimize(
-        objective, {}, std::vector<double>(dim, 0.0), opts);
-    t.add_row({to_string(rule), Table::fmt(step, 4),
-               Table::fmt_int(r.iterations), Table::fmt(r.final_value, 4),
-               Table::fmt(r.final_gradient_norm, 6),
-               Table::fmt(timer.seconds(), 2)});
+  Table t({"solver", "step size", "iterations", "final objective",
+           "sim (s)", "wall (s)"});
+  auto cluster = runner::make_cluster(cfg);
+  for (const auto& [solver, step] :
+       {Entry{"newton-cg", 0.0}, Entry{"gd", 2e-3}, Entry{"momentum", 5e-4},
+        Entry{"adagrad", 0.5}, Entry{"adam", 0.05}}) {
+    auto run_cfg = cfg;
+    run_cfg.fo_step = step;
+    run_cfg.iterations = std::string(solver) == "newton-cg"
+                             ? 100
+                             : static_cast<int>(cli.get_int("fo-iterations"));
+    const auto r = runner::SolverRegistry::instance().run(
+        solver, cluster, tt.train, &tt.test, run_cfg);
+    t.add_row({r.solver, step > 0 ? Table::fmt(step, 4) : "line search",
+               Table::fmt_int(r.iterations), Table::fmt(r.final_objective, 4),
+               Table::fmt(r.total_sim_seconds, 4),
+               Table::fmt(r.total_wall_seconds, 2)});
   }
   t.print();
   std::printf(

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   using namespace nadmm;
   CliParser cli("Train a softmax classifier on a LIBSVM file");
   cli.add_string("solver", "newton-admm",
-                 "newton-admm|giant|sync-sgd|inexact-dane|aide|disco");
+                 "any registered solver (see `nadmm list`)");
   cli.add_int("workers", 4, "simulated workers");
   cli.add_int("epochs", 50, "training epochs");
   cli.add_double("lambda", 1e-5, "l2 regularization");

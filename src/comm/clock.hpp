@@ -25,6 +25,13 @@ class SimClock {
   /// Must be called from the rank's own thread.
   void sync_compute() {
     const std::uint64_t now = nadmm::flops::read();
+    if (now < flops_at_last_sync_) {
+      // The thread-local counter was reset behind our back (e.g. a caller
+      // ran flops::reset() after constructing the clock). Resynchronize
+      // instead of underflowing the unsigned delta.
+      flops_at_last_sync_ = now;
+      return;
+    }
     if (!paused_) {
       total_flops_ += now - flops_at_last_sync_;
       compute_s_ += device_.seconds_for_flops(now - flops_at_last_sync_);

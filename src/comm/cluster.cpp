@@ -1,6 +1,8 @@
 #include "comm/cluster.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <algorithm>
 #include <thread>
@@ -40,10 +42,12 @@ void FailableBarrier::reset() {
 
 }  // namespace detail
 
-SimCluster::SimCluster(int n, la::DeviceModel device, NetworkModel network)
+SimCluster::SimCluster(int n, la::DeviceModel device, NetworkModel network,
+                       int omp_threads_per_rank)
     : size_(n),
       device_(std::move(device)),
       network_(std::move(network)),
+      omp_threads_per_rank_(omp_threads_per_rank),
       barrier_(n),
       contributions_(static_cast<std::size_t>(n)),
       scalar_slots_(static_cast<std::size_t>(n), 0.0) {
@@ -58,12 +62,18 @@ std::vector<RankReport> SimCluster::run(
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const int omp_threads =
-      std::max(1, static_cast<int>(hw) / std::max(1, size_));
+      omp_threads_per_rank_ > 0
+          ? omp_threads_per_rank_
+          : std::max(1, static_cast<int>(hw) / std::max(1, size_));
 
   auto worker = [&](int rank) {
     // Limit each rank's OpenMP team so N ranks never oversubscribe the
     // host (the ICV set here is per-thread).
+#ifdef _OPENMP
     omp_set_num_threads(omp_threads);
+#else
+    static_cast<void>(omp_threads);
+#endif
     nadmm::flops::reset();
     RankCtx ctx(rank, size_, *this, device_);
     try {

@@ -120,8 +120,11 @@ class SimCluster {
  public:
   /// `n` ranks, a device model per rank, and a network model. OpenMP
   /// threads inside each rank are limited so that n ranks never
-  /// oversubscribe the host.
-  SimCluster(int n, la::DeviceModel device, NetworkModel network);
+  /// oversubscribe the host; `omp_threads_per_rank` > 0 overrides the
+  /// automatic split (the sweep scheduler pins ranks to one thread so
+  /// concurrent scenarios neither oversubscribe nor perturb results).
+  SimCluster(int n, la::DeviceModel device, NetworkModel network,
+             int omp_threads_per_rank = 0);
 
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
@@ -139,6 +142,7 @@ class SimCluster {
   int size_;
   la::DeviceModel device_;
   NetworkModel network_;
+  int omp_threads_per_rank_;
   detail::FailableBarrier barrier_;
 
   // Collective staging: written between barrier generations only.

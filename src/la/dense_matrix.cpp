@@ -42,7 +42,7 @@ void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   double* pc = c.data().data();
 
   const std::ptrdiff_t mm = static_cast<std::ptrdiff_t>(m);
-  const bool parallel = 2 * m * k * n >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * m * k * n >= kParallelFlops;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < mm; ++i) {
     double* crow = pc + static_cast<std::size_t>(i) * n;
@@ -86,7 +86,7 @@ void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   // C[j, t] += alpha * sum_i A[i, j] * B[i, t].
   // Parallelize over sample blocks with per-thread accumulators: streaming
   // access to both A and B, and m*n accumulators stay modest (<= a few MB).
-  const bool parallel = 2 * k * m * n >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * k * m * n >= kParallelFlops;
 #pragma omp parallel if (parallel)
   {
     std::vector<double> local(m * n, 0.0);
@@ -115,7 +115,7 @@ void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
   NADMM_CHECK(a.rows() == y.size(), "gemv: y size mismatch");
   const std::size_t m = a.rows(), k = a.cols();
   const double* pa = a.data().data();
-  const bool parallel = 2 * m * k >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * m * k >= kParallelFlops;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
     const double* arow = pa + static_cast<std::size_t>(i) * k;
@@ -137,7 +137,7 @@ void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
   } else if (beta != 1.0) {
     scal(beta, y);
   }
-  const bool parallel = 2 * m * k >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * m * k >= kParallelFlops;
 #pragma omp parallel if (parallel)
   {
     std::vector<double> local(m, 0.0);

@@ -103,7 +103,7 @@ void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
   const auto va = a.values();
   const double* pb = b.data().data();
   double* pc = c.data().data();
-  const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
 #pragma omp parallel for schedule(dynamic, 64) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
     double* crow = pc + static_cast<std::size_t>(i) * n;
@@ -137,7 +137,7 @@ void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
   } else if (beta != 1.0) {
     scal(beta, c.data());
   }
-  const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
 #pragma omp parallel if (parallel)
   {
     std::vector<double> local(c.size(), 0.0);
@@ -165,7 +165,7 @@ void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto va = a.values();
-  const bool parallel = 2 * a.nnz() >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * a.nnz() >= kParallelFlops;
 #pragma omp parallel for schedule(dynamic, 64) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
     double acc = 0.0;

@@ -48,7 +48,7 @@ void SoftmaxObjective::ensure_forward(std::span<const double> x) {
   const std::size_t n = shard_->num_samples();
   const auto labels = shard_->labels();
   double loss = 0.0;
-  const bool parallel = n * cm1_ >= kParallelRows;
+  [[maybe_unused]] const bool parallel = n * cm1_ >= kParallelRows;
 #pragma omp parallel for schedule(static) reduction(+ : loss) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
     const auto s = scores_.row(static_cast<std::size_t>(i));
@@ -85,7 +85,7 @@ void SoftmaxObjective::gradient(std::span<const double> x, std::span<double> g) 
   // Residual panel R = P − Y.
   const std::size_t n = shard_->num_samples();
   const auto labels = shard_->labels();
-  const bool parallel = n * cm1_ >= kParallelRows;
+  [[maybe_unused]] const bool parallel = n * cm1_ >= kParallelRows;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
     const auto prob = probs_.row(static_cast<std::size_t>(i));
@@ -119,7 +119,7 @@ void SoftmaxObjective::hessian_vec(std::span<const double> x,
   // W_ic = P_ic (U_ic − ⟨P_i, U_i⟩): the softmax Hessian acting on the
   // score perturbation (the implicit class has U = 0 and drops out).
   const std::size_t n = shard_->num_samples();
-  const bool parallel = n * cm1_ >= kParallelRows;
+  [[maybe_unused]] const bool parallel = n * cm1_ >= kParallelRows;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
     const auto prob = probs_.row(static_cast<std::size_t>(i));
@@ -138,7 +138,7 @@ std::vector<std::int32_t> SoftmaxObjective::predict(std::span<const double> x) {
   ensure_forward(x);
   const std::size_t n = shard_->num_samples();
   std::vector<std::int32_t> out(n);
-  const bool parallel = n * cm1_ >= kParallelRows;
+  [[maybe_unused]] const bool parallel = n * cm1_ >= kParallelRows;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
     const auto s = scores_.row(static_cast<std::size_t>(i));

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "runner/registry.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
@@ -16,7 +17,8 @@ data::TrainTest make_data(const ExperimentConfig& config) {
 comm::SimCluster make_cluster(const ExperimentConfig& config) {
   return comm::SimCluster(config.workers,
                           la::device_from_string(config.device),
-                          comm::network_from_string(config.network));
+                          comm::network_from_string(config.network),
+                          config.omp_threads);
 }
 
 core::NewtonAdmmOptions admm_options(const ExperimentConfig& config) {
@@ -26,6 +28,11 @@ core::NewtonAdmmOptions admm_options(const ExperimentConfig& config) {
   o.cg.max_iterations = config.cg_iterations;
   o.cg.rel_tol = config.cg_tol;
   o.line_search.max_iterations = config.line_search_iterations;
+  o.penalty.rule = core::penalty_rule_from_string(config.penalty);
+  o.penalty.rho0 = config.rho0;
+  o.local_newton_steps = config.local_newton_steps;
+  o.objective_target = config.objective_target;
+  o.evaluate_accuracy = config.evaluate_accuracy;
   return o;
 }
 
@@ -36,6 +43,8 @@ baselines::GiantOptions giant_options(const ExperimentConfig& config) {
   o.cg.max_iterations = config.cg_iterations;
   o.cg.rel_tol = config.cg_tol;
   o.line_search_steps = config.line_search_iterations;
+  o.objective_target = config.objective_target;
+  o.evaluate_accuracy = config.evaluate_accuracy;
   return o;
 }
 
@@ -43,19 +52,23 @@ baselines::SyncSgdOptions sgd_options(const ExperimentConfig& config) {
   baselines::SyncSgdOptions o;
   o.epochs = config.iterations;
   o.lambda = config.lambda;
+  o.batch_size = config.sgd_batch;
+  o.step_size = config.sgd_step;
+  o.evaluate_accuracy = config.evaluate_accuracy;
   return o;
 }
 
 baselines::DaneOptions dane_options(const ExperimentConfig& config) {
   baselines::DaneOptions o;
-  o.max_iterations = std::min(config.iterations, 10);  // paper: 10 epochs
+  o.max_iterations = std::min(config.iterations, config.dane_epochs);
   o.lambda = config.lambda;
   // Scaled-down inner budget: the real setting (100 outer × 2n inner) is
   // what makes DANE epochs ~10⁴× slower; even this reduced budget leaves
   // them orders of magnitude slower than a Newton-CG epoch.
-  o.svrg.max_outer = 10;
+  o.svrg.max_outer = config.svrg_outer;
   o.svrg.update_frequency = 0;  // 2·n_local
   o.svrg.step_size = 1e-4;
+  o.evaluate_accuracy = config.evaluate_accuracy;
   return o;
 }
 
@@ -65,6 +78,7 @@ baselines::DiscoOptions disco_options(const ExperimentConfig& config) {
   o.lambda = config.lambda;
   o.cg.max_iterations = config.cg_iterations;
   o.cg.rel_tol = config.cg_tol;
+  o.evaluate_accuracy = config.evaluate_accuracy;
   return o;
 }
 
@@ -73,29 +87,7 @@ core::RunResult run_solver(const std::string& solver,
                            const data::Dataset& train,
                            const data::Dataset* test,
                            const ExperimentConfig& config) {
-  if (solver == "newton-admm") {
-    return core::newton_admm(cluster, train, test, admm_options(config));
-  }
-  if (solver == "giant") {
-    return baselines::giant(cluster, train, test, giant_options(config));
-  }
-  if (solver == "sync-sgd") {
-    return baselines::sync_sgd(cluster, train, test, sgd_options(config));
-  }
-  if (solver == "inexact-dane") {
-    return baselines::inexact_dane(cluster, train, test, dane_options(config));
-  }
-  if (solver == "aide") {
-    auto o = dane_options(config);
-    o.accelerate = true;
-    return baselines::inexact_dane(cluster, train, test, o);
-  }
-  if (solver == "disco") {
-    return baselines::disco(cluster, train, test, disco_options(config));
-  }
-  throw InvalidArgument(
-      "unknown solver '" + solver +
-      "' (expected newton-admm|giant|sync-sgd|inexact-dane|aide|disco)");
+  return SolverRegistry::instance().run(solver, cluster, train, test, config);
 }
 
 void write_trace_csv(const core::RunResult& result, const std::string& path) {

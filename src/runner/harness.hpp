@@ -28,10 +28,22 @@ struct ExperimentConfig {
   std::string device = "p100";    ///< la::device_from_string spec
   std::string network = "ib100";  ///< comm::network_from_string preset
   double lambda = 1e-5;           ///< paper default
+  std::string penalty = "sps";    ///< ADMM rule: fixed|rb|sps
+  double rho0 = 1.0;              ///< initial ADMM penalty ρ₀
   int iterations = 100;           ///< paper runs 100 epochs
   int cg_iterations = 10;         ///< paper: 10
   double cg_tol = 1e-4;           ///< paper: 1e-4
   int line_search_iterations = 10;///< paper: 10
+  int local_newton_steps = 1;     ///< Newton steps per ADMM epoch
+  double objective_target = 0.0;  ///< early stop at F ≤ target (≤0: off)
+  bool evaluate_accuracy = true;  ///< per-epoch test accuracy in the trace
+  std::size_t sgd_batch = 128;    ///< sync-sgd minibatch size (paper: 128)
+  double sgd_step = 0.1;          ///< sync-sgd step size
+  int dane_epochs = 10;           ///< InexactDANE/AIDE epoch cap (paper: 10)
+  int svrg_outer = 10;            ///< DANE inner SVRG budget
+  double fo_step = 0.0;           ///< single-node first-order step (0: rule default)
+  double gradient_tol = -1.0;     ///< single-node ‖g‖ stop (<0: solver default)
+  int omp_threads = 0;            ///< OpenMP threads per rank (0 = auto)
 };
 
 /// Generate (deterministically) the dataset named by the config.
@@ -47,8 +59,9 @@ baselines::SyncSgdOptions sgd_options(const ExperimentConfig& config);
 baselines::DaneOptions dane_options(const ExperimentConfig& config);
 baselines::DiscoOptions disco_options(const ExperimentConfig& config);
 
-/// Dispatch by solver name: newton-admm | giant | sync-sgd | inexact-dane
-/// | aide | disco.
+/// Dispatch by solver name through the SolverRegistry (see
+/// runner/registry.hpp for the full name list, including the
+/// single-node solvers).
 core::RunResult run_solver(const std::string& solver,
                            comm::SimCluster& cluster,
                            const data::Dataset& train,

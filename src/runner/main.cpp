@@ -1,0 +1,233 @@
+// The `nadmm` CLI: one binary for the whole experiment surface.
+//
+//   nadmm list                     — solvers / datasets / devices / networks
+//   nadmm run   --solver=… --dataset=… [knobs]
+//   nadmm sweep --spec=FILE | [grid flags] --jobs=N --out=report.csv
+//
+// `run` executes a single scenario and prints its trace summary; `sweep`
+// expands a declarative grid and executes it on a worker pool (see
+// runner/sweep.hpp — the aggregated report is deterministic across
+// --jobs settings).
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "runner/harness.hpp"
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nadmm;
+
+void print_usage() {
+  std::printf(
+      "usage: nadmm <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list    show registered solvers, datasets, devices and networks\n"
+      "  run     run one scenario (nadmm run --help)\n"
+      "  sweep   run a scenario grid on a worker pool (nadmm sweep --help)\n");
+}
+
+int cmd_list() {
+  std::printf("solvers:\n");
+  Table solvers({"name", "kind", "description"});
+  for (const auto& info : runner::SolverRegistry::instance().list()) {
+    solvers.add_row({info.name, runner::to_string(info.kind),
+                     info.description});
+  }
+  solvers.print();
+  std::printf(
+      "\ndatasets:  higgs | mnist | cifar | e18 | blobs (synthetic, "
+      "paper-shaped)\n"
+      "devices:   p100 | cpu | <gflops>\n"
+      "networks:  ib100 | eth10 | eth1 | wan | ideal\n"
+      "penalties: fixed | rb | sps\n");
+  return 0;
+}
+
+void add_scenario_options(CliParser& cli) {
+  cli.add_string("dataset", "blobs", "higgs|mnist|cifar|e18|blobs");
+  cli.add_int("n-train", 8000, "training samples");
+  cli.add_int("n-test", 2000, "test samples");
+  cli.add_int("e18-features", 1400, "feature dim for e18/blobs");
+  cli.add_int("seed", 42, "dataset generator seed");
+  cli.add_int("workers", 8, "simulated cluster size");
+  cli.add_string("device", "p100", "device model (p100|cpu|<gflops>)");
+  cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
+  cli.add_string("penalty", "sps", "ADMM penalty rule (fixed|rb|sps)");
+  cli.add_double("lambda", 1e-5, "l2 regularization");
+  cli.add_int("iterations", 100, "outer iterations (epochs)");
+  cli.add_int("cg-iterations", 10, "CG budget per Newton step");
+  cli.add_double("cg-tol", 1e-4, "CG relative tolerance");
+  cli.add_int("line-search", 10, "line-search iteration budget");
+  cli.add_int("omp-threads", 0, "OpenMP threads per rank (0 = auto)");
+}
+
+runner::ExperimentConfig config_from_cli(const CliParser& cli) {
+  runner::ExperimentConfig c;
+  c.dataset = cli.get_string("dataset");
+  c.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+  c.n_test = static_cast<std::size_t>(cli.get_int("n-test"));
+  c.e18_features = static_cast<std::size_t>(cli.get_int("e18-features"));
+  c.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  c.workers = static_cast<int>(cli.get_int("workers"));
+  c.device = cli.get_string("device");
+  c.network = cli.get_string("network");
+  c.penalty = cli.get_string("penalty");
+  c.lambda = cli.get_double("lambda");
+  c.iterations = static_cast<int>(cli.get_int("iterations"));
+  c.cg_iterations = static_cast<int>(cli.get_int("cg-iterations"));
+  c.cg_tol = cli.get_double("cg-tol");
+  c.line_search_iterations = static_cast<int>(cli.get_int("line-search"));
+  c.omp_threads = static_cast<int>(cli.get_int("omp-threads"));
+  return c;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  CliParser cli("nadmm run — execute one scenario and print its trace");
+  cli.add_string("solver", "newton-admm", "solver name (see `nadmm list`)");
+  add_scenario_options(cli);
+  cli.add_string("trace-csv", "", "if set, write the full trace CSV here");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string solver = cli.get_string("solver");
+  const auto config = config_from_cli(cli);
+  const auto& info = runner::SolverRegistry::instance().info(solver);
+
+  const auto tt = runner::make_data(config);
+  std::printf("scenario: solver=%s (%s) dataset=%s n=%zu p=%zu C=%d "
+              "workers=%d device=%s network=%s penalty=%s lambda=%g\n\n",
+              solver.c_str(), runner::to_string(info.kind).c_str(),
+              config.dataset.c_str(), tt.train.num_samples(),
+              tt.train.num_features(), tt.train.num_classes(), config.workers,
+              config.device.c_str(), config.network.c_str(),
+              config.penalty.c_str(), config.lambda);
+
+  auto cluster = runner::make_cluster(config);
+  const auto result =
+      runner::run_solver(solver, cluster, tt.train, &tt.test, config);
+  runner::print_trace_summary(result);
+
+  const std::string trace_csv = cli.get_string("trace-csv");
+  if (!trace_csv.empty()) {
+    runner::write_trace_csv(result, trace_csv);
+    std::printf("\ntrace written to %s\n", trace_csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  CliParser cli(
+      "nadmm sweep — expand a scenario grid and run it on a worker pool.\n"
+      "Grid axes take comma-separated lists; --spec FILE loads `key = value`\n"
+      "lines first and inline flags override it.");
+  cli.add_string("spec", "", "sweep spec file (key = value lines)");
+  cli.add_string("solvers", "", "e.g. newton-admm,giant,sync-sgd");
+  cli.add_string("datasets", "", "e.g. blobs,higgs");
+  cli.add_string("workers", "", "e.g. 4,8,16");
+  cli.add_string("devices", "", "e.g. p100,cpu");
+  cli.add_string("networks", "", "e.g. ib100,eth10");
+  cli.add_string("penalties", "", "e.g. sps,fixed");
+  cli.add_string("lambdas", "", "e.g. 1e-5,1e-4");
+  cli.add_int("n-train", -1, "training samples (-1: keep spec/default)");
+  cli.add_int("n-test", -1, "test samples (-1: keep spec/default)");
+  cli.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
+  cli.add_int("seed", -1, "generator seed (-1: keep)");
+  cli.add_int("iterations", -1, "outer iterations (-1: keep)");
+  cli.add_int("jobs", 1, "concurrent scenarios");
+  cli.add_string("out", "sweep.csv", "aggregated CSV report path");
+  cli.add_string("json", "", "if set, also write a JSON report here");
+  cli.add_string("trace-dir", "", "if set, write per-scenario trace CSVs here");
+  cli.add_flag("quiet", "suppress per-scenario progress lines");
+  if (!cli.parse(argc, argv)) return 0;
+
+  runner::SweepSpec spec;
+  const std::string spec_path = cli.get_string("spec");
+  if (!spec_path.empty()) spec = runner::parse_sweep_file(spec_path);
+
+  for (const char* axis : {"solvers", "datasets", "workers", "devices",
+                           "networks", "penalties", "lambdas"}) {
+    const std::string value = cli.get_string(axis);
+    if (!value.empty()) runner::apply_sweep_assignment(spec, axis, value);
+  }
+  struct ScalarFlag {
+    const char* flag;
+    const char* key;
+  };
+  for (const auto& [flag, key] :
+       {ScalarFlag{"n-train", "n_train"}, ScalarFlag{"n-test", "n_test"},
+        ScalarFlag{"e18-features", "e18_features"}, ScalarFlag{"seed", "seed"},
+        ScalarFlag{"iterations", "iterations"}}) {
+    const std::int64_t value = cli.get_int(flag);
+    if (value >= 0) {
+      runner::apply_sweep_assignment(spec, key, std::to_string(value));
+    }
+  }
+
+  runner::SweepOptions options;
+  options.jobs = static_cast<int>(cli.get_int("jobs"));
+  options.trace_dir = cli.get_string("trace-dir");
+  const bool quiet = cli.get_flag("quiet");
+  if (!quiet) {
+    options.on_scenario_done = [](const runner::ScenarioOutcome& o,
+                                  std::size_t done, std::size_t total) {
+      if (o.ok) {
+        std::printf("[%zu/%zu] %s: objective=%.6g acc=%.4f sim=%.3fs\n", done,
+                    total, o.scenario.tag().c_str(),
+                    o.result.final_objective, o.result.final_test_accuracy,
+                    o.result.total_sim_seconds);
+      } else {
+        std::printf("[%zu/%zu] %s: FAILED — %s\n", done, total,
+                    o.scenario.tag().c_str(), o.error.c_str());
+      }
+      std::fflush(stdout);
+    };
+  }
+
+  const auto scenarios = runner::expand_scenarios(spec);
+  std::printf("sweep: %zu scenarios, %d job(s)\n", scenarios.size(),
+              options.jobs);
+  const auto report = runner::run_sweep(spec, options);
+
+  const std::string out = cli.get_string("out");
+  report.write_csv(out);
+  std::printf("\naggregated report: %s (%zu rows, %zu failed)\n", out.c_str(),
+              report.outcomes.size(), report.failures());
+  const std::string json = cli.get_string("json");
+  if (!json.empty()) {
+    report.write_json(json);
+    std::printf("json report:       %s\n", json.c_str());
+  }
+  return report.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "--help" || command == "-h" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "nadmm: unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nadmm: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,237 @@
+#include "runner/registry.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <utility>
+
+#include "la/flops.hpp"
+#include "model/metrics.hpp"
+#include "model/softmax.hpp"
+#include "solvers/first_order.hpp"
+#include "solvers/newton.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace nadmm::runner {
+
+namespace {
+
+/// Run one of the single-node reference optimizers on the full training
+/// set. The cluster is unused; simulated time is derived from the flops
+/// the run executed on the calling thread under the configured device
+/// rating, so sweep results stay machine-independent and deterministic.
+core::RunResult run_single_node(const std::string& name,
+                                const data::Dataset& train,
+                                const data::Dataset* test,
+                                const ExperimentConfig& config) {
+  // Honour the same per-rank thread pin the cluster applies: the sweep
+  // scheduler relies on it for byte-stable reports and to keep
+  // jobs × cores from oversubscribing the host.
+#ifdef _OPENMP
+  if (config.omp_threads > 0) omp_set_num_threads(config.omp_threads);
+#endif
+  model::SoftmaxObjective objective(train, config.lambda);
+  const la::DeviceModel device = la::device_from_string(config.device);
+  std::vector<double> x0(objective.dim(), 0.0);
+
+  WallTimer timer;
+  flops::Scope scope;
+  core::RunResult r;
+  r.solver = name;
+
+  if (name == "newton-cg") {
+    solvers::NewtonOptions o;
+    o.max_iterations = config.iterations;
+    o.cg.max_iterations = config.cg_iterations;
+    o.cg.rel_tol = config.cg_tol;
+    o.line_search.max_iterations = config.line_search_iterations;
+    if (config.gradient_tol >= 0.0) o.gradient_tol = config.gradient_tol;
+    o.record_trace = true;
+    auto nr = solvers::newton_cg(objective, std::move(x0), o);
+    r.x = std::move(nr.x);
+    r.iterations = nr.iterations;
+    r.final_objective = nr.final_value;
+    r.trace.reserve(nr.trace.size());
+    for (std::size_t i = 0; i < nr.trace.size(); ++i) {
+      core::IterationStats it;
+      it.iteration = static_cast<int>(i) + 1;
+      it.objective = nr.trace[i].value;
+      r.trace.push_back(it);
+    }
+  } else {
+    solvers::FirstOrderOptions o;
+    o.rule = solvers::first_order_rule_from_string(name);
+    o.max_iterations = config.iterations;
+    if (config.fo_step > 0.0) o.step_size = config.fo_step;
+    if (config.gradient_tol >= 0.0) o.gradient_tol = config.gradient_tol;
+    o.record_trace = true;
+    auto fr = solvers::first_order_minimize(objective, {}, std::move(x0), o);
+    r.x = std::move(fr.x);
+    r.iterations = fr.iterations;
+    r.final_objective = fr.final_value;
+    r.trace.reserve(fr.value_trace.size());
+    for (std::size_t i = 0; i < fr.value_trace.size(); ++i) {
+      core::IterationStats it;
+      it.iteration = static_cast<int>(i) + 1;
+      it.objective = fr.value_trace[i];
+      r.trace.push_back(it);
+    }
+  }
+
+  r.total_sim_seconds = device.seconds_for_flops(scope.elapsed());
+  r.total_wall_seconds = timer.seconds();
+  if (r.iterations > 0) {
+    r.avg_epoch_sim_seconds = r.total_sim_seconds / r.iterations;
+  }
+  if (test != nullptr && !test->empty()) {
+    r.final_test_accuracy = model::accuracy(*test, r.x);
+  }
+  if (!r.trace.empty()) {
+    r.trace.back().sim_seconds = r.total_sim_seconds;
+    r.trace.back().wall_seconds = r.total_wall_seconds;
+    r.trace.back().test_accuracy = r.final_test_accuracy;
+  }
+  return r;
+}
+
+SolverFactory single_node_factory(std::string name) {
+  return [name = std::move(name)](comm::SimCluster& /*cluster*/,
+                                  const data::Dataset& train,
+                                  const data::Dataset* test,
+                                  const ExperimentConfig& config) {
+    return run_single_node(name, train, test, config);
+  };
+}
+
+}  // namespace
+
+std::string to_string(SolverKind kind) {
+  return kind == SolverKind::kDistributed ? "distributed" : "single-node";
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+SolverRegistry::SolverRegistry() { register_builtins(); }
+
+void SolverRegistry::add(SolverInfo info, SolverFactory factory) {
+  NADMM_CHECK(!info.name.empty(), "solver name must not be empty");
+  NADMM_CHECK(static_cast<bool>(factory), "solver factory must be callable");
+  const std::string name = info.name;  // copy before moving `info`
+  const auto [it, inserted] = solvers_.emplace(
+      name, std::make_pair(std::move(info), std::move(factory)));
+  static_cast<void>(it);
+  if (!inserted) {
+    throw InvalidArgument("solver '" + name + "' is already registered");
+  }
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return solvers_.count(name) != 0;
+}
+
+const SolverInfo& SolverRegistry::info(const std::string& name) const {
+  const auto it = solvers_.find(name);
+  if (it == solvers_.end()) {
+    std::string known;
+    for (const auto& [n, entry] : solvers_) {
+      static_cast<void>(entry);
+      if (!known.empty()) known += '|';
+      known += n;
+    }
+    throw InvalidArgument("unknown solver '" + name + "' (expected " + known +
+                          ")");
+  }
+  return it->second.first;
+}
+
+std::vector<SolverInfo> SolverRegistry::list() const {
+  std::vector<SolverInfo> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, entry] : solvers_) {
+    static_cast<void>(name);
+    out.push_back(entry.first);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, entry] : solvers_) {
+    static_cast<void>(entry);
+    out.push_back(name);
+  }
+  return out;
+}
+
+core::RunResult SolverRegistry::run(const std::string& name,
+                                    comm::SimCluster& cluster,
+                                    const data::Dataset& train,
+                                    const data::Dataset* test,
+                                    const ExperimentConfig& config) const {
+  static_cast<void>(info(name));  // throws with the known names when unknown
+  return solvers_.at(name).second(cluster, train, test, config);
+}
+
+void SolverRegistry::register_builtins() {
+  add({"newton-admm", SolverKind::kDistributed,
+       "distributed Newton-CG with ADMM consensus (the paper's method)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return core::newton_admm(cluster, train, test, admm_options(config));
+      });
+  add({"giant", SolverKind::kDistributed,
+       "globally improved approximate Newton (Wang et al.)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return baselines::giant(cluster, train, test, giant_options(config));
+      });
+  add({"sync-sgd", SolverKind::kDistributed,
+       "synchronous minibatch SGD (allreduced mean gradient)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return baselines::sync_sgd(cluster, train, test, sgd_options(config));
+      });
+  add({"inexact-dane", SolverKind::kDistributed,
+       "InexactDANE with SVRG inner solves (Reddi et al.)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return baselines::inexact_dane(cluster, train, test,
+                                       dane_options(config));
+      });
+  add({"aide", SolverKind::kDistributed,
+       "accelerated InexactDANE (catalyst smoothing)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        auto o = dane_options(config);
+        o.accelerate = true;
+        return baselines::inexact_dane(cluster, train, test, o);
+      });
+  add({"disco", SolverKind::kDistributed,
+       "distributed self-concordant optimization (Zhang & Xiao)"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return baselines::disco(cluster, train, test, disco_options(config));
+      });
+
+  add({"newton-cg", SolverKind::kSingleNode,
+       "single-node inexact Newton-CG (paper Algorithm 1)"},
+      single_node_factory("newton-cg"));
+  add({"gd", SolverKind::kSingleNode, "single-node full-batch gradient descent"},
+      single_node_factory("gd"));
+  add({"momentum", SolverKind::kSingleNode,
+       "single-node heavy-ball momentum"},
+      single_node_factory("momentum"));
+  add({"adagrad", SolverKind::kSingleNode, "single-node Adagrad"},
+      single_node_factory("adagrad"));
+  add({"adam", SolverKind::kSingleNode, "single-node Adam"},
+      single_node_factory("adam"));
+}
+
+}  // namespace nadmm::runner

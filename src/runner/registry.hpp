@@ -1,0 +1,71 @@
+// Solver registry: the single name → factory authority behind the
+// `nadmm` CLI, the sweep scheduler, and every bench / example driver.
+//
+// Two solver families share the registry:
+//   * distributed — run on the simulated cluster (Newton-ADMM and the
+//     paper's baselines GIANT / Synchronous SGD / InexactDANE / AIDE /
+//     DiSCO);
+//   * single-node — the §1 reference optimizers (Newton-CG, gradient
+//     descent, momentum, Adagrad, Adam) run on the calling thread; their
+//     traces carry per-iteration objectives and a flop-derived total
+//     simulated time, but no per-iteration timing breakdown.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "runner/harness.hpp"
+
+namespace nadmm::runner {
+
+enum class SolverKind { kDistributed, kSingleNode };
+
+std::string to_string(SolverKind kind);
+
+struct SolverInfo {
+  std::string name;
+  SolverKind kind = SolverKind::kDistributed;
+  std::string description;
+};
+
+/// Factory signature shared by both families. Single-node solvers ignore
+/// the cluster (they run on the calling thread) but keep the uniform
+/// signature so callers need no special cases.
+using SolverFactory = std::function<core::RunResult(
+    comm::SimCluster&, const data::Dataset& train, const data::Dataset* test,
+    const ExperimentConfig&)>;
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in solvers.
+  static SolverRegistry& instance();
+
+  /// Register a solver; throws InvalidArgument on duplicate names.
+  void add(SolverInfo info, SolverFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Metadata for `name`; throws InvalidArgument (listing the known
+  /// names) when unknown.
+  [[nodiscard]] const SolverInfo& info(const std::string& name) const;
+
+  /// All registered solvers, sorted by name.
+  [[nodiscard]] std::vector<SolverInfo> list() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Resolve `name` and run it. Throws InvalidArgument for unknown names.
+  core::RunResult run(const std::string& name, comm::SimCluster& cluster,
+                      const data::Dataset& train, const data::Dataset* test,
+                      const ExperimentConfig& config) const;
+
+ private:
+  SolverRegistry();
+  void register_builtins();
+
+  std::map<std::string, std::pair<SolverInfo, SolverFactory>> solvers_;
+};
+
+}  // namespace nadmm::runner

@@ -1,0 +1,376 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "runner/registry.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::runner {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(value, &pos);
+    NADMM_CHECK(pos == value.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("sweep key '" + key + "': malformed integer '" +
+                          value + "'");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    NADMM_CHECK(pos == value.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("sweep key '" + key + "': malformed number '" +
+                          value + "'");
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// JSON has no inf/nan literals; report them as null.
+std::string fmt_json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return fmt_double(v);
+}
+
+std::string fmt_compact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
+                            const std::string& raw_value) {
+  const std::string key = trim(raw_key);
+  const std::string value = trim(raw_value);
+  NADMM_CHECK(!key.empty(), "sweep key must not be empty");
+  NADMM_CHECK(!value.empty(), "sweep key '" + key + "' has an empty value");
+
+  const auto list = [&] { return split_list(value); };
+
+  if (key == "solvers") {
+    spec.solvers = list();
+  } else if (key == "datasets") {
+    spec.datasets = list();
+  } else if (key == "workers") {
+    spec.workers.clear();
+    for (const auto& item : list()) {
+      spec.workers.push_back(static_cast<int>(parse_int(key, item)));
+    }
+  } else if (key == "devices") {
+    spec.devices = list();
+  } else if (key == "networks") {
+    spec.networks = list();
+  } else if (key == "penalties") {
+    spec.penalties = list();
+  } else if (key == "lambdas") {
+    spec.lambdas.clear();
+    for (const auto& item : list()) {
+      spec.lambdas.push_back(parse_double(key, item));
+    }
+  } else if (key == "n_train") {
+    spec.base.n_train = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "n_test") {
+    spec.base.n_test = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "e18_features") {
+    spec.base.e18_features = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "seed") {
+    spec.base.seed = static_cast<std::uint64_t>(parse_int(key, value));
+  } else if (key == "iterations") {
+    spec.base.iterations = static_cast<int>(parse_int(key, value));
+  } else if (key == "cg_iterations") {
+    spec.base.cg_iterations = static_cast<int>(parse_int(key, value));
+  } else if (key == "cg_tol") {
+    spec.base.cg_tol = parse_double(key, value);
+  } else if (key == "line_search_iterations") {
+    spec.base.line_search_iterations = static_cast<int>(parse_int(key, value));
+  } else {
+    throw InvalidArgument(
+        "unknown sweep key '" + key +
+        "' (grid axes: solvers|datasets|workers|devices|networks|penalties|"
+        "lambdas; scalars: n_train|n_test|e18_features|seed|iterations|"
+        "cg_iterations|cg_tol|line_search_iterations)");
+  }
+}
+
+SweepSpec parse_sweep_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open sweep spec: " + path);
+  SweepSpec spec;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("sweep spec " + path + ":" +
+                            std::to_string(line_no) +
+                            ": expected 'key = value', got '" + trim(line) +
+                            "'");
+    }
+    apply_sweep_assignment(spec, line.substr(0, eq), line.substr(eq + 1));
+  }
+  return spec;
+}
+
+std::string Scenario::tag() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s", index,
+                solver.c_str(), config.dataset.c_str(), config.workers,
+                config.device.c_str(), config.network.c_str(),
+                config.penalty.c_str(), fmt_compact(config.lambda).c_str());
+  return buf;
+}
+
+std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
+  NADMM_CHECK(!spec.solvers.empty(), "sweep needs at least one solver");
+  NADMM_CHECK(!spec.datasets.empty(), "sweep needs at least one dataset");
+  NADMM_CHECK(!spec.workers.empty(), "sweep needs at least one worker count");
+  NADMM_CHECK(!spec.devices.empty(), "sweep needs at least one device");
+  NADMM_CHECK(!spec.networks.empty(), "sweep needs at least one network");
+  NADMM_CHECK(!spec.penalties.empty(), "sweep needs at least one penalty");
+  NADMM_CHECK(!spec.lambdas.empty(), "sweep needs at least one lambda");
+
+  std::vector<Scenario> scenarios;
+  int index = 0;
+  for (const auto& solver : spec.solvers) {
+    for (const auto& dataset : spec.datasets) {
+      for (const int workers : spec.workers) {
+        for (const auto& device : spec.devices) {
+          for (const auto& network : spec.networks) {
+            for (const auto& penalty : spec.penalties) {
+              for (const double lambda : spec.lambdas) {
+                Scenario s;
+                s.index = index++;
+                s.solver = solver;
+                s.config = spec.base;
+                s.config.dataset = dataset;
+                s.config.workers = workers;
+                s.config.device = device;
+                s.config.network = network;
+                s.config.penalty = penalty;
+                s.config.lambda = lambda;
+                scenarios.push_back(std::move(s));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::size_t SweepReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) n += o.ok ? 0 : 1;
+  return n;
+}
+
+std::vector<std::string> SweepReport::csv_rows() const {
+  std::vector<std::string> rows;
+  rows.reserve(outcomes.size() + 1);
+  rows.emplace_back(
+      "scenario,solver,dataset,n_train,n_test,workers,device,network,penalty,"
+      "lambda,status,iterations,final_objective,final_test_accuracy,"
+      "total_sim_seconds,avg_epoch_sim_seconds,total_comm_sim_seconds");
+  for (const auto& o : outcomes) {
+    const auto& c = o.scenario.config;
+    const auto& r = o.result;
+    const double comm =
+        (o.ok && !r.trace.empty()) ? r.trace.back().comm_sim_seconds : 0.0;
+    std::ostringstream row;
+    row << o.scenario.index << ',' << o.scenario.solver << ',' << c.dataset
+        << ',' << c.n_train << ',' << c.n_test << ',' << c.workers << ','
+        << c.device << ',' << c.network << ',' << c.penalty << ','
+        << fmt_double(c.lambda) << ',' << (o.ok ? "ok" : "error") << ','
+        << (o.ok ? r.iterations : 0) << ','
+        << fmt_double(o.ok ? r.final_objective : 0.0) << ','
+        << fmt_double(o.ok ? r.final_test_accuracy : 0.0) << ','
+        << fmt_double(o.ok ? r.total_sim_seconds : 0.0) << ','
+        << fmt_double(o.ok ? r.avg_epoch_sim_seconds : 0.0) << ','
+        << fmt_double(comm);
+    rows.push_back(row.str());
+  }
+  return rows;
+}
+
+void SweepReport::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open sweep report for writing: " + path);
+  for (const auto& row : csv_rows()) out << row << '\n';
+}
+
+void SweepReport::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open sweep report for writing: " + path);
+  out << "[\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    const auto& c = o.scenario.config;
+    const auto& r = o.result;
+    const double comm =
+        (o.ok && !r.trace.empty()) ? r.trace.back().comm_sim_seconds : 0.0;
+    out << "  {\"scenario\": " << o.scenario.index                      //
+        << ", \"tag\": \"" << json_escape(o.scenario.tag()) << "\""     //
+        << ", \"solver\": \"" << json_escape(o.scenario.solver) << "\"" //
+        << ", \"dataset\": \"" << json_escape(c.dataset) << "\""        //
+        << ", \"n_train\": " << c.n_train                               //
+        << ", \"n_test\": " << c.n_test                                 //
+        << ", \"workers\": " << c.workers                               //
+        << ", \"device\": \"" << json_escape(c.device) << "\""          //
+        << ", \"network\": \"" << json_escape(c.network) << "\""        //
+        << ", \"penalty\": \"" << json_escape(c.penalty) << "\""        //
+        << ", \"lambda\": " << fmt_json_number(c.lambda)                //
+        << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
+    if (o.ok) {
+      out << ", \"iterations\": " << r.iterations                        //
+          << ", \"final_objective\": " << fmt_json_number(r.final_objective)
+          << ", \"final_test_accuracy\": "
+          << fmt_json_number(r.final_test_accuracy)                      //
+          << ", \"total_sim_seconds\": "
+          << fmt_json_number(r.total_sim_seconds)                        //
+          << ", \"avg_epoch_sim_seconds\": "
+          << fmt_json_number(r.avg_epoch_sim_seconds)                    //
+          << ", \"total_comm_sim_seconds\": " << fmt_json_number(comm);
+    } else {
+      out << ", \"error\": \"" << json_escape(o.error) << "\"";
+    }
+    out << '}' << (i + 1 < outcomes.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  NADMM_CHECK(options.jobs >= 1, "sweep needs at least one scheduler thread");
+  const std::vector<Scenario> scenarios = expand_scenarios(spec);
+
+  if (!options.trace_dir.empty()) {
+    std::filesystem::create_directories(options.trace_dir);
+  }
+
+  SweepReport report;
+  report.outcomes.resize(scenarios.size());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto run_one = [&](const Scenario& scenario) {
+    ScenarioOutcome outcome;
+    outcome.scenario = scenario;
+    try {
+      ExperimentConfig config = scenario.config;
+      if (options.deterministic) config.omp_threads = 1;
+      const data::TrainTest tt = make_data(config);
+      comm::SimCluster cluster = make_cluster(config);
+      outcome.result = SolverRegistry::instance().run(
+          scenario.solver, cluster, tt.train, &tt.test, config);
+      if (!options.trace_dir.empty()) {
+        write_trace_csv(outcome.result,
+                        options.trace_dir + "/" + scenario.tag() + ".csv");
+      }
+      outcome.ok = true;
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.error = e.what();
+    }
+    return outcome;
+  };
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      ScenarioOutcome outcome = run_one(scenarios[i]);
+      {
+        const std::scoped_lock lock(progress_mutex);
+        report.outcomes[i] = std::move(outcome);
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (options.on_scenario_done) {
+          options.on_scenario_done(report.outcomes[i], finished,
+                                   scenarios.size());
+        }
+      }
+    }
+  };
+
+  const std::size_t pool_size = std::min<std::size_t>(
+      static_cast<std::size_t>(options.jobs), scenarios.size());
+  if (pool_size <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return report;
+}
+
+}  // namespace nadmm::runner

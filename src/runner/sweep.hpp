@@ -1,0 +1,101 @@
+// Scenario sweep scheduler: expands a declarative grid spec
+// (solver × dataset × workers × device × network × penalty × λ) into
+// ExperimentConfig instances, executes them concurrently on a worker
+// pool, and aggregates the per-scenario results into one combined
+// CSV / JSON report with deterministic ordering.
+//
+// Determinism: scenarios are expanded in a fixed axis order and results
+// are stored by scenario index, so the report is byte-identical no
+// matter how many scheduler threads run it (`--jobs=1` vs `--jobs=4`).
+// Each scenario's cluster is pinned to one OpenMP thread per rank by
+// default, which removes run-to-run float reassociation and keeps
+// `jobs × workers` from oversubscribing the host.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "runner/harness.hpp"
+
+namespace nadmm::runner {
+
+/// Declarative sweep grid. Axis vectors must be non-empty; `base`
+/// carries the shared knobs (sample counts, iteration budgets, seed).
+struct SweepSpec {
+  std::vector<std::string> solvers{"newton-admm"};
+  std::vector<std::string> datasets{"blobs"};
+  std::vector<int> workers{8};
+  std::vector<std::string> devices{"p100"};
+  std::vector<std::string> networks{"ib100"};
+  std::vector<std::string> penalties{"sps"};
+  std::vector<double> lambdas{1e-5};
+  ExperimentConfig base;
+};
+
+/// Apply one `key = value` assignment to the spec. Grid axes take
+/// comma-separated lists ("solvers = newton-admm, giant"); scalar keys
+/// ("n_train", "iterations", ...) set the shared base config. Throws
+/// InvalidArgument on unknown keys or malformed values.
+void apply_sweep_assignment(SweepSpec& spec, const std::string& key,
+                            const std::string& value);
+
+/// Parse a sweep spec file: one `key = value` per line, `#` comments and
+/// blank lines ignored. Starts from the default-constructed spec.
+SweepSpec parse_sweep_file(const std::string& path);
+
+/// One expanded grid point.
+struct Scenario {
+  int index = 0;         ///< position in deterministic expansion order
+  std::string solver;
+  ExperimentConfig config;
+
+  /// Stable file-system-safe identifier, e.g.
+  /// "003_giant_blobs_w4_p100_ib100_sps_lam1e-05".
+  [[nodiscard]] std::string tag() const;
+};
+
+/// Expand the grid in fixed axis order (solver, dataset, workers,
+/// device, network, penalty, lambda — rightmost fastest).
+std::vector<Scenario> expand_scenarios(const SweepSpec& spec);
+
+struct ScenarioOutcome {
+  Scenario scenario;
+  core::RunResult result;  ///< valid when ok
+  bool ok = false;
+  std::string error;       ///< non-empty when !ok
+};
+
+struct SweepReport {
+  std::vector<ScenarioOutcome> outcomes;  ///< in scenario order
+
+  [[nodiscard]] std::size_t failures() const;
+
+  /// One row per scenario. Only deterministic columns (simulated time,
+  /// objective, accuracy) — wall-clock stays out so reruns and different
+  /// `--jobs` settings produce byte-identical files.
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+
+  /// The CSV rows as strings (header first), for tests and the CLI.
+  [[nodiscard]] std::vector<std::string> csv_rows() const;
+};
+
+struct SweepOptions {
+  int jobs = 1;            ///< scheduler threads (clamped to #scenarios)
+  std::string trace_dir;   ///< if set, write one trace CSV per scenario
+  /// Pin each rank to one OpenMP thread (see header comment). Disabling
+  /// re-enables intra-rank parallelism but forfeits byte-stable reports.
+  bool deterministic = true;
+  /// Progress callback, invoked serially as scenarios finish.
+  std::function<void(const ScenarioOutcome&, std::size_t done,
+                     std::size_t total)>
+      on_scenario_done;
+};
+
+/// Run every scenario of `spec` and aggregate the outcomes. Scenario
+/// failures are captured per-outcome, not thrown.
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options);
+
+}  // namespace nadmm::runner

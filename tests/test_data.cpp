@@ -28,7 +28,7 @@ TEST(Dataset, DenseConstructionAndAccessors) {
   EXPECT_EQ(ds.num_classes(), 3);
   EXPECT_FALSE(ds.is_sparse());
   EXPECT_FALSE(ds.empty());
-  EXPECT_THROW(ds.sparse_features(), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(ds.sparse_features()), InvalidArgument);
   EXPECT_DOUBLE_EQ(ds.dense_features().at(2, 1), 6.0);
 }
 

@@ -92,8 +92,8 @@ TEST(VectorOps, Dist2AmaxSum) {
 TEST(VectorOps, SizeMismatchThrows) {
   std::vector<double> x{1, 2}, y{1};
   EXPECT_THROW(axpy(1.0, x, y), InvalidArgument);
-  EXPECT_THROW(dot(x, y), InvalidArgument);
-  EXPECT_THROW(dist2(x, y), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(dot(x, y)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(dist2(x, y)), InvalidArgument);
 }
 
 TEST(VectorOps, LargeVectorsUseParallelPathCorrectly) {

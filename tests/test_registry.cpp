@@ -1,0 +1,131 @@
+// Tests for the solver registry (src/runner/registry.*): every built-in
+// name resolves, unknown names are rejected with a helpful message, and
+// the uniform factory signature runs both solver families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "runner/registry.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::runner {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 120;
+  c.n_test = 40;
+  c.e18_features = 8;
+  c.workers = 2;
+  c.iterations = 3;
+  c.lambda = 1e-3;
+  c.omp_threads = 1;
+  return c;
+}
+
+TEST(SolverRegistry, ResolvesEveryBuiltinName) {
+  const auto& registry = SolverRegistry::instance();
+  for (const char* name :
+       {"newton-admm", "giant", "sync-sgd", "inexact-dane", "aide", "disco",
+        "newton-cg", "gd", "momentum", "adagrad", "adam"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.info(name).name, name);
+  }
+}
+
+TEST(SolverRegistry, KindsAreClassified) {
+  const auto& registry = SolverRegistry::instance();
+  EXPECT_EQ(registry.info("newton-admm").kind, SolverKind::kDistributed);
+  EXPECT_EQ(registry.info("disco").kind, SolverKind::kDistributed);
+  EXPECT_EQ(registry.info("newton-cg").kind, SolverKind::kSingleNode);
+  EXPECT_EQ(registry.info("adam").kind, SolverKind::kSingleNode);
+  EXPECT_EQ(to_string(SolverKind::kDistributed), "distributed");
+  EXPECT_EQ(to_string(SolverKind::kSingleNode), "single-node");
+}
+
+TEST(SolverRegistry, ListIsSortedAndMatchesNames) {
+  const auto& registry = SolverRegistry::instance();
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  const auto infos = registry.list();
+  ASSERT_EQ(infos.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(infos[i].name, names[i]);
+    EXPECT_FALSE(infos[i].description.empty()) << names[i];
+  }
+}
+
+TEST(SolverRegistry, RejectsUnknownNames) {
+  const auto& registry = SolverRegistry::instance();
+  EXPECT_FALSE(registry.contains("sgd"));
+  EXPECT_THROW(static_cast<void>(registry.info("sgd")), InvalidArgument);
+  try {
+    static_cast<void>(registry.info("bogus-solver"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus-solver"), std::string::npos);
+    EXPECT_NE(what.find("newton-admm"), std::string::npos)
+        << "error should list the known solvers";
+  }
+}
+
+TEST(SolverRegistry, RejectsDuplicateAndEmptyRegistration) {
+  auto& registry = SolverRegistry::instance();
+  const auto factory = [](comm::SimCluster&, const data::Dataset&,
+                          const data::Dataset*, const ExperimentConfig&) {
+    return core::RunResult{};
+  };
+  EXPECT_THROW(registry.add({"newton-admm", SolverKind::kDistributed, "dup"},
+                            factory),
+               InvalidArgument);
+  EXPECT_THROW(registry.add({"", SolverKind::kDistributed, "unnamed"}, factory),
+               InvalidArgument);
+}
+
+TEST(SolverRegistry, RunsDistributedSolver) {
+  const auto c = tiny_config();
+  const auto tt = make_data(c);
+  auto cluster = make_cluster(c);
+  const auto r = SolverRegistry::instance().run("newton-admm", cluster,
+                                                tt.train, &tt.test, c);
+  EXPECT_EQ(r.solver, "newton-admm");
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_FALSE(r.trace.empty());
+  EXPECT_TRUE(std::isfinite(r.final_objective));
+  EXPECT_GT(r.total_sim_seconds, 0.0);
+}
+
+TEST(SolverRegistry, RunsSingleNodeSolverWithFlopDerivedTime) {
+  auto c = tiny_config();
+  c.iterations = 5;
+  const auto tt = make_data(c);
+  auto cluster = make_cluster(c);
+  const auto r = SolverRegistry::instance().run("newton-cg", cluster, tt.train,
+                                                &tt.test, c);
+  EXPECT_EQ(r.solver, "newton-cg");
+  EXPECT_GT(r.iterations, 0);
+  ASSERT_FALSE(r.trace.empty());
+  // Objectives decrease on this convex problem.
+  EXPECT_LE(r.trace.back().objective, r.trace.front().objective);
+  EXPECT_GT(r.total_sim_seconds, 0.0);
+  EXPECT_GE(r.final_test_accuracy, 0.0);
+}
+
+TEST(SolverRegistry, RunThrowsOnUnknownName) {
+  const auto c = tiny_config();
+  const auto tt = make_data(c);
+  auto cluster = make_cluster(c);
+  EXPECT_THROW(static_cast<void>(SolverRegistry::instance().run(
+                   "no-such-solver", cluster, tt.train, &tt.test, c)),
+               InvalidArgument);
+  // The legacy harness entry point routes through the registry too.
+  EXPECT_THROW(static_cast<void>(
+                   run_solver("no-such-solver", cluster, tt.train, &tt.test, c)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace nadmm::runner

@@ -158,7 +158,7 @@ TEST(Cli, MalformedIntThrowsOnAccess) {
   cli.add_int("count", 5, "a count");
   const char* argv[] = {"prog", "--count", "xyz"};
   ASSERT_TRUE(cli.parse(3, argv));
-  EXPECT_THROW(cli.get_int("count"), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cli.get_int("count")), InvalidArgument);
 }
 
 TEST(Cli, MissingValueThrows) {
@@ -173,8 +173,8 @@ TEST(Cli, WrongTypeAccessThrows) {
   cli.add_int("count", 5, "a count");
   const char* argv[] = {"prog"};
   ASSERT_TRUE(cli.parse(1, argv));
-  EXPECT_THROW(cli.get_double("count"), InvalidArgument);
-  EXPECT_THROW(cli.get_int("never-registered"), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cli.get_double("count")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cli.get_int("never-registered")), InvalidArgument);
 }
 
 TEST(Cli, HelpReturnsFalse) {
@@ -243,7 +243,7 @@ TEST(Timer, MeasuresElapsedTime) {
   const double t0 = t.seconds();
   EXPECT_GE(t0, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), t0);
   t.reset();
   EXPECT_LT(t.seconds(), 1.0);

@@ -1,0 +1,241 @@
+// Tests for the sweep scheduler (src/runner/sweep.*): spec parsing, grid
+// expansion order, deterministic aggregation under the thread pool, and
+// per-scenario failure capture.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "runner/sweep.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::runner {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.solvers = {"newton-admm", "giant"};
+  spec.datasets = {"blobs"};
+  spec.workers = {2};
+  spec.lambdas = {1e-3, 1e-2};
+  spec.base.n_train = 120;
+  spec.base.n_test = 40;
+  spec.base.e18_features = 8;
+  spec.base.iterations = 3;
+  return spec;
+}
+
+// ------------------------------------------------------------ parsing
+
+TEST(SweepSpecParsing, AxisListsAndScalars) {
+  SweepSpec spec;
+  apply_sweep_assignment(spec, "solvers", "newton-admm, giant ,sync-sgd");
+  apply_sweep_assignment(spec, "workers", "2, 4");
+  apply_sweep_assignment(spec, "lambdas", "1e-5,1e-4");
+  apply_sweep_assignment(spec, "n_train", "500");
+  apply_sweep_assignment(spec, "cg_tol", "1e-6");
+  EXPECT_EQ(spec.solvers,
+            (std::vector<std::string>{"newton-admm", "giant", "sync-sgd"}));
+  EXPECT_EQ(spec.workers, (std::vector<int>{2, 4}));
+  EXPECT_EQ(spec.lambdas, (std::vector<double>{1e-5, 1e-4}));
+  EXPECT_EQ(spec.base.n_train, 500u);
+  EXPECT_DOUBLE_EQ(spec.base.cg_tol, 1e-6);
+}
+
+TEST(SweepSpecParsing, RejectsUnknownKeysAndMalformedValues) {
+  SweepSpec spec;
+  EXPECT_THROW(apply_sweep_assignment(spec, "solver", "giant"),
+               InvalidArgument);
+  EXPECT_THROW(apply_sweep_assignment(spec, "workers", "four"),
+               InvalidArgument);
+  EXPECT_THROW(apply_sweep_assignment(spec, "lambdas", "1e-5x"),
+               InvalidArgument);
+  EXPECT_THROW(apply_sweep_assignment(spec, "n_train", ""), InvalidArgument);
+}
+
+TEST(SweepSpecParsing, ParsesSpecFileWithComments) {
+  const std::string path = testing::TempDir() + "/nadmm_sweep_spec.txt";
+  {
+    std::ofstream out(path);
+    out << "# a comment\n"
+        << "solvers = newton-admm, sync-sgd\n"
+        << "datasets = blobs   # trailing comment\n"
+        << "workers = 2,4\n"
+        << "iterations = 7\n"
+        << "\n";
+  }
+  const SweepSpec spec = parse_sweep_file(path);
+  EXPECT_EQ(spec.solvers,
+            (std::vector<std::string>{"newton-admm", "sync-sgd"}));
+  EXPECT_EQ(spec.datasets, (std::vector<std::string>{"blobs"}));
+  EXPECT_EQ(spec.workers, (std::vector<int>{2, 4}));
+  EXPECT_EQ(spec.base.iterations, 7);
+  std::filesystem::remove(path);
+}
+
+TEST(SweepSpecParsing, BadSpecLineAndMissingFileThrow) {
+  const std::string path = testing::TempDir() + "/nadmm_bad_spec.txt";
+  {
+    std::ofstream out(path);
+    out << "solvers newton-admm\n";
+  }
+  EXPECT_THROW(static_cast<void>(parse_sweep_file(path)), InvalidArgument);
+  std::filesystem::remove(path);
+  EXPECT_THROW(static_cast<void>(parse_sweep_file(path)), RuntimeError);
+}
+
+// ------------------------------------------------------------ expansion
+
+TEST(SweepExpansion, ProducesFullGridInDeterministicOrder) {
+  SweepSpec spec = tiny_spec();
+  spec.networks = {"ib100", "eth10"};
+  const auto scenarios = expand_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 2u * 2u * 2u);  // solvers × networks × lambdas
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].index, static_cast<int>(i));
+  }
+  // Rightmost axis (lambda) varies fastest; solver slowest.
+  EXPECT_EQ(scenarios[0].solver, "newton-admm");
+  EXPECT_EQ(scenarios[0].config.network, "ib100");
+  EXPECT_DOUBLE_EQ(scenarios[0].config.lambda, 1e-3);
+  EXPECT_DOUBLE_EQ(scenarios[1].config.lambda, 1e-2);
+  EXPECT_EQ(scenarios[2].config.network, "eth10");
+  EXPECT_EQ(scenarios[4].solver, "giant");
+  // Base knobs are inherited by every scenario.
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.config.n_train, 120u);
+    EXPECT_EQ(s.config.iterations, 3);
+  }
+}
+
+TEST(SweepExpansion, EmptyAxisThrows) {
+  SweepSpec spec = tiny_spec();
+  spec.datasets.clear();
+  EXPECT_THROW(static_cast<void>(expand_scenarios(spec)), InvalidArgument);
+}
+
+TEST(SweepExpansion, TagIsFilesystemSafeAndUnique) {
+  const auto scenarios = expand_scenarios(tiny_spec());
+  std::set<std::string> tags;
+  for (const auto& s : scenarios) {
+    const std::string tag = s.tag();
+    EXPECT_EQ(tag.find('/'), std::string::npos);
+    EXPECT_EQ(tag.find(' '), std::string::npos);
+    tags.insert(tag);
+  }
+  EXPECT_EQ(tags.size(), scenarios.size());
+}
+
+// ------------------------------------------------------------ execution
+
+TEST(SweepRun, FourScenarioSweepIsDeterministicAcrossPoolSizes) {
+  const SweepSpec spec = tiny_spec();  // 2 solvers × 2 lambdas = 4 scenarios
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const SweepReport a = run_sweep(spec, serial);
+
+  SweepOptions pooled;
+  pooled.jobs = 4;
+  const SweepReport b = run_sweep(spec, pooled);
+
+  ASSERT_EQ(a.outcomes.size(), 4u);
+  ASSERT_EQ(b.outcomes.size(), 4u);
+  EXPECT_EQ(a.failures(), 0u);
+  EXPECT_EQ(b.failures(), 0u);
+
+  const auto rows_a = a.csv_rows();
+  const auto rows_b = b.csv_rows();
+  ASSERT_EQ(rows_a.size(), 5u);  // header + one row per scenario
+  // Byte-identical aggregation regardless of scheduler parallelism.
+  EXPECT_EQ(rows_a, rows_b);
+
+  // Every scenario ran its own configuration.
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const auto& o = a.outcomes[i];
+    EXPECT_TRUE(o.ok);
+    EXPECT_EQ(o.scenario.index, static_cast<int>(i));
+    EXPECT_EQ(o.result.solver, o.scenario.solver);
+    EXPECT_GT(o.result.total_sim_seconds, 0.0);
+  }
+}
+
+TEST(SweepRun, ProgressCallbackSeesEveryScenario) {
+  SweepOptions options;
+  options.jobs = 2;
+  std::vector<int> seen;
+  std::size_t last_total = 0;
+  options.on_scenario_done = [&](const ScenarioOutcome& o, std::size_t done,
+                                 std::size_t total) {
+    seen.push_back(o.scenario.index);
+    EXPECT_EQ(done, seen.size());
+    last_total = total;
+  };
+  const auto report = run_sweep(tiny_spec(), options);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(last_total, 4u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SweepRun, CapturesScenarioFailuresWithoutAborting) {
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm", "no-such-solver"};
+  spec.lambdas = {1e-3};
+  SweepOptions options;
+  options.jobs = 2;
+  const auto report = run_sweep(spec, options);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_EQ(report.failures(), 1u);
+  EXPECT_TRUE(report.outcomes[0].ok);
+  EXPECT_FALSE(report.outcomes[1].ok);
+  EXPECT_NE(report.outcomes[1].error.find("no-such-solver"),
+            std::string::npos);
+  const auto rows = report.csv_rows();
+  EXPECT_NE(rows[1].find(",ok,"), std::string::npos);
+  EXPECT_NE(rows[2].find(",error,"), std::string::npos);
+}
+
+TEST(SweepRun, WritesAggregateReportsAndTraces) {
+  const std::string dir = testing::TempDir() + "/nadmm_sweep_out";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm"};
+  spec.lambdas = {1e-3};
+  SweepOptions options;
+  options.trace_dir = dir + "/traces";
+  const auto report = run_sweep(spec, options);
+  ASSERT_EQ(report.failures(), 0u);
+
+  report.write_csv(dir + "/report.csv");
+  report.write_json(dir + "/report.json");
+
+  std::ifstream csv(dir + "/report.csv");
+  std::string line;
+  int csv_lines = 0;
+  while (std::getline(csv, line)) ++csv_lines;
+  EXPECT_EQ(csv_lines, 2);  // header + 1 scenario
+
+  std::ifstream json(dir + "/report.json");
+  std::stringstream buffer;
+  buffer << json.rdbuf();
+  const std::string body = buffer.str();
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_NE(body.find("\"solver\": \"newton-admm\""), std::string::npos);
+  EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos);
+
+  // One trace CSV per scenario, named by tag.
+  const auto trace_path =
+      options.trace_dir + "/" + report.outcomes[0].scenario.tag() + ".csv";
+  EXPECT_TRUE(std::filesystem::exists(trace_path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nadmm::runner
