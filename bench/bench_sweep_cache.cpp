@@ -1,0 +1,111 @@
+// Measures what the DatasetProvider buys a sweep: the quick.sweep-shaped
+// grid (3 solvers × 2 datasets × 2 worker counts) executed once with the
+// dataset cache disabled (--cache-budget=0 semantics: every scenario
+// regenerates its dataset, the pre-cache behavior) and once with the
+// default budget (scenarios differing only in solver/workers share one
+// copy). Writes the committed BENCH_sweep_cache.json baseline.
+//
+//   ./build/bench_sweep_cache --out=BENCH_sweep_cache.json
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "runner/sweep.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+
+using namespace nadmm;
+
+namespace {
+
+runner::SweepSpec quick_spec(double scale) {
+  runner::SweepSpec spec;
+  spec.solvers = {"newton-admm", "giant", "sync-sgd"};
+  spec.datasets = {"blobs", "higgs"};
+  spec.workers = {2, 4};
+  spec.base.n_train = static_cast<std::size_t>(600 * scale);
+  spec.base.n_test = static_cast<std::size_t>(150 * scale);
+  spec.base.iterations = 8;
+  return spec;
+}
+
+struct Measurement {
+  double wall_seconds = 0.0;
+  runner::SweepReport report;
+};
+
+Measurement timed_sweep(const runner::SweepSpec& spec, std::size_t budget,
+                        int jobs) {
+  runner::SweepOptions options;
+  options.jobs = jobs;
+  options.cache_budget = budget;
+  const auto start = std::chrono::steady_clock::now();
+  Measurement m;
+  m.report = run_sweep(spec, options);
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  NADMM_CHECK(m.report.failures() == 0, "bench sweep had failing scenarios");
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_sweep_cache — sweep wall time, dataset cache off vs on");
+  cli.add_double("scale", 1.0, "dataset size multiplier");
+  cli.add_int("jobs", 4, "scheduler threads");
+  cli.add_int("repeats", 3, "keep the fastest of N runs per setting");
+  cli.add_string("out", "BENCH_sweep_cache.json", "baseline JSON path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto spec = quick_spec(cli.get_double("scale"));
+  const int jobs = static_cast<int>(cli.get_int("jobs"));
+  const int repeats = static_cast<int>(cli.get_int("repeats"));
+  NADMM_CHECK(repeats >= 1, "--repeats must be at least 1");
+
+  Measurement off, on;
+  for (int r = 0; r < repeats; ++r) {
+    auto m_off = timed_sweep(spec, 0, jobs);
+    if (r == 0 || m_off.wall_seconds < off.wall_seconds) off = std::move(m_off);
+    auto m_on = timed_sweep(
+        spec, data::DatasetProvider::kDefaultByteBudget, jobs);
+    if (r == 0 || m_on.wall_seconds < on.wall_seconds) on = std::move(m_on);
+  }
+
+  const std::size_t scenarios = on.report.outcomes.size();
+  const double speedup =
+      on.wall_seconds > 0.0 ? off.wall_seconds / on.wall_seconds : 0.0;
+  std::printf("sweep of %zu scenarios (%d jobs, best of %d):\n", scenarios,
+              jobs, repeats);
+  std::printf("  cache off: %.3f s (every scenario regenerates)\n",
+              off.wall_seconds);
+  std::printf("  cache on:  %.3f s (%zu generated, %zu shared)\n",
+              on.wall_seconds, on.report.cache.generations,
+              on.report.cache.hits);
+  std::printf("  speedup:   %.2fx\n", speedup);
+
+  const std::string out = cli.get_string("out");
+  std::ofstream json(out);
+  if (!json) throw RuntimeError("cannot open " + out);
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"bench\": \"sweep_cache\",\n"
+      "  \"grid\": \"quick.sweep (3 solvers x 2 datasets x 2 worker counts)\",\n"
+      "  \"scenarios\": %zu,\n"
+      "  \"jobs\": %d,\n"
+      "  \"repeats\": %d,\n"
+      "  \"cache_off_wall_seconds\": %.3f,\n"
+      "  \"cache_on_wall_seconds\": %.3f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"datasets_generated_with_cache\": %zu,\n"
+      "  \"datasets_shared_with_cache\": %zu\n"
+      "}\n",
+      scenarios, jobs, repeats, off.wall_seconds, on.wall_seconds, speedup,
+      on.report.cache.generations, on.report.cache.hits);
+  json << buf;
+  std::printf("baseline written to %s\n", out.c_str());
+  return 0;
+}

@@ -99,4 +99,16 @@ double Dataset::feature_density() const {
          (static_cast<double>(num_samples()) * static_cast<double>(num_features_));
 }
 
+std::size_t Dataset::approx_bytes() const {
+  std::size_t bytes = labels_.size() * sizeof(std::int32_t);
+  if (is_sparse_) {
+    bytes += sparse_.row_ptr().size() * sizeof(std::int64_t);
+    bytes += sparse_.col_idx().size() * sizeof(std::int64_t);
+    bytes += sparse_.values().size() * sizeof(double);
+  } else {
+    bytes += dense_.size() * sizeof(double);
+  }
+  return bytes;
+}
+
 }  // namespace nadmm::data

@@ -55,6 +55,10 @@ class Dataset {
   /// the true stored density of the dense buffer).
   [[nodiscard]] double feature_density() const;
 
+  /// Approximate resident size of the feature + label buffers, used by
+  /// the DatasetProvider's LRU byte budget (src/data/provider.hpp).
+  [[nodiscard]] std::size_t approx_bytes() const;
+
  private:
   bool is_sparse_ = false;
   std::size_t num_features_ = 0;
@@ -62,6 +66,17 @@ class Dataset {
   la::DenseMatrix dense_;
   la::CsrMatrix sparse_;
   std::vector<std::int32_t> labels_;
+};
+
+/// A train/test pair drawn from the same source (generator or file).
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+
+  /// Combined resident size, used by the DatasetProvider byte budget.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return train.approx_bytes() + test.approx_bytes();
+  }
 };
 
 }  // namespace nadmm::data

@@ -14,11 +14,8 @@
 
 namespace nadmm::data {
 
-/// A train/test pair drawn from the same distribution.
-struct TrainTest {
-  Dataset train;
-  Dataset test;
-};
+// TrainTest lives in data/dataset.hpp (shared with the file loaders and
+// the DatasetProvider).
 
 /// Paper Table 1 metadata, used by the Table-1 bench to print the
 /// paper-scale numbers next to the generated ones.

@@ -1,6 +1,8 @@
 #include "data/io.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -10,7 +12,194 @@
 
 namespace nadmm::data {
 
+namespace {
+
+[[noreturn]] void parse_error(const std::string& path, std::size_t line_no,
+                              const std::string& what) {
+  throw RuntimeError(path + ":" + std::to_string(line_no) + ": " + what);
+}
+
+/// from_chars does not recognize a leading '+', but LIBSVM files in the
+/// wild label positive samples "+1" — accept exactly one.
+std::string_view strip_plus(std::string_view token) {
+  if (token.size() > 1 && token[0] == '+' && token[1] != '-') {
+    token.remove_prefix(1);
+  }
+  return token;
+}
+
+/// Strict full-token integer parse: the whole token must be consumed, so
+/// `12abc` is an error rather than a silent `12`.
+bool parse_full_int(std::string_view token, std::int64_t& out) {
+  token = strip_plus(token);
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Strict full-token double parse; rejects trailing garbage and
+/// non-finite values (`inf`/`nan` have no meaning as features here).
+bool parse_full_double(std::string_view token, double& out) {
+  token = strip_plus(token);
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && std::isfinite(out);
+}
+
+struct LibsvmRow {
+  std::int64_t label = 0;
+  std::vector<std::int64_t> cols;  ///< 0-based, strictly increasing
+  std::vector<double> vals;
+};
+
+/// `\r` from CRLF files, comment lines and blank lines are all handled by
+/// the caller; this parses one data line strictly.
+void parse_libsvm_row(const std::string& line, const std::string& path,
+                      std::size_t line_no, LibsvmRow& row) {
+  row.cols.clear();
+  row.vals.clear();
+  std::istringstream ls(line);
+  std::string token;
+  if (!(ls >> token)) parse_error(path, line_no, "empty data line");
+  if (!parse_full_int(token, row.label)) {
+    parse_error(path, line_no,
+                "cannot parse label '" + token + "' (integer expected)");
+  }
+  std::int64_t prev_idx = 0;
+  while (ls >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == token.size()) {
+      parse_error(path, line_no,
+                  "malformed feature token '" + token +
+                      "' (expected index:value)");
+    }
+    std::int64_t idx = 0;
+    if (!parse_full_int(std::string_view(token).substr(0, colon), idx)) {
+      parse_error(path, line_no,
+                  "non-numeric feature index in token '" + token + "'");
+    }
+    double val = 0.0;
+    if (!parse_full_double(std::string_view(token).substr(colon + 1), val)) {
+      parse_error(path, line_no,
+                  "malformed feature value in token '" + token + "'");
+    }
+    if (idx < 1) parse_error(path, line_no, "LIBSVM indices are 1-based");
+    if (idx <= prev_idx) {
+      parse_error(path, line_no,
+                  "feature indices must be strictly increasing (" +
+                      std::to_string(idx) + " after " +
+                      std::to_string(prev_idx) + ")");
+    }
+    prev_idx = idx;
+    row.cols.push_back(idx - 1);
+    row.vals.push_back(val);
+  }
+}
+
+/// Strip CRLF remnants; returns true when the line carries data.
+bool is_data_line(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty() && line[0] != '#';
+}
+
+std::map<std::int64_t, std::int32_t> build_label_map(
+    const std::vector<std::int64_t>& label_values) {
+  // Tolerate duplicates / arbitrary order in the caller's vector: insert
+  // first, then number in ascending raw-label order (the same remap
+  // load_libsvm documents).
+  std::map<std::int64_t, std::int32_t> map;
+  for (const std::int64_t raw : label_values) map.emplace(raw, 0);
+  std::int32_t next = 0;
+  for (auto& [raw, mapped] : map) mapped = next++;
+  return map;
+}
+
+}  // namespace
+
+LibsvmInfo scan_libsvm(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open LIBSVM file: " + path);
+  LibsvmInfo info;
+  std::map<std::int64_t, std::int32_t> labels;
+  LibsvmRow row;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!is_data_line(line)) continue;
+    parse_libsvm_row(line, path, line_no, row);
+    ++info.num_rows;
+    labels.emplace(row.label, 0);
+    if (!row.cols.empty()) {
+      info.num_features = std::max(
+          info.num_features, static_cast<std::size_t>(row.cols.back() + 1));
+    }
+  }
+  info.label_values.reserve(labels.size());
+  for (const auto& [raw, _] : labels) info.label_values.push_back(raw);
+  return info;
+}
+
+LibsvmShardReader::LibsvmShardReader(
+    const std::string& path, std::size_t num_features,
+    const std::vector<std::int64_t>& label_values)
+    : path_(path), in_(path), num_features_(num_features),
+      label_map_(build_label_map(label_values)) {
+  if (!in_) throw RuntimeError("cannot open LIBSVM file: " + path);
+  NADMM_CHECK(num_features_ > 0, "LibsvmShardReader needs num_features > 0");
+  NADMM_CHECK(label_map_.size() >= 2,
+              "LibsvmShardReader needs at least two label values");
+}
+
+Dataset LibsvmShardReader::next_shard(std::size_t max_rows) {
+  NADMM_CHECK(max_rows > 0, "next_shard: max_rows must be positive");
+  std::vector<std::int64_t> row_ptr{0};
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  std::vector<std::int32_t> labels;
+
+  LibsvmRow row;
+  std::string line;
+  while (labels.size() < max_rows && std::getline(in_, line)) {
+    ++line_no_;
+    if (!is_data_line(line)) continue;
+    parse_libsvm_row(line, path_, line_no_, row);
+    const auto it = label_map_.find(row.label);
+    if (it == label_map_.end()) {
+      parse_error(path_, line_no_,
+                  "label " + std::to_string(row.label) +
+                      " not in the reader's label set");
+    }
+    if (!row.cols.empty() &&
+        static_cast<std::size_t>(row.cols.back()) >= num_features_) {
+      parse_error(path_, line_no_,
+                  "feature index " + std::to_string(row.cols.back() + 1) +
+                      " beyond declared dimension " +
+                      std::to_string(num_features_));
+    }
+    labels.push_back(it->second);
+    col_idx.insert(col_idx.end(), row.cols.begin(), row.cols.end());
+    values.insert(values.end(), row.vals.begin(), row.vals.end());
+    row_ptr.push_back(static_cast<std::int64_t>(values.size()));
+  }
+  if (labels.empty()) {
+    done_ = true;
+    return {};
+  }
+  rows_read_ += labels.size();
+  la::CsrMatrix features(labels.size(), num_features_, std::move(row_ptr),
+                         std::move(col_idx), std::move(values));
+  return Dataset::sparse(std::move(features), std::move(labels),
+                         static_cast<int>(label_map_.size()));
+}
+
 Dataset load_libsvm(const std::string& path, std::size_t num_features) {
+  // Single pass: buffer rows with their raw labels, remap at the end
+  // (sharded consumers pay the extra scan_libsvm pass instead so every
+  // shard agrees on (p, C); the whole-file path does not need to).
   std::ifstream in(path);
   if (!in) throw RuntimeError("cannot open LIBSVM file: " + path);
 
@@ -20,61 +209,69 @@ Dataset load_libsvm(const std::string& path, std::size_t num_features) {
   std::vector<std::int64_t> raw_labels;
   std::size_t max_col = 0;
 
+  LibsvmRow row;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::int64_t label = 0;
-    if (!(ls >> label)) {
-      throw RuntimeError(path + ":" + std::to_string(line_no) +
-                         ": cannot parse label");
+    if (!is_data_line(line)) continue;
+    parse_libsvm_row(line, path, line_no, row);
+    raw_labels.push_back(row.label);
+    if (!row.cols.empty()) {
+      max_col = std::max(max_col, static_cast<std::size_t>(row.cols.back() + 1));
     }
-    raw_labels.push_back(label);
-    std::string token;
-    std::int64_t prev_idx = 0;
-    while (ls >> token) {
-      const auto colon = token.find(':');
-      if (colon == std::string::npos) {
-        throw RuntimeError(path + ":" + std::to_string(line_no) +
-                           ": malformed feature token '" + token + "'");
-      }
-      const std::int64_t idx = std::stoll(token.substr(0, colon));
-      const double val = std::stod(token.substr(colon + 1));
-      if (idx < 1) {
-        throw RuntimeError(path + ":" + std::to_string(line_no) +
-                           ": LIBSVM indices are 1-based");
-      }
-      if (idx <= prev_idx) {
-        throw RuntimeError(path + ":" + std::to_string(line_no) +
-                           ": feature indices must be strictly increasing");
-      }
-      prev_idx = idx;
-      col_idx.push_back(idx - 1);
-      values.push_back(val);
-      max_col = std::max(max_col, static_cast<std::size_t>(idx));
-    }
+    col_idx.insert(col_idx.end(), row.cols.begin(), row.cols.end());
+    values.insert(values.end(), row.vals.begin(), row.vals.end());
     row_ptr.push_back(static_cast<std::int64_t>(values.size()));
   }
+  NADMM_CHECK(!raw_labels.empty(), "load_libsvm: " + path + " has no samples");
 
   const std::size_t p = num_features > 0 ? num_features : max_col;
-  NADMM_CHECK(max_col <= p, "load_libsvm: file has feature index beyond " +
+  NADMM_CHECK(max_col <= p, "load_libsvm: " + path +
+                                " has feature index beyond " +
                                 std::to_string(p));
 
   // Remap labels to [0, C) in ascending order of the raw values.
   std::map<std::int64_t, std::int32_t> remap;
-  for (std::int64_t l : raw_labels) remap.emplace(l, 0);
+  for (const std::int64_t l : raw_labels) remap.emplace(l, 0);
   std::int32_t next = 0;
   for (auto& [raw, mapped] : remap) mapped = next++;
   std::vector<std::int32_t> labels;
   labels.reserve(raw_labels.size());
-  for (std::int64_t l : raw_labels) labels.push_back(remap.at(l));
+  for (const std::int64_t l : raw_labels) labels.push_back(remap.at(l));
 
   la::CsrMatrix features(raw_labels.size(), p, std::move(row_ptr),
                          std::move(col_idx), std::move(values));
   return Dataset::sparse(std::move(features), std::move(labels),
                          std::max<std::int32_t>(next, 2));
+}
+
+TrainTest load_libsvm_train_test(const std::string& path, std::size_t n_train,
+                                 std::size_t n_test,
+                                 std::size_t num_features) {
+  const LibsvmInfo info = scan_libsvm(path);
+  const std::size_t p = num_features > 0 ? num_features : info.num_features;
+  NADMM_CHECK(info.num_features <= p,
+              "load_libsvm_train_test: " + path +
+                  " has feature index beyond " + std::to_string(p));
+  NADMM_CHECK(info.label_values.size() >= 2,
+              "load_libsvm_train_test: " + path +
+                  " needs at least two distinct labels");
+  NADMM_CHECK(n_test < info.num_rows,
+              "load_libsvm_train_test: test split (" + std::to_string(n_test) +
+                  " rows) leaves no training rows in " + path);
+  const std::size_t train_rows =
+      n_train > 0 ? n_train : info.num_rows - n_test;
+  NADMM_CHECK(train_rows + n_test <= info.num_rows,
+              "load_libsvm_train_test: " + path + " has " +
+                  std::to_string(info.num_rows) + " rows; need " +
+                  std::to_string(train_rows + n_test));
+
+  LibsvmShardReader reader(path, p, info.label_values);
+  TrainTest tt;
+  tt.train = reader.next_shard(train_rows);
+  if (n_test > 0) tt.test = reader.next_shard(n_test);
+  return tt;
 }
 
 void save_libsvm(const Dataset& ds, const std::string& path) {
@@ -122,11 +319,24 @@ Dataset load_csv(const std::string& path, int num_classes) {
   std::size_t p = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (!is_data_line(line)) continue;
     std::vector<double> vals;
     std::stringstream ls(line);
     std::string cell;
-    while (std::getline(ls, cell, ',')) vals.push_back(std::stod(cell));
+    while (std::getline(ls, cell, ',')) {
+      // Tolerate "label, 0.5" padding; the value itself stays strict.
+      const auto b = cell.find_first_not_of(" \t");
+      const auto e = cell.find_last_not_of(" \t");
+      const std::string_view trimmed =
+          b == std::string::npos
+              ? std::string_view{}
+              : std::string_view(cell).substr(b, e - b + 1);
+      double v = 0.0;
+      if (!parse_full_double(trimmed, v)) {
+        parse_error(path, line_no, "malformed CSV number '" + cell + "'");
+      }
+      vals.push_back(v);
+    }
     NADMM_CHECK(vals.size() >= 2, path + ":" + std::to_string(line_no) +
                                       ": need label plus >=1 feature");
     if (p == 0) {

@@ -3,9 +3,20 @@
 // LIBSVM format (sparse, `label idx:value ...`, 1-based indices) and a
 // simple dense CSV (`label,f0,f1,...`). Loaders let users run the solver
 // stack on the real HIGGS / MNIST / CIFAR-10 / E18 data unchanged.
+//
+// LIBSVM files can also be consumed as bounded-memory row shards via
+// `LibsvmShardReader`, so paper-scale inputs never have to fit in memory
+// at once: `scan_libsvm` makes one streaming pass to fix the global label
+// set and feature dimension, then every shard agrees on both. All parsing
+// is strict: malformed input fails with a `path:line:` message rather
+// than silently misparsing (e.g. `1x:2` or `1:2.5junk`).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
 
@@ -18,6 +29,53 @@ Dataset load_libsvm(const std::string& path, std::size_t num_features = 0);
 
 /// Write a dataset (dense or sparse) in LIBSVM format.
 void save_libsvm(const Dataset& ds, const std::string& path);
+
+/// Global metadata gathered by one streaming pass over a LIBSVM file
+/// (O(1) memory beyond the distinct-label set).
+struct LibsvmInfo {
+  std::size_t num_rows = 0;
+  std::size_t num_features = 0;            ///< max 1-based index seen
+  std::vector<std::int64_t> label_values;  ///< distinct raw labels, ascending
+};
+
+/// Streaming pre-scan: row count, feature dimension and the label set.
+/// Validates every line with the same strict parser the loaders use.
+LibsvmInfo scan_libsvm(const std::string& path);
+
+/// Incremental row-shard reader over a LIBSVM file. The feature dimension
+/// and raw-label set are fixed up front (typically from `scan_libsvm`) so
+/// every shard shares one consistent (p, C) shape; only `max_rows` rows
+/// are resident at a time.
+class LibsvmShardReader {
+ public:
+  LibsvmShardReader(const std::string& path, std::size_t num_features,
+                    const std::vector<std::int64_t>& label_values);
+
+  /// Read up to `max_rows` further rows as a sparse dataset. Returns an
+  /// empty dataset (num_samples() == 0) once the file is exhausted.
+  Dataset next_shard(std::size_t max_rows);
+
+  [[nodiscard]] std::size_t rows_read() const { return rows_read_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::size_t num_features_ = 0;
+  std::map<std::int64_t, std::int32_t> label_map_;
+  std::size_t line_no_ = 0;
+  std::size_t rows_read_ = 0;
+  bool done_ = false;
+};
+
+/// Stream a LIBSVM file into a (train, test) pair: the first `n_train`
+/// rows train, the next `n_test` rows test. `n_train` = 0 means "all rows
+/// not claimed by the test split". Both splits share the file-global
+/// feature dimension and label mapping. Throws when the file has fewer
+/// than `n_train + n_test` rows.
+TrainTest load_libsvm_train_test(const std::string& path, std::size_t n_train,
+                                 std::size_t n_test,
+                                 std::size_t num_features = 0);
 
 /// Load a dense CSV: one sample per line, first column is the integer
 /// label (already in [0, C)), remaining columns are features.

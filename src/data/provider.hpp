@@ -1,0 +1,95 @@
+// DatasetProvider: one immutable copy of each dataset, shared across
+// every consumer whose scenario differs only in knobs that do not affect
+// the data (solver, workers, device, network, penalty, λ).
+//
+// Datasets are keyed by their content-defining parameters (source name,
+// sample counts, feature dimension, seed, standardization). A `get` on a
+// cached key returns the same `shared_ptr<const TrainTest>`; a miss
+// generates (or loads) the dataset exactly once even when many scheduler
+// threads request the same key concurrently (single-flight). Cached
+// entries are evicted least-recently-used once the resident bytes exceed
+// the provider's byte budget; evicted datasets stay alive for callers
+// that still hold the pointer and are simply regenerated on the next
+// request.
+//
+// Sources: any generator name accepted by data::make_by_name, or
+// "libsvm:<path>" to stream a LIBSVM file from disk as row shards
+// (io.hpp) split into the keyed train/test sizes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace nadmm::data {
+
+/// Content-defining parameters of a dataset. Two keys comparing equal
+/// means the corresponding datasets are byte-identical.
+struct DatasetKey {
+  std::string source;        ///< generator name or "libsvm:<path>"
+  std::size_t n_train = 0;
+  std::size_t n_test = 0;
+  std::size_t features = 0;  ///< p knob (honoured by e18/blobs; 0 = infer)
+  std::uint64_t seed = 0;
+  bool standardize = false;  ///< z-score the splits after generation
+
+  bool operator==(const DatasetKey&) const = default;
+
+  /// Canonical string form — the cache-map key and journal/debug label.
+  [[nodiscard]] std::string cache_tag() const;
+};
+
+/// Generate or load the dataset a key names (no caching). Shared by the
+/// provider and the one-shot `runner::make_data` path.
+TrainTest generate_dataset(const DatasetKey& key);
+
+class DatasetProvider {
+ public:
+  /// Default budget: large enough that paper-scale sweeps share every
+  /// dataset, small enough to bound an unbounded grid.
+  static constexpr std::size_t kDefaultByteBudget = 2ull << 30;  // 2 GiB
+
+  explicit DatasetProvider(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// Fetch the dataset for `key`, generating it on a miss. Thread-safe;
+  /// concurrent misses on one key generate once and share the result.
+  std::shared_ptr<const TrainTest> get(const DatasetKey& key);
+
+  /// Change the byte budget; evicts immediately if now over budget.
+  void set_byte_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t byte_budget() const;
+
+  /// Resident bytes across cached entries (excludes evicted datasets
+  /// callers still hold).
+  [[nodiscard]] std::size_t bytes_in_use() const;
+
+  struct Stats {
+    std::size_t generations = 0;  ///< datasets actually generated/loaded
+    std::size_t hits = 0;         ///< gets served from cache
+    std::size_t misses = 0;       ///< gets that had to generate
+    std::size_t evictions = 0;    ///< entries dropped by the LRU budget
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop every cached entry (callers' shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Slot;
+
+  void evict_over_budget_locked(const std::string& keep_tag);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Slot>> entries_;
+  std::list<std::string> lru_;  ///< most-recent first
+  std::size_t byte_budget_;
+  std::size_t bytes_in_use_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nadmm::data

@@ -9,9 +9,21 @@
 
 namespace nadmm::runner {
 
+data::DatasetKey dataset_key(const ExperimentConfig& config) {
+  data::DatasetKey key;
+  key.source = config.dataset;
+  key.n_train = config.n_train;
+  key.n_test = config.n_test;
+  // File-backed sources take their dimension (and content) from the
+  // file, so the generator knobs must not split their cache entries.
+  const bool file_backed = config.dataset.rfind("libsvm:", 0) == 0;
+  key.features = file_backed ? 0 : config.e18_features;
+  key.seed = file_backed ? 0 : config.seed;
+  return key;
+}
+
 data::TrainTest make_data(const ExperimentConfig& config) {
-  return data::make_by_name(config.dataset, config.n_train, config.n_test,
-                            config.e18_features, config.seed);
+  return data::generate_dataset(dataset_key(config));
 }
 
 comm::SimCluster make_cluster(const ExperimentConfig& config) {

@@ -14,12 +14,13 @@
 #include "core/newton_admm.hpp"
 #include "core/trace.hpp"
 #include "data/generators.hpp"
+#include "data/provider.hpp"
 
 namespace nadmm::runner {
 
 /// Shared experiment knobs (paper defaults).
 struct ExperimentConfig {
-  std::string dataset = "mnist";  ///< higgs|mnist|cifar|e18|blobs
+  std::string dataset = "mnist";  ///< higgs|mnist|cifar|e18|blobs|libsvm:<path>
   std::size_t n_train = 8'000;
   std::size_t n_test = 2'000;
   std::size_t e18_features = 1'400;  ///< scaled-down E18 dimension
@@ -46,7 +47,12 @@ struct ExperimentConfig {
   int omp_threads = 0;            ///< OpenMP threads per rank (0 = auto)
 };
 
-/// Generate (deterministically) the dataset named by the config.
+/// The content-defining parameters of the config's dataset — scenarios
+/// that agree on this key share one cached copy via DatasetProvider.
+data::DatasetKey dataset_key(const ExperimentConfig& config);
+
+/// Generate (deterministically) the dataset named by the config. One-shot
+/// path with no caching; sweeps go through a DatasetProvider instead.
 data::TrainTest make_data(const ExperimentConfig& config);
 
 /// Construct the simulated cluster named by the config.

@@ -8,6 +8,7 @@
 // expands a declarative grid and executes it on a worker pool (see
 // runner/sweep.hpp — the aggregated report is deterministic across
 // --jobs settings).
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -23,6 +24,32 @@
 namespace {
 
 using namespace nadmm;
+
+/// Parse "0", "1500000", "512m", "2g" (case-insensitive k/m/g suffix).
+std::size_t parse_byte_size(const std::string& value) {
+  NADMM_CHECK(!value.empty(), "--cache-budget must not be empty");
+  // stoull would silently wrap "-1" to 2^64−1.
+  NADMM_CHECK(value.find('-') == std::string::npos,
+              "--cache-budget must be non-negative");
+  std::size_t multiplier = 1;
+  std::string digits = value;
+  switch (digits.back()) {
+    case 'k': case 'K': multiplier = 1ull << 10; digits.pop_back(); break;
+    case 'm': case 'M': multiplier = 1ull << 20; digits.pop_back(); break;
+    case 'g': case 'G': multiplier = 1ull << 30; digits.pop_back(); break;
+    default: break;
+  }
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stoull(digits, &pos);
+    NADMM_CHECK(pos == digits.size(), "trailing characters");
+    NADMM_CHECK(v <= SIZE_MAX / multiplier, "size overflows");
+    return v * multiplier;
+  } catch (const std::exception&) {
+    throw InvalidArgument("--cache-budget: malformed size '" + value +
+                          "' (expected bytes with optional k/m/g suffix)");
+  }
+}
 
 void print_usage() {
   std::printf(
@@ -45,6 +72,7 @@ int cmd_list() {
   std::printf(
       "\ndatasets:  higgs | mnist | cifar | e18 | blobs (synthetic, "
       "paper-shaped)\n"
+      "           libsvm:<path> (streamed from disk as row shards)\n"
       "devices:   p100 | cpu | <gflops>\n"
       "networks:  ib100 | eth10 | eth1 | wan | ideal\n"
       "penalties: fixed | rb | sps\n");
@@ -52,7 +80,7 @@ int cmd_list() {
 }
 
 void add_scenario_options(CliParser& cli) {
-  cli.add_string("dataset", "blobs", "higgs|mnist|cifar|e18|blobs");
+  cli.add_string("dataset", "blobs", "higgs|mnist|cifar|e18|blobs|libsvm:<path>");
   cli.add_int("n-train", 8000, "training samples");
   cli.add_int("n-test", 2000, "test samples");
   cli.add_int("e18-features", 1400, "feature dim for e18/blobs");
@@ -144,6 +172,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_string("out", "sweep.csv", "aggregated CSV report path");
   cli.add_string("json", "", "if set, also write a JSON report here");
   cli.add_string("trace-dir", "", "if set, write per-scenario trace CSVs here");
+  cli.add_flag("resume", "skip scenarios recorded in <out>.journal.jsonl");
+  cli.add_string("cache-budget", "2g",
+                 "dataset cache byte budget (k/m/g suffixes; 0 disables)");
+  cli.add_int("limit", 0, "stop after N scenarios (0 = all; for CI/testing)");
   cli.add_flag("quiet", "suppress per-scenario progress lines");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -170,9 +202,15 @@ int cmd_sweep(int argc, const char* const* argv) {
     }
   }
 
+  const std::string out = cli.get_string("out");
   runner::SweepOptions options;
   options.jobs = static_cast<int>(cli.get_int("jobs"));
   options.trace_dir = cli.get_string("trace-dir");
+  options.journal_path = out + ".journal.jsonl";
+  options.resume = cli.get_flag("resume");
+  options.cache_budget = parse_byte_size(cli.get_string("cache-budget"));
+  options.max_scenarios =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("limit")));
   const bool quiet = cli.get_flag("quiet");
   if (!quiet) {
     options.on_scenario_done = [](const runner::ScenarioOutcome& o,
@@ -194,8 +232,23 @@ int cmd_sweep(int argc, const char* const* argv) {
   std::printf("sweep: %zu scenarios, %d job(s)\n", scenarios.size(),
               options.jobs);
   const auto report = runner::run_sweep(spec, options);
+  if (report.resumed > 0) {
+    std::printf("resumed: %zu scenario(s) restored from %s\n", report.resumed,
+                options.journal_path.c_str());
+  }
+  if (report.cache.generations > 0 || report.cache.hits > 0) {
+    std::printf("dataset cache: %zu generated, %zu shared, %zu evicted\n",
+                report.cache.generations, report.cache.hits,
+                report.cache.evictions);
+  }
 
-  const std::string out = cli.get_string("out");
+  if (!report.complete()) {
+    std::printf("\ninterrupted after %zu scenario(s) — rerun with --resume to "
+                "continue (journal: %s)\n",
+                report.executed, options.journal_path.c_str());
+    return 3;
+  }
+
   report.write_csv(out);
   std::printf("\naggregated report: %s (%zu rows, %zu failed)\n", out.c_str(),
               report.outcomes.size(), report.failures());

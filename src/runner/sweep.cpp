@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -99,6 +100,164 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// --------------------------------------------------------------- journal
+//
+// One JSON object per line; the writer is this file, so the reader is a
+// targeted field extractor rather than a general JSON parser. Numbers are
+// written with %.17g (round-trips doubles exactly; `inf`/`nan` appear as
+// bare tokens, which strtod reads back) — that is what makes a resumed
+// report byte-identical to an uninterrupted one.
+
+/// Locate the value of `"key": ` in a journal line; npos when absent.
+std::size_t find_json_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  auto pos = at + needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  return pos < line.size() ? pos : std::string::npos;
+}
+
+bool json_get_string(const std::string& line, const std::string& key,
+                     std::string& out) {
+  auto pos = find_json_value(line, key);
+  if (pos == std::string::npos || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      const char e = line[++pos];
+      switch (e) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'u': {
+          // Only \u00XX is ever emitted (see json_escape).
+          if (pos + 4 >= line.size()) return false;
+          c = static_cast<char>(
+              std::strtol(line.substr(pos + 1, 4).c_str(), nullptr, 16));
+          pos += 4;
+          break;
+        }
+        default: c = e; break;
+      }
+    }
+    out += c;
+    ++pos;
+  }
+  return pos < line.size();
+}
+
+bool json_get_double(const std::string& line, const std::string& key,
+                     double& out) {
+  const auto pos = find_json_value(line, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + pos, &end);
+  return end != line.c_str() + pos;
+}
+
+bool json_get_int(const std::string& line, const std::string& key,
+                  std::int64_t& out) {
+  const auto pos = find_json_value(line, key);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + pos, &end, 10);
+  return end != line.c_str() + pos;
+}
+
+constexpr const char* kJournalKind = "nadmm-sweep-journal";
+
+std::string journal_header_line(const std::string& fingerprint,
+                                std::size_t scenarios) {
+  std::ostringstream os;
+  os << "{\"kind\": \"" << kJournalKind << "\", \"version\": 1"
+     << ", \"fingerprint\": \"" << fingerprint << "\""
+     << ", \"scenarios\": " << scenarios << '}';
+  return os.str();
+}
+
+std::string journal_outcome_line(const ScenarioOutcome& o) {
+  std::ostringstream os;
+  os << "{\"index\": " << o.scenario.index            //
+     << ", \"tag\": \"" << json_escape(o.scenario.tag()) << "\""
+     << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
+  if (o.ok) {
+    os << ", \"iterations\": " << o.result.iterations  //
+       << ", \"final_objective\": " << fmt_double(o.result.final_objective)
+       << ", \"final_test_accuracy\": "
+       << fmt_double(o.result.final_test_accuracy)
+       << ", \"total_sim_seconds\": " << fmt_double(o.result.total_sim_seconds)
+       << ", \"avg_epoch_sim_seconds\": "
+       << fmt_double(o.result.avg_epoch_sim_seconds)
+       << ", \"total_comm_sim_seconds\": " << fmt_double(o.comm_sim_seconds);
+  } else {
+    os << ", \"error\": \"" << json_escape(o.error) << "\"";
+  }
+  os << '}';
+  return os.str();
+}
+
+/// Parse one journal data line back into the outcome for its scenario.
+/// Returns false (leaving `completed` untouched) on lines that do not
+/// parse — only the final line of a killed run can be torn, because the
+/// writer flushes per line.
+bool restore_outcome_line(const std::string& line,
+                          const std::vector<Scenario>& scenarios,
+                          std::vector<ScenarioOutcome>& outcomes,
+                          std::vector<char>& completed) {
+  // A line torn inside its final numeric field would still satisfy every
+  // field extractor below (strtod parses the truncated prefix); only a
+  // closing brace proves the record was written out completely.
+  const auto last = line.find_last_not_of(" \t\r");
+  if (last == std::string::npos || line[last] != '}') return false;
+  std::int64_t index = -1;
+  std::string tag, status;
+  if (!json_get_int(line, "index", index) ||
+      !json_get_string(line, "tag", tag) ||
+      !json_get_string(line, "status", status)) {
+    return false;
+  }
+  if (index < 0 || static_cast<std::size_t>(index) >= scenarios.size()) {
+    return false;
+  }
+  const auto i = static_cast<std::size_t>(index);
+  NADMM_CHECK(scenarios[i].tag() == tag,
+              "sweep journal: scenario " + std::to_string(index) +
+                  " is tagged '" + tag + "' but the grid expands to '" +
+                  scenarios[i].tag() + "' — journal is from a different spec");
+  ScenarioOutcome o;
+  o.scenario = scenarios[i];
+  o.from_journal = true;
+  if (status == "ok") {
+    std::int64_t iterations = 0;
+    if (!json_get_int(line, "iterations", iterations) ||
+        !json_get_double(line, "final_objective", o.result.final_objective) ||
+        !json_get_double(line, "final_test_accuracy",
+                         o.result.final_test_accuracy) ||
+        !json_get_double(line, "total_sim_seconds",
+                         o.result.total_sim_seconds) ||
+        !json_get_double(line, "avg_epoch_sim_seconds",
+                         o.result.avg_epoch_sim_seconds) ||
+        !json_get_double(line, "total_comm_sim_seconds",
+                         o.comm_sim_seconds)) {
+      return false;
+    }
+    o.ok = true;
+    o.result.solver = scenarios[i].solver;
+    o.result.iterations = static_cast<int>(iterations);
+  } else if (status == "error") {
+    if (!json_get_string(line, "error", o.error)) return false;
+    o.ok = false;
+  } else {
+    return false;
+  }
+  outcomes[i] = std::move(o);
+  completed[i] = 1;
+  return true;
+}
+
 }  // namespace
 
 void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
@@ -179,9 +338,18 @@ SweepSpec parse_sweep_file(const std::string& path) {
 }
 
 std::string Scenario::tag() const {
-  char buf[192];
+  // File-system-unsafe characters (e.g. from "libsvm:/path" dataset
+  // sources) are mapped to '-'; the index prefix keeps tags unique.
+  std::string dataset = config.dataset;
+  for (char& c : dataset) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (!safe) c = '-';
+  }
+  char buf[512];
   std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s", index,
-                solver.c_str(), config.dataset.c_str(), config.workers,
+                solver.c_str(), dataset.c_str(), config.workers,
                 config.device.c_str(), config.network.c_str(),
                 config.penalty.c_str(), fmt_compact(config.lambda).c_str());
   return buf;
@@ -226,6 +394,55 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
   return scenarios;
 }
 
+std::string spec_fingerprint(const SweepSpec& spec) {
+  std::ostringstream os;
+  const auto join = [&os](const char* name, const auto& items,
+                          auto&& format) {
+    os << name << '=';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) os << ',';
+      os << format(items[i]);
+    }
+    os << ';';
+  };
+  const auto str = [](const std::string& s) { return s; };
+  const auto integer = [](int v) { return std::to_string(v); };
+  join("solvers", spec.solvers, str);
+  join("datasets", spec.datasets, str);
+  join("workers", spec.workers, integer);
+  join("devices", spec.devices, str);
+  join("networks", spec.networks, str);
+  join("penalties", spec.penalties, str);
+  join("lambdas", spec.lambdas, fmt_double);
+  // Every base knob that survives scenario expansion (the per-axis fields
+  // are overwritten per scenario and already covered above).
+  const auto& b = spec.base;
+  os << "n_train=" << b.n_train << ";n_test=" << b.n_test
+     << ";e18_features=" << b.e18_features << ";seed=" << b.seed
+     << ";rho0=" << fmt_double(b.rho0) << ";iterations=" << b.iterations
+     << ";cg_iterations=" << b.cg_iterations
+     << ";cg_tol=" << fmt_double(b.cg_tol)
+     << ";line_search_iterations=" << b.line_search_iterations
+     << ";local_newton_steps=" << b.local_newton_steps
+     << ";objective_target=" << fmt_double(b.objective_target)
+     << ";evaluate_accuracy=" << b.evaluate_accuracy
+     << ";sgd_batch=" << b.sgd_batch << ";sgd_step=" << fmt_double(b.sgd_step)
+     << ";dane_epochs=" << b.dane_epochs << ";svrg_outer=" << b.svrg_outer
+     << ";fo_step=" << fmt_double(b.fo_step)
+     << ";gradient_tol=" << fmt_double(b.gradient_tol)
+     << ";omp_threads=" << b.omp_threads << ';';
+  const std::string canonical = os.str();
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 std::size_t SweepReport::failures() const {
   std::size_t n = 0;
   for (const auto& o : outcomes) n += o.ok ? 0 : 1;
@@ -242,8 +459,7 @@ std::vector<std::string> SweepReport::csv_rows() const {
   for (const auto& o : outcomes) {
     const auto& c = o.scenario.config;
     const auto& r = o.result;
-    const double comm =
-        (o.ok && !r.trace.empty()) ? r.trace.back().comm_sim_seconds : 0.0;
+    const double comm = o.comm_sim_seconds;
     std::ostringstream row;
     row << o.scenario.index << ',' << o.scenario.solver << ',' << c.dataset
         << ',' << c.n_train << ',' << c.n_test << ',' << c.workers << ','
@@ -274,8 +490,7 @@ void SweepReport::write_json(const std::string& path) const {
     const auto& o = outcomes[i];
     const auto& c = o.scenario.config;
     const auto& r = o.result;
-    const double comm =
-        (o.ok && !r.trace.empty()) ? r.trace.back().comm_sim_seconds : 0.0;
+    const double comm = o.comm_sim_seconds;
     out << "  {\"scenario\": " << o.scenario.index                      //
         << ", \"tag\": \"" << json_escape(o.scenario.tag()) << "\""     //
         << ", \"solver\": \"" << json_escape(o.scenario.solver) << "\"" //
@@ -309,6 +524,7 @@ void SweepReport::write_json(const std::string& path) const {
 SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   NADMM_CHECK(options.jobs >= 1, "sweep needs at least one scheduler thread");
   const std::vector<Scenario> scenarios = expand_scenarios(spec);
+  const std::string fingerprint = spec_fingerprint(spec);
 
   if (!options.trace_dir.empty()) {
     std::filesystem::create_directories(options.trace_dir);
@@ -316,10 +532,88 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
 
   SweepReport report;
   report.outcomes.resize(scenarios.size());
+  std::vector<char> completed(scenarios.size(), 0);
+
+  // Scenarios that agree on (dataset, n, p, seed) share one immutable
+  // copy through the provider; budget 0 reverts to per-scenario
+  // regeneration.
+  data::DatasetProvider local_provider(options.cache_budget);
+  data::DatasetProvider* provider =
+      options.provider ? options.provider : &local_provider;
+  const bool use_cache = options.provider != nullptr || options.cache_budget > 0;
+
+  bool journal_needs_newline = false;
+  if (options.resume && !options.journal_path.empty() &&
+      std::filesystem::exists(options.journal_path)) {
+    std::ifstream in(options.journal_path);
+    if (!in) {
+      throw RuntimeError("cannot open sweep journal: " + options.journal_path);
+    }
+    std::string line;
+    // A kill inside the truncate-then-write-header window leaves an
+    // empty or torn header; nothing restorable was lost, so treat that
+    // as a fresh start rather than dead-ending --resume.
+    const bool has_header =
+        static_cast<bool>(std::getline(in, line)) &&
+        line.find_last_not_of(" \t\r") != std::string::npos &&
+        line[line.find_last_not_of(" \t\r")] == '}';
+    if (has_header) {
+      std::string kind, journal_fp;
+      std::int64_t journal_fp_scenarios = -1, journal_version = -1;
+      NADMM_CHECK(json_get_string(line, "kind", kind) && kind == kJournalKind,
+                  "sweep journal " + options.journal_path +
+                      " has an unrecognized header");
+      NADMM_CHECK(json_get_string(line, "fingerprint", journal_fp) &&
+                      json_get_int(line, "scenarios", journal_fp_scenarios) &&
+                      json_get_int(line, "version", journal_version),
+                  "sweep journal " + options.journal_path +
+                      " has a malformed header");
+      NADMM_CHECK(journal_version == 1,
+                  "sweep journal " + options.journal_path +
+                      " has unsupported version " +
+                      std::to_string(journal_version));
+      NADMM_CHECK(journal_fp == fingerprint &&
+                      journal_fp_scenarios ==
+                          static_cast<std::int64_t>(scenarios.size()),
+                  "sweep journal " + options.journal_path +
+                      " was written for a different grid spec (fingerprint " +
+                      journal_fp + ", expected " + fingerprint +
+                      ") — rerun without --resume to start fresh");
+      bool ends_with_newline = true;
+      while (std::getline(in, line)) {
+        ends_with_newline = !in.eof() || line.empty();
+        restore_outcome_line(line, scenarios, report.outcomes, completed);
+      }
+      for (const char c : completed) report.resumed += c ? 1 : 0;
+      journal_needs_newline = !ends_with_newline;
+    }
+  }
+
+  std::ofstream journal;
+  if (!options.journal_path.empty()) {
+    const bool append = report.resumed > 0;
+    journal.open(options.journal_path,
+                 append ? std::ios::app : std::ios::trunc);
+    if (!journal) {
+      throw RuntimeError("cannot open sweep journal for writing: " +
+                         options.journal_path);
+    }
+    if (!append) {
+      journal << journal_header_line(fingerprint, scenarios.size()) << '\n';
+      journal.flush();
+    } else if (journal_needs_newline) {
+      // A kill mid-write can leave a torn final line; terminate it so the
+      // next appended record starts on its own line.
+      journal << '\n';
+      journal.flush();
+    }
+  }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> claimed{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
+  const std::size_t to_execute = scenarios.size() - report.resumed;
 
   auto run_one = [&](const Scenario& scenario) {
     ScenarioOutcome outcome;
@@ -327,7 +621,14 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     try {
       ExperimentConfig config = scenario.config;
       if (options.deterministic) config.omp_threads = 1;
-      const data::TrainTest tt = make_data(config);
+      std::shared_ptr<const data::TrainTest> shared;
+      data::TrainTest owned;
+      if (use_cache) {
+        shared = provider->get(dataset_key(config));
+      } else {
+        owned = make_data(config);
+      }
+      const data::TrainTest& tt = use_cache ? *shared : owned;
       comm::SimCluster cluster = make_cluster(config);
       outcome.result = SolverRegistry::instance().run(
           scenario.solver, cluster, tt.train, &tt.test, config);
@@ -335,6 +636,10 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         write_trace_csv(outcome.result,
                         options.trace_dir + "/" + scenario.tag() + ".csv");
       }
+      outcome.comm_sim_seconds = outcome.result.trace.empty()
+                                     ? 0.0
+                                     : outcome.result.trace.back()
+                                           .comm_sim_seconds;
       outcome.ok = true;
     } catch (const std::exception& e) {
       outcome.ok = false;
@@ -347,21 +652,30 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scenarios.size()) return;
+      if (completed[i]) continue;
+      if (options.max_scenarios > 0 &&
+          claimed.fetch_add(1) >= options.max_scenarios) {
+        return;
+      }
       ScenarioOutcome outcome = run_one(scenarios[i]);
       {
         const std::scoped_lock lock(progress_mutex);
         report.outcomes[i] = std::move(outcome);
+        ++report.executed;
+        if (journal.is_open()) {
+          journal << journal_outcome_line(report.outcomes[i]) << '\n';
+          journal.flush();
+        }
         const std::size_t finished = done.fetch_add(1) + 1;
         if (options.on_scenario_done) {
-          options.on_scenario_done(report.outcomes[i], finished,
-                                   scenarios.size());
+          options.on_scenario_done(report.outcomes[i], finished, to_execute);
         }
       }
     }
   };
 
   const std::size_t pool_size = std::min<std::size_t>(
-      static_cast<std::size_t>(options.jobs), scenarios.size());
+      static_cast<std::size_t>(options.jobs), to_execute > 0 ? to_execute : 1);
   if (pool_size <= 1) {
     worker();
   } else {
@@ -370,6 +684,7 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  report.cache = provider->stats();
   return report;
 }
 

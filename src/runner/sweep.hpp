@@ -10,13 +10,26 @@
 // Each scenario's cluster is pinned to one OpenMP thread per rank by
 // default, which removes run-to-run float reassociation and keeps
 // `jobs × workers` from oversubscribing the host.
+//
+// Datasets are fetched through a DatasetProvider (src/data/provider.hpp),
+// so scenarios that differ only in solver/workers/device/network/penalty/λ
+// share one immutable copy instead of regenerating per scenario.
+//
+// Resume: with `SweepOptions::journal_path` set, every finished scenario
+// is appended to a JSONL journal (flushed per line). A rerun of the same
+// grid spec with `resume = true` reconstructs completed outcomes from the
+// journal — skipping their execution — and still emits a byte-identical
+// final CSV/JSON report. Journals carry the spec's fingerprint; resuming
+// against a journal written for a different grid spec is rejected.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/trace.hpp"
+#include "data/provider.hpp"
 #include "runner/harness.hpp"
 
 namespace nadmm::runner {
@@ -60,15 +73,31 @@ struct Scenario {
 /// device, network, penalty, lambda — rightmost fastest).
 std::vector<Scenario> expand_scenarios(const SweepSpec& spec);
 
+/// 64-bit FNV-1a hash (hex) over the canonical serialization of every
+/// spec field; journals are bound to it so a resume against a different
+/// grid is detected.
+std::string spec_fingerprint(const SweepSpec& spec);
+
 struct ScenarioOutcome {
   Scenario scenario;
   core::RunResult result;  ///< valid when ok
   bool ok = false;
-  std::string error;       ///< non-empty when !ok
+  bool from_journal = false;     ///< reconstructed on resume (trace empty)
+  double comm_sim_seconds = 0.0; ///< cached from the trace for reports
+  std::string error;             ///< non-empty when !ok
 };
 
 struct SweepReport {
   std::vector<ScenarioOutcome> outcomes;  ///< in scenario order
+  std::size_t resumed = 0;   ///< outcomes reconstructed from the journal
+  std::size_t executed = 0;  ///< outcomes actually run this invocation
+  data::DatasetProvider::Stats cache;  ///< dataset-cache counters
+
+  /// False when `max_scenarios` stopped the run early; the report is
+  /// partial and should not be written as final.
+  [[nodiscard]] bool complete() const {
+    return resumed + executed == outcomes.size();
+  }
 
   [[nodiscard]] std::size_t failures() const;
 
@@ -88,7 +117,30 @@ struct SweepOptions {
   /// Pin each rank to one OpenMP thread (see header comment). Disabling
   /// re-enables intra-rank parallelism but forfeits byte-stable reports.
   bool deterministic = true;
-  /// Progress callback, invoked serially as scenarios finish.
+
+  /// If set, append each finished scenario to this JSONL journal
+  /// (flushed per line, so a killed run loses at most the in-flight
+  /// scenarios).
+  std::string journal_path;
+  /// Skip scenarios already recorded in `journal_path`. Throws
+  /// InvalidArgument when the journal was written for a different grid
+  /// spec. A missing journal is not an error (fresh start).
+  bool resume = false;
+  /// Stop after this many scenarios have been executed this invocation
+  /// (0 = no limit). Used by tests and CI to interrupt deterministically;
+  /// the journal stays valid for a later resume.
+  std::size_t max_scenarios = 0;
+
+  /// Dataset-cache byte budget; 0 disables sharing entirely (every
+  /// scenario regenerates, the pre-cache behavior).
+  std::size_t cache_budget = data::DatasetProvider::kDefaultByteBudget;
+  /// Use this provider instead of a sweep-local one (tests inject a
+  /// provider to observe generation counts; `cache_budget` is then left
+  /// untouched).
+  data::DatasetProvider* provider = nullptr;
+
+  /// Progress callback, invoked serially as scenarios finish (not for
+  /// journal-restored scenarios).
   std::function<void(const ScenarioOutcome&, std::size_t done,
                      std::size_t total)>
       on_scenario_done;

@@ -401,6 +401,169 @@ TEST(Io, LibsvmMalformedInputThrows) {
   std::filesystem::remove(path);
 }
 
+// A strict parser rejects what the old one silently misparsed: `1x:2`
+// used to load as feature 1, `2:1.5junk` as value 1.5. Every rejection
+// must carry a file:line position.
+TEST(Io, LibsvmRejectsMalformedTokensWithFileAndLine) {
+  const std::string path = testing::TempDir() + "/nadmm_strict.libsvm";
+  const auto expect_rejects = [&](const std::string& content,
+                                  const std::string& fragment) {
+    {
+      std::ofstream out(path);
+      out << "0 1:1.0\n" << content << '\n';
+    }
+    try {
+      static_cast<void>(load_libsvm(path));
+      FAIL() << "expected rejection of: " << content;
+    } catch (const RuntimeError& e) {
+      EXPECT_NE(std::string(e.what()).find(path + ":2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_rejects("1 a:2.0", "non-numeric feature index");
+  expect_rejects("1 1x:2.0", "non-numeric feature index");
+  expect_rejects("1 1:2.5junk", "malformed feature value");
+  expect_rejects("1 1:", "malformed feature token");
+  expect_rejects("1 :2.0", "malformed feature token");
+  expect_rejects("1 1:inf", "malformed feature value");
+  expect_rejects("1.5 1:2.0", "cannot parse label");
+  expect_rejects("abc 1:2.0", "cannot parse label");
+  expect_rejects("1 3:1.0 2:1.0", "strictly increasing");
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LibsvmAcceptsPlusPrefixedLabelsAndValues) {
+  // Standard LIBSVM binary sets (a9a, rcv1, ...) label positives "+1".
+  const std::string path = testing::TempDir() + "/nadmm_plus.libsvm";
+  {
+    std::ofstream out(path);
+    out << "+1 1:+0.5 3:1.0\n-1 2:0.25\n";
+  }
+  const auto ds = load_libsvm(path);
+  EXPECT_EQ(ds.num_samples(), 2u);
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.labels()[0], 1);  // −1 → 0, +1 → 1 (ascending remap)
+  EXPECT_EQ(ds.labels()[1], 0);
+  EXPECT_DOUBLE_EQ(ds.sparse_features().to_dense().at(0, 0), 0.5);
+  {
+    std::ofstream out(path);
+    out << "+-1 1:0.5\n";  // only a single leading '+' is tolerated
+  }
+  EXPECT_THROW(static_cast<void>(load_libsvm(path)), RuntimeError);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ScanLibsvmReportsRowsFeaturesAndLabels) {
+  const std::string path = testing::TempDir() + "/nadmm_scan.libsvm";
+  {
+    std::ofstream out(path);
+    out << "# comment\n"
+        << "5 1:1.0 9:2.0\n"
+        << "-1 3:4.0\n"
+        << "\n"
+        << "5 2:1.0\n";
+  }
+  const LibsvmInfo info = scan_libsvm(path);
+  EXPECT_EQ(info.num_rows, 3u);
+  EXPECT_EQ(info.num_features, 9u);
+  EXPECT_EQ(info.label_values, (std::vector<std::int64_t>{-1, 5}));
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ShardReaderStreamsRowsInBoundedChunks) {
+  auto tt = make_e18_like(10, 5, 64, 9);
+  const std::string path = testing::TempDir() + "/nadmm_shards.libsvm";
+  save_libsvm(tt.train, path);
+
+  const LibsvmInfo info = scan_libsvm(path);
+  const Dataset whole = load_libsvm(path, 64);
+  LibsvmShardReader reader(path, 64, info.label_values);
+  std::size_t rows = 0, nnz = 0;
+  int shards = 0;
+  while (true) {
+    const Dataset shard = reader.next_shard(4);
+    if (shard.num_samples() == 0) break;
+    ++shards;
+    EXPECT_LE(shard.num_samples(), 4u);
+    EXPECT_EQ(shard.num_features(), whole.num_features());
+    EXPECT_EQ(shard.num_classes(), whole.num_classes());
+    // Shard labels agree with the whole-file load at the same offset.
+    for (std::size_t i = 0; i < shard.num_samples(); ++i) {
+      EXPECT_EQ(shard.labels()[i], whole.labels()[rows + i]);
+    }
+    rows += shard.num_samples();
+    nnz += shard.sparse_features().nnz();
+  }
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(shards, 3);  // 4 + 4 + 2 rows
+  EXPECT_EQ(rows, 10u);
+  EXPECT_EQ(reader.rows_read(), 10u);
+  EXPECT_EQ(nnz, whole.sparse_features().nnz());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, ShardReaderNumbersDuplicatedOrUnsortedLabelsAscending) {
+  const std::string path = testing::TempDir() + "/nadmm_dup_labels.libsvm";
+  {
+    std::ofstream out(path);
+    out << "5 1:1.0\n-1 2:1.0\n";
+  }
+  // Duplicates and descending order must not distort the ascending remap.
+  LibsvmShardReader reader(path, 2, {5, 5, -1});
+  const Dataset shard = reader.next_shard(2);
+  EXPECT_EQ(shard.num_classes(), 2);
+  EXPECT_EQ(shard.labels()[0], 1);  // 5 → 1
+  EXPECT_EQ(shard.labels()[1], 0);  // −1 → 0
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsvToleratesSpacePaddingButStaysStrict) {
+  const std::string path = testing::TempDir() + "/nadmm_padded.csv";
+  {
+    std::ofstream out(path);
+    out << "1, 0.5,\t2.0\n0,1.5, -3.0\n";
+  }
+  const auto ds = load_csv(path, 2);
+  EXPECT_EQ(ds.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(ds.dense_features().at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.dense_features().at(1, 1), -3.0);
+  {
+    std::ofstream out(path);
+    out << "1,0.5x,2.0\n";
+  }
+  EXPECT_THROW(static_cast<void>(load_csv(path, 2)), RuntimeError);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LoadLibsvmTrainTestSplitsConsistently) {
+  const std::string path = testing::TempDir() + "/nadmm_split.libsvm";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 20; ++i) {
+      out << (i % 2 == 0 ? 3 : 8) << ' ' << (i + 1) << ":1.0\n";
+    }
+  }
+  const TrainTest tt = load_libsvm_train_test(path, 15, 5);
+  EXPECT_EQ(tt.train.num_samples(), 15u);
+  EXPECT_EQ(tt.test.num_samples(), 5u);
+  // Both splits share the file-global shape even though the test rows
+  // only touch high feature indices.
+  EXPECT_EQ(tt.train.num_features(), 20u);
+  EXPECT_EQ(tt.test.num_features(), 20u);
+  EXPECT_EQ(tt.train.num_classes(), 2);
+  EXPECT_EQ(tt.test.num_classes(), 2);
+  // All rows train when n_train = 0.
+  const TrainTest all = load_libsvm_train_test(path, 0, 0);
+  EXPECT_EQ(all.train.num_samples(), 20u);
+  EXPECT_EQ(all.test.num_samples(), 0u);
+  // Asking for more rows than the file has is an error, not a clamp.
+  EXPECT_THROW(static_cast<void>(load_libsvm_train_test(path, 18, 5)),
+               InvalidArgument);
+  std::filesystem::remove(path);
+}
+
 TEST(Io, CsvRoundTripDense) {
   auto tt = make_blobs(25, 5, 6, 3, 3.0, 1.0, 44);
   const std::string path = testing::TempDir() + "/nadmm_blobs.csv";

@@ -1,0 +1,197 @@
+// Tests for the DatasetProvider (src/data/provider.*): cache-key
+// identity, shared immutable copies, single-flight generation under
+// concurrency, and LRU eviction under a byte budget.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "data/io.hpp"
+#include "data/provider.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::data {
+namespace {
+
+DatasetKey blobs_key(std::uint64_t seed = 7, std::size_t n_train = 60) {
+  DatasetKey key;
+  key.source = "blobs";
+  key.n_train = n_train;
+  key.n_test = 20;
+  key.features = 8;
+  key.seed = seed;
+  return key;
+}
+
+// ------------------------------------------------------------ keys
+
+TEST(DatasetKey, IdenticalParametersProduceIdenticalTags) {
+  EXPECT_EQ(blobs_key(), blobs_key());
+  EXPECT_EQ(blobs_key().cache_tag(), blobs_key().cache_tag());
+}
+
+TEST(DatasetKey, EveryContentParameterChangesTheTag) {
+  const DatasetKey base = blobs_key();
+  std::set<std::string> tags{base.cache_tag()};
+  DatasetKey k = base;
+  k.source = "higgs";
+  tags.insert(k.cache_tag());
+  k = base;
+  k.n_train = base.n_train + 1;
+  tags.insert(k.cache_tag());
+  k = base;
+  k.n_test = base.n_test + 1;
+  tags.insert(k.cache_tag());
+  k = base;
+  k.features = base.features + 1;
+  tags.insert(k.cache_tag());
+  k = base;
+  k.seed = base.seed + 1;
+  tags.insert(k.cache_tag());
+  k = base;
+  k.standardize = true;
+  tags.insert(k.cache_tag());
+  EXPECT_EQ(tags.size(), 7u);  // base + 6 distinct variations
+}
+
+// ------------------------------------------------------------ sharing
+
+TEST(DatasetProvider, SecondGetSharesTheFirstCopy) {
+  DatasetProvider provider;
+  const auto a = provider.get(blobs_key());
+  const auto b = provider.get(blobs_key());
+  EXPECT_EQ(a.get(), b.get());
+  const auto s = provider.stats();
+  EXPECT_EQ(s.generations, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(provider.bytes_in_use(), a->approx_bytes());
+}
+
+TEST(DatasetProvider, DifferentKeysGenerateSeparately) {
+  DatasetProvider provider;
+  const auto a = provider.get(blobs_key(7));
+  const auto b = provider.get(blobs_key(8));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(provider.stats().generations, 2u);
+}
+
+TEST(DatasetProvider, ConcurrentGetsOnOneKeyGenerateOnce) {
+  DatasetProvider provider;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const TrainTest>> results(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back(
+        [&, t] { results[static_cast<std::size_t>(t)] = provider.get(blobs_key()); });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+  EXPECT_EQ(provider.stats().generations, 1u);
+}
+
+TEST(DatasetProvider, GenerationFailurePropagatesAndRetries) {
+  DatasetProvider provider;
+  DatasetKey bad = blobs_key();
+  bad.source = "no-such-generator";
+  EXPECT_THROW(static_cast<void>(provider.get(bad)), InvalidArgument);
+  // The failed entry must not poison the cache.
+  EXPECT_THROW(static_cast<void>(provider.get(bad)), InvalidArgument);
+  EXPECT_EQ(provider.stats().generations, 0u);
+  EXPECT_EQ(provider.bytes_in_use(), 0u);
+}
+
+// ------------------------------------------------------------ eviction
+
+TEST(DatasetProvider, LruEvictionUnderSmallByteBudget) {
+  DatasetProvider provider;
+  const auto a = provider.get(blobs_key(1));
+  const std::size_t one = a->approx_bytes();
+  // Room for one-and-a-half datasets: the second get must evict the
+  // least-recently-used entry.
+  provider.set_byte_budget(one + one / 2);
+  static_cast<void>(provider.get(blobs_key(2)));  // evicts key 1
+  EXPECT_LE(provider.bytes_in_use(), provider.byte_budget());
+  static_cast<void>(provider.get(blobs_key(1)));  // regenerated
+  const auto s = provider.stats();
+  EXPECT_EQ(s.generations, 3u);
+  EXPECT_GE(s.evictions, 2u);
+  // The evicted dataset handed out earlier is still alive for its holder.
+  EXPECT_EQ(a->train.num_samples(), 60u);
+}
+
+TEST(DatasetProvider, RecentlyUsedEntrySurvivesEviction) {
+  DatasetProvider provider;
+  const auto a = provider.get(blobs_key(1));
+  const std::size_t one = a->approx_bytes();
+  provider.set_byte_budget(2 * one + one / 2);  // fits two datasets
+  static_cast<void>(provider.get(blobs_key(2)));
+  static_cast<void>(provider.get(blobs_key(1)));  // touch 1 → LRU is 2
+  const auto c = provider.get(blobs_key(3));      // evicts 2, not 1
+  static_cast<void>(c);
+  const auto before = provider.stats().generations;
+  static_cast<void>(provider.get(blobs_key(1)));  // still cached
+  EXPECT_EQ(provider.stats().generations, before);
+}
+
+TEST(DatasetProvider, OversizedDatasetIsHandedOutButNotRetained) {
+  DatasetProvider provider(1);  // 1-byte budget: nothing fits
+  const auto a = provider.get(blobs_key());
+  EXPECT_GT(a->approx_bytes(), 1u);
+  EXPECT_EQ(provider.bytes_in_use(), 0u);
+  static_cast<void>(provider.get(blobs_key()));
+  EXPECT_EQ(provider.stats().generations, 2u);  // cache effectively off
+}
+
+TEST(DatasetProvider, ClearDropsEntriesButNotHeldPointers) {
+  DatasetProvider provider;
+  const auto a = provider.get(blobs_key());
+  provider.clear();
+  EXPECT_EQ(provider.bytes_in_use(), 0u);
+  EXPECT_EQ(a->train.num_samples(), 60u);
+  static_cast<void>(provider.get(blobs_key()));
+  EXPECT_EQ(provider.stats().generations, 2u);
+}
+
+// ------------------------------------------------------------ sources
+
+TEST(DatasetProvider, LibsvmSourceStreamsAndSplits) {
+  const std::string path = testing::TempDir() + "/nadmm_provider.libsvm";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 30; ++i) {
+      out << (i % 3) << ' ' << (i % 5 + 1) << ":1.5 7:" << i << ".0\n";
+    }
+  }
+  DatasetProvider provider;
+  DatasetKey key;
+  key.source = "libsvm:" + path;
+  key.n_train = 24;
+  key.n_test = 6;
+  const auto tt = provider.get(key);
+  EXPECT_EQ(tt->train.num_samples(), 24u);
+  EXPECT_EQ(tt->test.num_samples(), 6u);
+  EXPECT_EQ(tt->train.num_classes(), 3);
+  EXPECT_EQ(tt->train.num_features(), 7u);
+  EXPECT_EQ(tt->test.num_features(), 7u);
+  EXPECT_EQ(provider.stats().generations, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetProvider, StandardizedKeyIsADistinctEntry) {
+  DatasetProvider provider;
+  DatasetKey plain = blobs_key();
+  DatasetKey scaled = plain;
+  scaled.standardize = true;
+  const auto a = provider.get(plain);
+  const auto b = provider.get(scaled);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(provider.stats().generations, 2u);
+}
+
+}  // namespace
+}  // namespace nadmm::data

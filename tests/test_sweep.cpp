@@ -1,6 +1,7 @@
 // Tests for the sweep scheduler (src/runner/sweep.*): spec parsing, grid
-// expansion order, deterministic aggregation under the thread pool, and
-// per-scenario failure capture.
+// expansion order, deterministic aggregation under the thread pool,
+// per-scenario failure capture, dataset-cache sharing, and
+// journal-based resume.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -234,6 +235,268 @@ TEST(SweepRun, WritesAggregateReportsAndTraces) {
   const auto trace_path =
       options.trace_dir + "/" + report.outcomes[0].scenario.tag() + ".csv";
   EXPECT_TRUE(std::filesystem::exists(trace_path));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------ caching
+
+TEST(SweepCache, SolverOnlySweepGeneratesItsDatasetExactlyOnce) {
+  // Two scenarios differing only in solver must share one dataset copy.
+  SweepSpec spec = tiny_spec();
+  spec.lambdas = {1e-3};  // 2 solvers × 1 dataset × 1 λ
+  data::DatasetProvider provider;
+  SweepOptions options;
+  options.jobs = 2;
+  options.provider = &provider;
+  const auto report = run_sweep(spec, options);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_EQ(provider.stats().generations, 1u);
+  EXPECT_EQ(provider.stats().hits + provider.stats().misses, 2u);
+}
+
+TEST(SweepCache, CacheBudgetZeroRegeneratesPerScenario) {
+  SweepSpec spec = tiny_spec();
+  spec.lambdas = {1e-3};
+  SweepOptions options;
+  options.cache_budget = 0;
+  const auto report = run_sweep(spec, options);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_EQ(report.cache.generations, 0u);  // provider bypassed entirely
+}
+
+TEST(SweepCache, CachedAndUncachedSweepsProduceIdenticalReports) {
+  const SweepSpec spec = tiny_spec();
+  SweepOptions cached;
+  cached.jobs = 4;
+  SweepOptions uncached;
+  uncached.cache_budget = 0;
+  EXPECT_EQ(run_sweep(spec, cached).csv_rows(),
+            run_sweep(spec, uncached).csv_rows());
+}
+
+// ------------------------------------------------------------ resume
+
+TEST(SweepJournal, FingerprintTracksEverySpecAxisAndBaseKnob) {
+  const SweepSpec base = tiny_spec();
+  SweepSpec other = base;
+  other.solvers.push_back("sync-sgd");
+  EXPECT_NE(spec_fingerprint(base), spec_fingerprint(other));
+  other = base;
+  other.base.seed += 1;
+  EXPECT_NE(spec_fingerprint(base), spec_fingerprint(other));
+  other = base;
+  other.lambdas = {1e-3, 1e-1};
+  EXPECT_NE(spec_fingerprint(base), spec_fingerprint(other));
+  EXPECT_EQ(spec_fingerprint(base), spec_fingerprint(tiny_spec()));
+}
+
+TEST(SweepJournal, InterruptedThenResumedReportIsByteIdentical) {
+  const std::string dir = testing::TempDir() + "/nadmm_journal_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+  const SweepSpec spec = tiny_spec();  // 4 scenarios
+
+  SweepOptions reference;
+  reference.jobs = 2;
+  const auto full = run_sweep(spec, reference);
+
+  SweepOptions interrupted;
+  interrupted.journal_path = journal;
+  interrupted.max_scenarios = 2;
+  const auto partial = run_sweep(spec, interrupted);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.executed, 2u);
+
+  SweepOptions resumed;
+  resumed.jobs = 4;
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  std::size_t executed_callbacks = 0;
+  resumed.on_scenario_done = [&](const ScenarioOutcome&, std::size_t,
+                                 std::size_t total) {
+    ++executed_callbacks;
+    EXPECT_EQ(total, 2u);  // only the two remaining scenarios run
+  };
+  const auto rest = run_sweep(spec, resumed);
+  EXPECT_TRUE(rest.complete());
+  EXPECT_EQ(rest.resumed, 2u);
+  EXPECT_EQ(rest.executed, 2u);
+  EXPECT_EQ(executed_callbacks, 2u);
+  for (const auto& o : rest.outcomes) EXPECT_TRUE(o.ok);
+
+  EXPECT_EQ(full.csv_rows(), rest.csv_rows());
+  // JSON reports must match byte-for-byte as well.
+  rest.write_json(dir + "/resumed.json");
+  full.write_json(dir + "/full.json");
+  std::ifstream a(dir + "/resumed.json"), b(dir + "/full.json");
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, CompletedTagsAreNotReRun) {
+  const std::string dir = testing::TempDir() + "/nadmm_journal_skip";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+  const SweepSpec spec = tiny_spec();
+
+  SweepOptions first;
+  first.journal_path = journal;
+  static_cast<void>(run_sweep(spec, first));
+
+  SweepOptions again;
+  again.journal_path = journal;
+  again.resume = true;
+  data::DatasetProvider provider;
+  again.provider = &provider;
+  const auto report = run_sweep(spec, again);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.resumed, 4u);
+  EXPECT_EQ(report.executed, 0u);
+  // Nothing ran, so nothing was generated.
+  EXPECT_EQ(provider.stats().generations, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, StaleJournalFromDifferentSpecIsRejected) {
+  const std::string dir = testing::TempDir() + "/nadmm_journal_stale";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+
+  SweepSpec spec = tiny_spec();
+  SweepOptions options;
+  options.journal_path = journal;
+  options.max_scenarios = 1;
+  static_cast<void>(run_sweep(spec, options));
+
+  SweepSpec other = spec;
+  other.lambdas = {1e-3, 1e-1};  // same scenario count, different grid
+  SweepOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  EXPECT_THROW(static_cast<void>(run_sweep(other, resume)), InvalidArgument);
+
+  // Without --resume the stale journal is overwritten, not an error.
+  SweepOptions fresh;
+  fresh.journal_path = journal;
+  const auto report = run_sweep(other, fresh);
+  EXPECT_TRUE(report.complete());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, ErrorOutcomesRoundTripThroughTheJournal) {
+  const std::string dir = testing::TempDir() + "/nadmm_journal_error";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm", "no-such-solver"};
+  spec.lambdas = {1e-3};
+
+  SweepOptions first;
+  first.journal_path = journal;
+  const auto a = run_sweep(spec, first);
+  EXPECT_EQ(a.failures(), 1u);
+
+  SweepOptions resumed;
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  const auto b = run_sweep(spec, resumed);
+  EXPECT_EQ(b.resumed, 2u);
+  EXPECT_EQ(b.executed, 0u);
+  EXPECT_EQ(a.csv_rows(), b.csv_rows());
+  EXPECT_FALSE(b.outcomes[1].ok);
+  EXPECT_NE(b.outcomes[1].error.find("no-such-solver"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, TornFinalLineIsIgnoredOnResume) {
+  const std::string dir = testing::TempDir() + "/nadmm_journal_torn";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+  const SweepSpec spec = tiny_spec();
+
+  SweepOptions options;
+  options.journal_path = journal;
+  options.max_scenarios = 2;
+  static_cast<void>(run_sweep(spec, options));
+  {
+    // Simulate a kill mid-write: a half-written trailing line.
+    std::ofstream out(journal, std::ios::app);
+    out << "{\"index\": 2, \"tag\": \"trunc";
+  }
+  SweepOptions resumed;
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  const auto report = run_sweep(spec, resumed);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.resumed, 2u);  // the torn line was discarded
+  EXPECT_EQ(report.failures(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, EmptyOrTornHeaderJournalResumesAsFreshStart) {
+  // A kill inside the truncate-then-write-header window leaves an empty
+  // or torn journal; --resume must start fresh, not dead-end.
+  const std::string dir = testing::TempDir() + "/nadmm_journal_empty";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+  const SweepSpec spec = tiny_spec();
+  for (const char* content : {"", "{\"kind\": \"nadmm-sweep-jour"}) {
+    {
+      std::ofstream out(journal);
+      out << content;
+    }
+    SweepOptions options;
+    options.journal_path = journal;
+    options.resume = true;
+    const auto report = run_sweep(spec, options);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.resumed, 0u);
+    EXPECT_EQ(report.executed, 4u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, LineTornInsideItsFinalNumberIsIgnoredOnResume) {
+  // Every field extractor would succeed on this line — strtod happily
+  // parses the truncated "1.2" — so only the missing closing brace marks
+  // it as torn. Restoring it would silently corrupt the resumed report.
+  const std::string dir = testing::TempDir() + "/nadmm_journal_torn_num";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+  const SweepSpec spec = tiny_spec();
+  const auto full = run_sweep(spec, SweepOptions{});
+
+  SweepOptions options;
+  options.journal_path = journal;
+  options.max_scenarios = 2;
+  static_cast<void>(run_sweep(spec, options));
+  {
+    std::ofstream out(journal, std::ios::app);
+    out << "{\"index\": 2, \"tag\": \""
+        << expand_scenarios(spec)[2].tag()
+        << "\", \"status\": \"ok\", \"iterations\": 3"
+        << ", \"final_objective\": 1, \"final_test_accuracy\": 0.5"
+        << ", \"total_sim_seconds\": 2, \"avg_epoch_sim_seconds\": 0.1"
+        << ", \"total_comm_sim_seconds\": 1.2";  // torn before '}'
+  }
+  SweepOptions resumed;
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  const auto report = run_sweep(spec, resumed);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.resumed, 2u);  // scenario 2 re-ran instead
+  EXPECT_EQ(full.csv_rows(), report.csv_rows());
   std::filesystem::remove_all(dir);
 }
 
