@@ -1,0 +1,247 @@
+// Kernel-engine benchmarks: every rewired hot-path kernel (register-
+// blocked gemm_nn, two-phase gemm_tn / gemv_t / spmm_tn, fused softmax
+// forward) against the seed critical-section implementations preserved in
+// la::kernels::reference, at 1/4/8 OpenMP threads, over dense MNIST-like
+// / CIFAR-like and sparse E18-like shapes.
+//
+// The JSON output feeds tools/perf_smoke.py: the committed
+// BENCH_kernels.json baseline records the engine-vs-seed speedup per
+// (kernel, threads), and the CI perf-smoke job fails when any measured
+// speedup regresses more than 25% below it. Speedups are same-run,
+// same-machine ratios, so the gate is robust to runner hardware.
+#include <benchmark/benchmark.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstdint>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/kernels.hpp"
+#include "la/sparse_matrix.hpp"
+#include "model/softmax.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace nadmm;
+
+void set_threads(std::int64_t threads) {
+#ifdef _OPENMP
+  omp_set_num_threads(static_cast<int>(threads));
+#else
+  static_cast<void>(threads);
+#endif
+}
+
+la::DenseMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  la::DenseMatrix m(r, c);
+  for (double& v : m.data()) v = rng.normal();
+  return m;
+}
+
+// ------------------------------------------------- gemm_nn (scores A·X)
+
+template <bool kEngine>
+void BM_GemmNN_Mnist(benchmark::State& state) {
+  set_threads(state.range(0));
+  const std::size_t n = 2000, p = 784, c = 9;
+  const auto a = random_matrix(n, p, 1);
+  const auto x = random_matrix(p, c, 2);
+  la::DenseMatrix s(n, c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemm_nn(1.0, a, x, 0.0, s);
+    } else {
+      la::kernels::reference::gemm_nn(1.0, a, x, 0.0, s);
+    }
+    benchmark::DoNotOptimize(s.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+
+template <bool kEngine>
+void BM_GemmNN_Cifar(benchmark::State& state) {
+  set_threads(state.range(0));
+  const std::size_t n = 600, p = 3072, c = 9;
+  const auto a = random_matrix(n, p, 3);
+  const auto x = random_matrix(p, c, 4);
+  la::DenseMatrix s(n, c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemm_nn(1.0, a, x, 0.0, s);
+    } else {
+      la::kernels::reference::gemm_nn(1.0, a, x, 0.0, s);
+    }
+    benchmark::DoNotOptimize(s.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+
+// ------------------------------------------- gemm_tn (gradient Aᵀ·W)
+
+template <bool kEngine>
+void BM_GemmTN_Mnist(benchmark::State& state) {
+  set_threads(state.range(0));
+  const std::size_t n = 2000, p = 784, c = 9;
+  const auto a = random_matrix(n, p, 5);
+  const auto w = random_matrix(n, c, 6);
+  la::DenseMatrix g(p, c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemm_tn(1.0, a, w, 0.0, g);
+    } else {
+      la::kernels::reference::gemm_tn(1.0, a, w, 0.0, g);
+    }
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+
+template <bool kEngine>
+void BM_GemmTN_MnistShard(benchmark::State& state) {
+  set_threads(state.range(0));
+  // Per-rank gradient shard in a 16-worker weak-scaling run with a 10%
+  // subsampled Hessian panel: few samples against the full parameter
+  // panel, so the seed's serialized reduce is a large fraction of the
+  // per-thread compute.
+  const std::size_t n = 250, p = 784, c = 9;
+  const auto a = random_matrix(n, p, 15);
+  const auto w = random_matrix(n, c, 16);
+  la::DenseMatrix g(p, c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemm_tn(1.0, a, w, 0.0, g);
+    } else {
+      la::kernels::reference::gemm_tn(1.0, a, w, 0.0, g);
+    }
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+
+template <bool kEngine>
+void BM_GemmTN_Cifar(benchmark::State& state) {
+  set_threads(state.range(0));
+  // Weak-scaling CIFAR shard: wider feature dimension, so the seed's
+  // serialized reduce covers a 3072×9 panel per thread.
+  const std::size_t n = 600, p = 3072, c = 9;
+  const auto a = random_matrix(n, p, 13);
+  const auto w = random_matrix(n, c, 14);
+  la::DenseMatrix g(p, c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemm_tn(1.0, a, w, 0.0, g);
+    } else {
+      la::kernels::reference::gemm_tn(1.0, a, w, 0.0, g);
+    }
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p * c));
+}
+
+// --------------------------------------------------- gemv_t (CG vector)
+
+template <bool kEngine>
+void BM_GemvT_Mnist(benchmark::State& state) {
+  set_threads(state.range(0));
+  const std::size_t n = 2000, p = 784;
+  const auto a = random_matrix(n, p, 7);
+  Rng rng(8);
+  std::vector<double> x(n), y(p);
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::gemv_t(1.0, a, x, 0.0, y);
+    } else {
+      la::kernels::reference::gemv_t(1.0, a, x, 0.0, y);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * p));
+}
+
+// -------------------------------------- spmm_tn (sparse gradient Aᵀ·W)
+
+template <bool kEngine>
+void BM_SpmmTN_E18(benchmark::State& state) {
+  set_threads(state.range(0));
+  // Paper-scale E18 shard: p = 27,998 genes with a weak-scaling per-rank
+  // sample count. The output panel is p×19, so this is the regime where
+  // the seed's critical-section reduce serializes a 4.3 MB panel per
+  // thread while the per-thread compute shrinks with the thread count.
+  const auto tt = data::make_e18_like(400, 10, 27998, 9);
+  const auto& a = tt.train.sparse_features();
+  const std::size_t c = 19;
+  const auto w = random_matrix(a.rows(), c, 10);
+  la::DenseMatrix g(a.cols(), c);
+  for (auto _ : state) {
+    if constexpr (kEngine) {
+      la::spmm_tn(1.0, a, w, 0.0, g);
+    } else {
+      la::kernels::reference::spmm_tn(1.0, a, w, 0.0, g);
+    }
+    benchmark::DoNotOptimize(g.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * a.nnz() * c));
+}
+
+// ------------------------------------------------ fused softmax forward
+
+template <bool kEngine>
+void BM_SoftmaxForward(benchmark::State& state) {
+  set_threads(state.range(0));
+  const std::size_t n = 4000, c = 9;
+  const auto scores = random_matrix(n, c, 11);
+  Rng rng(12);
+  std::vector<std::int32_t> labels(n);
+  for (auto& y : labels) y = static_cast<std::int32_t>(rng.uniform_index(c + 1));
+  la::DenseMatrix probs(n, c);
+  std::vector<double> lse(n);
+  for (auto _ : state) {
+    double loss;
+    if constexpr (kEngine) {
+      loss = la::kernels::softmax_forward(scores, labels, probs, lse);
+    } else {
+      loss = la::kernels::reference::softmax_forward(scores, labels, probs, lse);
+    }
+    benchmark::DoNotOptimize(loss);
+    benchmark::DoNotOptimize(probs.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * c));
+}
+
+// clang-format off
+BENCHMARK_TEMPLATE(BM_GemmNN_Mnist, true)->Name("BM_GemmNN_Mnist_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmNN_Mnist, false)->Name("BM_GemmNN_Mnist_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmNN_Cifar, true)->Name("BM_GemmNN_Cifar_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmNN_Cifar, false)->Name("BM_GemmNN_Cifar_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_Mnist, true)->Name("BM_GemmTN_Mnist_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_Mnist, false)->Name("BM_GemmTN_Mnist_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_MnistShard, true)->Name("BM_GemmTN_MnistShard_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_MnistShard, false)->Name("BM_GemmTN_MnistShard_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_Cifar, true)->Name("BM_GemmTN_Cifar_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemmTN_Cifar, false)->Name("BM_GemmTN_Cifar_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemvT_Mnist, true)->Name("BM_GemvT_Mnist_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_GemvT_Mnist, false)->Name("BM_GemvT_Mnist_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SpmmTN_E18, true)->Name("BM_SpmmTN_E18_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SpmmTN_E18, false)->Name("BM_SpmmTN_E18_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SoftmaxForward, true)->Name("BM_SoftmaxForward_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_SoftmaxForward, false)->Name("BM_SoftmaxForward_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+// clang-format on
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -45,7 +45,8 @@ struct BenchScale {
 inline void add_common_options(CliParser& cli) {
   cli.add_double("scale", 1.0, "dataset size multiplier");
   cli.add_int("seed", 42, "generator seed");
-  cli.add_string("device", "p100", "device model (p100|cpu|<gflops>)");
+  cli.add_string("device", "p100",
+                 "device model (p100|cpu|<gflops>[:<gbytes_per_s>])");
   cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
   cli.add_string("csv-dir", "", "if set, write per-run trace CSVs here");
 }

@@ -1,8 +1,10 @@
 // Per-rank simulated clock.
 //
 // Tracks two components:
-//   * compute seconds — flops executed on this rank (polled from the
-//     thread-local counter in la/flops.hpp) divided by the device rating;
+//   * compute seconds — flops executed and bytes moved on this rank
+//     (polled from the thread-local counters in la/flops.hpp), priced by
+//     the device's roofline: each sync interval costs
+//     max(flops / flop_rate, bytes / bandwidth);
 //   * communication seconds — collective costs from the NetworkModel.
 // Figures report simulated time so results are deterministic and
 // independent of host load; wall-clock is tracked alongside for sanity.
@@ -19,24 +21,31 @@ class SimClock {
  public:
   explicit SimClock(la::DeviceModel device = la::p100_device())
       : device_(std::move(device)),
-        flops_at_last_sync_(nadmm::flops::read()) {}
+        flops_at_last_sync_(nadmm::flops::read()),
+        bytes_at_last_sync_(nadmm::flops::read_bytes()) {}
 
-  /// Fold any flops executed since the last call into compute time.
-  /// Must be called from the rank's own thread.
+  /// Fold any flops/bytes executed since the last call into compute time
+  /// under the device roofline. Must be called from the rank's own thread.
   void sync_compute() {
     const std::uint64_t now = nadmm::flops::read();
-    if (now < flops_at_last_sync_) {
-      // The thread-local counter was reset behind our back (e.g. a caller
-      // ran flops::reset() after constructing the clock). Resynchronize
-      // instead of underflowing the unsigned delta.
+    const std::uint64_t now_bytes = nadmm::flops::read_bytes();
+    if (now < flops_at_last_sync_ || now_bytes < bytes_at_last_sync_) {
+      // The thread-local counters were reset behind our back (e.g. a
+      // caller ran flops::reset() after constructing the clock).
+      // Resynchronize instead of underflowing the unsigned deltas.
       flops_at_last_sync_ = now;
+      bytes_at_last_sync_ = now_bytes;
       return;
     }
     if (!paused_) {
-      total_flops_ += now - flops_at_last_sync_;
-      compute_s_ += device_.seconds_for_flops(now - flops_at_last_sync_);
+      const std::uint64_t df = now - flops_at_last_sync_;
+      const std::uint64_t db = now_bytes - bytes_at_last_sync_;
+      total_flops_ += df;
+      total_bytes_ += db;
+      compute_s_ += device_.seconds_for(df, db);
     }
     flops_at_last_sync_ = now;
+    bytes_at_last_sync_ = now_bytes;
   }
 
   /// Charge communication time (from the NetworkModel formulas).
@@ -53,6 +62,7 @@ class SimClock {
   }
   void resume() {
     flops_at_last_sync_ = nadmm::flops::read();
+    bytes_at_last_sync_ = nadmm::flops::read_bytes();
     paused_ = false;
   }
   [[nodiscard]] bool paused() const { return paused_; }
@@ -64,12 +74,15 @@ class SimClock {
   [[nodiscard]] double comm_seconds() const { return comm_s_; }
   [[nodiscard]] double total_seconds() const { return compute_s_ + comm_s_; }
   [[nodiscard]] std::uint64_t total_flops() const { return total_flops_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] const la::DeviceModel& device() const { return device_; }
 
   void reset() {
     compute_s_ = comm_s_ = 0.0;
     total_flops_ = 0;
+    total_bytes_ = 0;
     flops_at_last_sync_ = nadmm::flops::read();
+    bytes_at_last_sync_ = nadmm::flops::read_bytes();
   }
 
  private:
@@ -78,7 +91,9 @@ class SimClock {
   double compute_s_ = 0.0;
   double comm_s_ = 0.0;
   std::uint64_t total_flops_ = 0;
+  std::uint64_t total_bytes_ = 0;
   std::uint64_t flops_at_last_sync_ = 0;
+  std::uint64_t bytes_at_last_sync_ = 0;
 };
 
 }  // namespace nadmm::comm

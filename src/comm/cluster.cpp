@@ -50,6 +50,7 @@ SimCluster::SimCluster(int n, la::DeviceModel device, NetworkModel network,
       omp_threads_per_rank_(omp_threads_per_rank),
       barrier_(n),
       contributions_(static_cast<std::size_t>(n)),
+      reduce_slots_(static_cast<std::size_t>(n)),
       scalar_slots_(static_cast<std::size_t>(n), 0.0) {
   NADMM_CHECK(n >= 1, "cluster needs at least one rank");
 }
@@ -90,6 +91,7 @@ std::vector<RankReport> SimCluster::run(
     report.compute_seconds = ctx.clock_.compute_seconds();
     report.comm_seconds = ctx.clock_.comm_seconds();
     report.total_flops = ctx.clock_.total_flops();
+    report.total_bytes = ctx.clock_.total_bytes();
   };
 
   std::vector<std::thread> threads;
@@ -116,23 +118,28 @@ void RankCtx::allreduce_sum(std::span<double> data) {
   clock_.sync_compute();
   SimCluster& c = *cluster_;
   const std::size_t len = data.size();
-  c.contributions_[static_cast<std::size_t>(rank_)] = data;
-  if (rank_ == 0) c.scratch_.assign(len, 0.0);
+  c.reduce_slots_[static_cast<std::size_t>(rank_)] = data;
   c.barrier_.arrive_and_wait();
 
-  // Each rank reduces its slice of the element range across all ranks.
+  // Round 2: each rank owns a disjoint slice of the element range, sums
+  // it across all ranks in rank order (deterministic), and writes the
+  // total directly back into every rank's buffer. The comm charge is
+  // folded into this round, so the whole collective costs two barriers
+  // (the seed used a third round just to copy totals out of a shared
+  // scratch buffer).
   const std::size_t lo = len * static_cast<std::size_t>(rank_) /
                          static_cast<std::size_t>(size_);
   const std::size_t hi = len * (static_cast<std::size_t>(rank_) + 1) /
                          static_cast<std::size_t>(size_);
   for (std::size_t j = lo; j < hi; ++j) {
     double acc = 0.0;
-    for (int r = 0; r < size_; ++r) acc += c.contributions_[static_cast<std::size_t>(r)][j];
-    c.scratch_[j] = acc;
+    for (int r = 0; r < size_; ++r) {
+      acc += c.reduce_slots_[static_cast<std::size_t>(r)][j];
+    }
+    for (int r = 0; r < size_; ++r) {
+      c.reduce_slots_[static_cast<std::size_t>(r)][j] = acc;
+    }
   }
-  c.barrier_.arrive_and_wait();
-
-  std::copy(c.scratch_.begin(), c.scratch_.end(), data.begin());
   clock_.add_comm(c.network_.allreduce(len * sizeof(double), size_));
   c.barrier_.arrive_and_wait();
 }
@@ -164,7 +171,6 @@ void RankCtx::gather(std::span<const double> in, std::vector<double>& out,
   c.contributions_[static_cast<std::size_t>(rank_)] = in;
   if (rank_ == root) {
     out.resize(in.size() * static_cast<std::size_t>(size_));
-    c.gather_out_ = &out;
   }
   c.barrier_.arrive_and_wait();
   if (rank_ == root) {

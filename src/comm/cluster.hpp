@@ -113,6 +113,7 @@ struct RankReport {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
   std::uint64_t total_flops = 0;
+  std::uint64_t total_bytes = 0;
 };
 
 /// Owns the shared collective state and the rank threads.
@@ -147,9 +148,10 @@ class SimCluster {
 
   // Collective staging: written between barrier generations only.
   std::vector<std::span<const double>> contributions_;
+  // Mutable views for allreduce: round 2 writes the totals directly into
+  // every rank's buffer, so the collective needs only two barriers.
+  std::vector<std::span<double>> reduce_slots_;
   std::vector<double> scalar_slots_;
-  std::vector<double> scratch_;
-  std::vector<double>* gather_out_ = nullptr;
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;

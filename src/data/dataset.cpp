@@ -102,9 +102,10 @@ double Dataset::feature_density() const {
 std::size_t Dataset::approx_bytes() const {
   std::size_t bytes = labels_.size() * sizeof(std::int32_t);
   if (is_sparse_) {
-    bytes += sparse_.row_ptr().size() * sizeof(std::int64_t);
-    bytes += sparse_.col_idx().size() * sizeof(std::int64_t);
-    bytes += sparse_.values().size() * sizeof(double);
+    // Includes the lazily built transposed view (la/sparse_matrix.hpp),
+    // so the provider's LRU byte budget holds once the gradient kernels
+    // materialize it.
+    bytes += sparse_.approx_bytes();
   } else {
     bytes += dense_.size() * sizeof(double);
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/flops.hpp"
+#include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
 
@@ -21,92 +22,26 @@ void DenseMatrix::fill(double value) {
 
 double DenseMatrix::frobenius_norm() const { return nrm2(data_); }
 
-namespace {
-// Panel width for the k-dimension blocking in gemm_nn; keeps the B panel
-// resident in L1/L2 while streaming rows of A.
-constexpr std::size_t kBlockK = 256;
-// Below this many flops an OpenMP region costs more than it saves; the
-// `if` clauses keep small products (SGD minibatches, SVRG inner steps)
-// on the calling thread.
-constexpr std::size_t kParallelFlops = 1 << 17;
-}  // namespace
+// Byte accounting below follows the compulsory-traffic model of
+// flops::output_passes: operands read once, outputs written once (plus
+// a read when beta forces RMW). Cache reuse beyond that is the kernel's
+// job; the roofline prices the unavoidable traffic.
+using flops::output_passes;
 
 void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
-  NADMM_CHECK(a.cols() == b.rows(), "gemm_nn: inner dimension mismatch");
-  NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
-              "gemm_nn: output shape mismatch");
+  kernels::gemm_nn(alpha, a, b, beta, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* pc = c.data().data();
-
-  const std::ptrdiff_t mm = static_cast<std::ptrdiff_t>(m);
-  [[maybe_unused]] const bool parallel = 2 * m * k * n >= kParallelFlops;
-#pragma omp parallel for schedule(static) if (parallel)
-  for (std::ptrdiff_t i = 0; i < mm; ++i) {
-    double* crow = pc + static_cast<std::size_t>(i) * n;
-    if (beta == 0.0) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
-    } else if (beta != 1.0) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const double* arow = pa + static_cast<std::size_t>(i) * k;
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k, k0 + kBlockK);
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const double av = alpha * arow[kk];
-        if (av == 0.0) continue;
-        const double* brow = pb + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
   flops::add(2 * m * k * n);
+  flops::add_bytes(8 * (m * k + k * n + output_passes(beta) * m * n));
 }
 
 void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
-  NADMM_CHECK(a.rows() == b.rows(), "gemm_tn: inner dimension mismatch");
-  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
-              "gemm_tn: output shape mismatch");
-  const std::size_t k = a.rows();  // samples
-  const std::size_t m = a.cols();  // features
-  const std::size_t n = b.cols();  // classes
-  const double* pa = a.data().data();
-  const double* pb = b.data().data();
-  double* pc = c.data().data();
-
-  if (beta == 0.0) {
-    std::fill(c.data().begin(), c.data().end(), 0.0);
-  } else if (beta != 1.0) {
-    scal(beta, c.data());
-  }
-
-  // C[j, t] += alpha * sum_i A[i, j] * B[i, t].
-  // Parallelize over sample blocks with per-thread accumulators: streaming
-  // access to both A and B, and m*n accumulators stay modest (<= a few MB).
-  [[maybe_unused]] const bool parallel = 2 * k * m * n >= kParallelFlops;
-#pragma omp parallel if (parallel)
-  {
-    std::vector<double> local(m * n, 0.0);
-#pragma omp for schedule(static)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
-      const double* arow = pa + static_cast<std::size_t>(i) * m;
-      const double* brow = pb + static_cast<std::size_t>(i) * n;
-      for (std::size_t j = 0; j < m; ++j) {
-        const double av = arow[j];
-        if (av == 0.0) continue;
-        double* lrow = local.data() + j * n;
-        for (std::size_t t = 0; t < n; ++t) lrow[t] += av * brow[t];
-      }
-    }
-#pragma omp critical(nadmm_gemm_tn_reduce)
-    {
-      for (std::size_t e = 0; e < local.size(); ++e) pc[e] += alpha * local[e];
-    }
-  }
+  kernels::gemm_tn(alpha, a, b, beta, c);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   flops::add(2 * k * m * n);
+  flops::add_bytes(8 * (k * m + k * n + output_passes(beta) * m * n));
 }
 
 void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
@@ -115,7 +50,7 @@ void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
   NADMM_CHECK(a.rows() == y.size(), "gemv: y size mismatch");
   const std::size_t m = a.rows(), k = a.cols();
   const double* pa = a.data().data();
-  [[maybe_unused]] const bool parallel = 2 * m * k >= kParallelFlops;
+  [[maybe_unused]] const bool parallel = 2 * m * k >= kernels::kParallelFlops;
 #pragma omp parallel for schedule(static) if (parallel)
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
     const double* arow = pa + static_cast<std::size_t>(i) * k;
@@ -124,36 +59,15 @@ void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
     y[i] = alpha * acc + beta * y[i];
   }
   flops::add(2 * m * k);
+  flops::add_bytes(8 * (m * k + k + output_passes(beta) * m));
 }
 
 void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
             double beta, std::span<double> y) {
-  NADMM_CHECK(a.rows() == x.size(), "gemv_t: x size mismatch");
-  NADMM_CHECK(a.cols() == y.size(), "gemv_t: y size mismatch");
+  kernels::gemv_t(alpha, a, x, beta, y);
   const std::size_t k = a.rows(), m = a.cols();
-  const double* pa = a.data().data();
-  if (beta == 0.0) {
-    std::fill(y.begin(), y.end(), 0.0);
-  } else if (beta != 1.0) {
-    scal(beta, y);
-  }
-  [[maybe_unused]] const bool parallel = 2 * m * k >= kParallelFlops;
-#pragma omp parallel if (parallel)
-  {
-    std::vector<double> local(m, 0.0);
-#pragma omp for schedule(static)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
-      const double xv = x[i];
-      if (xv == 0.0) continue;
-      const double* arow = pa + static_cast<std::size_t>(i) * m;
-      for (std::size_t j = 0; j < m; ++j) local[j] += xv * arow[j];
-    }
-#pragma omp critical(nadmm_gemv_t_reduce)
-    {
-      for (std::size_t j = 0; j < m; ++j) y[j] += alpha * local[j];
-    }
-  }
   flops::add(2 * m * k);
+  flops::add_bytes(8 * (k * m + k + output_passes(beta) * m));
 }
 
 }  // namespace nadmm::la

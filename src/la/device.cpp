@@ -9,9 +9,16 @@ DeviceModel device_from_string(const std::string& spec) {
   if (spec == "cpu") return cpu_device();
   char* end = nullptr;
   const double gf = std::strtod(spec.c_str(), &end);
-  NADMM_CHECK(end != nullptr && *end == '\0' && gf > 0.0,
-              "device spec must be 'p100', 'cpu', or a positive GF/s number");
-  return {"custom", gf};
+  NADMM_CHECK(end != nullptr && gf > 0.0,
+              "device spec must be 'p100', 'cpu', '<gflops>', or "
+              "'<gflops>:<gbytes_per_s>'");
+  if (*end == '\0') return {"custom", gf};
+  NADMM_CHECK(*end == ':', "device spec: expected ':' between GF/s and GB/s");
+  char* end2 = nullptr;
+  const double gb = std::strtod(end + 1, &end2);
+  NADMM_CHECK(end2 != nullptr && *end2 == '\0' && gb > 0.0,
+              "device spec: bandwidth must be a positive GB/s number");
+  return {"custom", gf, gb};
 }
 
 }  // namespace nadmm::la

@@ -1,10 +1,12 @@
-// Floating-point-operation accounting.
+// Floating-point-operation and bytes-moved accounting.
 //
-// Every kernel in nadmm::la credits its flop count to a thread-local
-// counter. The simulated-cluster clock (src/comm/clock.hpp) polls this
-// counter to convert local compute into simulated device-seconds under a
-// configurable GF/s rating — this is how we model "the GPU did the GEMMs"
-// without a GPU (see DESIGN.md §2).
+// Every kernel in nadmm::la credits its flop count and its compulsory
+// memory traffic (operands read once, outputs written once) to
+// thread-local counters. The simulated-cluster clock (src/comm/clock.hpp)
+// polls both to convert local compute into simulated device-seconds under
+// a roofline model — flop-rate-bound or bandwidth-bound, whichever is
+// slower — so sparse and tall-skinny products are no longer flop-priced
+// (see DESIGN.md §2 and la/device.hpp).
 #pragma once
 
 #include <cstdint>
@@ -13,25 +15,45 @@ namespace nadmm::flops {
 
 namespace detail {
 inline thread_local std::uint64_t counter = 0;
-}
+inline thread_local std::uint64_t byte_counter = 0;
+}  // namespace detail
 
 /// Credit `n` floating-point operations to the calling thread.
 inline void add(std::uint64_t n) { detail::counter += n; }
 
+/// Credit `n` bytes of compulsory memory traffic to the calling thread.
+inline void add_bytes(std::uint64_t n) { detail::byte_counter += n; }
+
+/// Output passes under the compulsory-traffic model shared by every
+/// kernel wrapper: outputs are written once, and read once more only
+/// when beta != 0 forces a read-modify-write.
+inline std::uint64_t output_passes(double beta) { return beta != 0.0 ? 2 : 1; }
+
 /// Total flops credited to the calling thread since the last reset.
 inline std::uint64_t read() { return detail::counter; }
 
-/// Reset the calling thread's counter to zero.
-inline void reset() { detail::counter = 0; }
+/// Total bytes credited to the calling thread since the last reset.
+inline std::uint64_t read_bytes() { return detail::byte_counter; }
 
-/// RAII helper: measures the flops executed on this thread within a scope.
+/// Reset the calling thread's flop AND byte counters to zero.
+inline void reset() {
+  detail::counter = 0;
+  detail::byte_counter = 0;
+}
+
+/// RAII helper: measures the flops and bytes executed on this thread
+/// within a scope.
 class Scope {
  public:
-  Scope() : start_(read()) {}
+  Scope() : start_(read()), start_bytes_(read_bytes()) {}
   [[nodiscard]] std::uint64_t elapsed() const { return read() - start_; }
+  [[nodiscard]] std::uint64_t elapsed_bytes() const {
+    return read_bytes() - start_bytes_;
+  }
 
  private:
   std::uint64_t start_;
+  std::uint64_t start_bytes_;
 };
 
 }  // namespace nadmm::flops

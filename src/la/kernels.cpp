@@ -1,0 +1,724 @@
+#include "la/kernels.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::la::kernels {
+
+namespace {
+
+// Microkernel tile: MR rows of A against an NR-wide packed strip of B.
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 8;
+
+int max_team(bool parallel) {
+#ifdef _OPENMP
+  return parallel ? std::max(1, omp_get_max_threads()) : 1;
+#else
+  static_cast<void>(parallel);
+  return 1;
+#endif
+}
+
+int team_size() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+struct Range {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+/// Static slice t of `count` elements among `team` threads. Depends only
+/// on (count, t, team) — this is what makes both reduction phases
+/// deterministic for a fixed thread count.
+Range slice(std::size_t count, int t, int team) {
+  const auto tt = static_cast<std::size_t>(t);
+  const auto tm = static_cast<std::size_t>(team);
+  return {count * tt / tm, count * (tt + 1) / tm};
+}
+
+/// Fold phase 2 of a two-phase reduction: partials 1..team−1 are added
+/// into partial 0 (fixed thread order), then the slice [lo, hi) of the
+/// output is combined as C = beta·C + alpha·acc. Every element of the
+/// output is written by exactly one thread.
+void fold_partials(double alpha, double beta, double* out, double* ws,
+                   std::size_t stride, int team, std::size_t lo,
+                   std::size_t hi) {
+  double* acc = ws;
+  for (int r = 1; r < team; ++r) {
+    const double* src = ws + static_cast<std::size_t>(r) * stride;
+    for (std::size_t e = lo; e < hi; ++e) acc[e] += src[e];
+  }
+  if (beta == 0.0) {
+    for (std::size_t e = lo; e < hi; ++e) out[e] = alpha * acc[e];
+  } else if (beta == 1.0) {
+    for (std::size_t e = lo; e < hi; ++e) out[e] += alpha * acc[e];
+  } else {
+    for (std::size_t e = lo; e < hi; ++e) {
+      out[e] = beta * out[e] + alpha * acc[e];
+    }
+  }
+}
+
+/// In-place C = beta·C for the degenerate k = 0 case.
+void scale_output(double beta, std::span<double> c) {
+  if (beta == 0.0) {
+    std::fill(c.begin(), c.end(), 0.0);
+  } else if (beta != 1.0) {
+    for (double& v : c) v *= beta;
+  }
+}
+
+// ------------------------------------------------------------- gemm_nn
+
+/// Pack B (k×n row-major) into zero-padded kNR-wide strips: the
+/// microkernel then reads one contiguous cache line per k step regardless
+/// of n, and never needs a column-tail branch in its inner loop. The
+/// panel lives in a grow-only per-thread buffer (this runs every CG
+/// iteration — see reduction_workspace below for the rationale); only
+/// the tail strip's padding columns are zeroed, full strips are fully
+/// overwritten.
+double* pack_b(const double* pb, std::size_t k, std::size_t n,
+               std::size_t nstrips) {
+  static thread_local std::vector<double> panel;
+  if (panel.size() < nstrips * k * kNR) panel.resize(nstrips * k * kNR);
+  double* bp = panel.data();
+  for (std::size_t s = 0; s < nstrips; ++s) {
+    const std::size_t j0 = s * kNR;
+    const std::size_t w = std::min(kNR, n - j0);
+    double* dst = bp + s * k * kNR;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double* src = pb + kk * n + j0;
+      for (std::size_t jj = 0; jj < w; ++jj) dst[kk * kNR + jj] = src[jj];
+      for (std::size_t jj = w; jj < kNR; ++jj) dst[kk * kNR + jj] = 0.0;
+    }
+  }
+  return bp;
+}
+
+/// MR×W register tile against a packed strip: MR·W accumulators live in
+/// registers across the whole k loop (compile-time bounds, __restrict so
+/// nothing is spilled for aliasing), C is touched exactly once per tile,
+/// and tail strips instantiate their true width — no padded flops and no
+/// per-element zero branch.
+template <std::size_t MR, std::size_t W>
+inline void micro_nn(const double* __restrict pa, std::size_t lda,
+                     const double* __restrict bp, std::size_t k, double alpha,
+                     double beta, double* __restrict pc, std::size_t ldc) {
+  double acc[MR][W] = {};
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* __restrict b = bp + kk * kNR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double v = pa[r * lda + kk];
+      for (std::size_t j = 0; j < W; ++j) acc[r][j] += v * b[j];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    double* __restrict crow = pc + r * ldc;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < W; ++j) crow[j] = alpha * acc[r][j];
+    } else if (beta == 1.0) {
+      for (std::size_t j = 0; j < W; ++j) crow[j] += alpha * acc[r][j];
+    } else {
+      for (std::size_t j = 0; j < W; ++j) {
+        crow[j] = beta * crow[j] + alpha * acc[r][j];
+      }
+    }
+  }
+}
+
+template <std::size_t MR>
+inline void micro_nn_w(std::size_t w, const double* pa, std::size_t lda,
+                       const double* bp, std::size_t k, double alpha,
+                       double beta, double* pc, std::size_t ldc) {
+  switch (w) {
+    case 1: micro_nn<MR, 1>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 2: micro_nn<MR, 2>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 3: micro_nn<MR, 3>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 4: micro_nn<MR, 4>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 5: micro_nn<MR, 5>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 6: micro_nn<MR, 6>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 7: micro_nn<MR, 7>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    default: micro_nn<MR, 8>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+  }
+}
+
+inline void micro_nn_dispatch(std::size_t mr, std::size_t w, const double* pa,
+                              std::size_t lda, const double* bp, std::size_t k,
+                              double alpha, double beta, double* pc,
+                              std::size_t ldc) {
+  switch (mr) {
+    case 1: micro_nn_w<1>(w, pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 2: micro_nn_w<2>(w, pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 3: micro_nn_w<3>(w, pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    default: micro_nn_w<4>(w, pa, lda, bp, k, alpha, beta, pc, ldc); break;
+  }
+}
+
+// ------------------------------------------------------------- gemm_tn
+
+/// Reusable per-calling-thread reduction workspace: the two-phase
+/// kernels run every CG iteration, and a fresh large allocation per call
+/// means fresh page faults per call. Grow-only, so steady-state calls
+/// never touch the allocator.
+double* reduction_workspace(std::size_t elems) {
+  static thread_local std::vector<double> ws;
+  if (ws.size() < elems) ws.resize(elems);
+  return ws.data();
+}
+
+/// Phase-1 block: fold U samples starting at row `i` into the local m×n
+/// partial in one pass over the panel — U× less accumulator traffic than
+/// the seed's one-sample loop, contiguous streaming loads of A and B,
+/// and no per-element zero branch. U is a compile-time constant so the
+/// inner sums fully unroll.
+template <std::size_t U>
+inline void tn_block(const double* __restrict pa, const double* __restrict pb,
+                     std::size_t m, std::size_t n, std::size_t i,
+                     double* __restrict local) {
+  const double* a[U];
+  const double* b[U];
+  for (std::size_t u = 0; u < U; ++u) {
+    a[u] = pa + (i + u) * m;
+    b[u] = pb + (i + u) * n;
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    double x[U];
+    for (std::size_t u = 0; u < U; ++u) x[u] = a[u][j];
+    double* __restrict lrow = local + j * n;
+    for (std::size_t t = 0; t < n; ++t) {
+      double s = 0.0;
+      for (std::size_t u = 0; u < U; ++u) s += x[u] * b[u][t];
+      lrow[t] += s;
+    }
+  }
+}
+
+/// Phase-1 core: accumulate Aᵀ·B for the sample range [i0, i1) into
+/// `local` (m×n, pre-zeroed), 8 samples per pass with 4/2/1 tails.
+void accumulate_tn(const double* pa, const double* pb, std::size_t m,
+                   std::size_t n, std::size_t i0, std::size_t i1,
+                   double* local) {
+  std::size_t i = i0;
+  for (; i + 8 <= i1; i += 8) tn_block<8>(pa, pb, m, n, i, local);
+  for (; i + 4 <= i1; i += 4) tn_block<4>(pa, pb, m, n, i, local);
+  for (; i + 2 <= i1; i += 2) tn_block<2>(pa, pb, m, n, i, local);
+  for (; i < i1; ++i) tn_block<1>(pa, pb, m, n, i, local);
+}
+
+/// Phase-1 core for gemv_t: y-panel is a single column.
+void accumulate_tv(const double* __restrict pa, const double* __restrict x,
+                   std::size_t m, std::size_t i0, std::size_t i1,
+                   double* __restrict local) {
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = pa + i * m;
+    const double* a1 = a0 + m;
+    const double* a2 = a1 + m;
+    const double* a3 = a2 + m;
+    const double x0 = x[i];
+    const double x1 = x[i + 1];
+    const double x2 = x[i + 2];
+    const double x3 = x[i + 3];
+    for (std::size_t j = 0; j < m; ++j) {
+      local[j] += x0 * a0[j] + x1 * a1[j] + x2 * a2[j] + x3 * a3[j];
+    }
+  }
+  for (; i < i1; ++i) {
+    const double xv = x[i];
+    const double* arow = pa + i * m;
+    for (std::size_t j = 0; j < m; ++j) local[j] += xv * arow[j];
+  }
+}
+
+/// Row boundary for thread t when partitioning CSR rows by nonzero count:
+/// the first row whose prefix nnz reaches t/team of the total. Depends
+/// only on (row_ptr, t, team) — deterministic and balanced for skewed
+/// shards where equal row counts would not be.
+std::size_t nnz_boundary(std::span<const std::int64_t> rp, std::int64_t nnz,
+                         int t, int team) {
+  const std::int64_t target =
+      nnz * static_cast<std::int64_t>(t) / static_cast<std::int64_t>(team);
+  const auto it = std::lower_bound(rp.begin(), rp.end(), target);
+  return static_cast<std::size_t>(it - rp.begin());
+}
+
+/// Wide-output spmm_tn: gather over the matrix's cached transposed (CSC)
+/// view — every output row is computed independently from its column's
+/// entries in ascending sample order. No per-thread dense partials at
+/// all, so reduction work scales with nnz instead of team × cols × n,
+/// and the summation order per output element is fixed — the result is
+/// bit-identical for ANY thread count. The CSC view is built once per
+/// matrix (CsrMatrix::transposed()) and amortizes across the CG
+/// iterations that call this kernel with the same shard.
+void spmm_tn_transpose(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+                       double beta, DenseMatrix& c,
+                       [[maybe_unused]] bool parallel) {
+  const std::size_t m = a.cols(), n = b.cols();
+  const CsrTransposed& tv = a.transposed();
+  const std::int64_t* colptr = tv.col_ptr.data();
+  const std::int32_t* trows = tv.row_idx.data();
+  const double* tvals = tv.values.data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+
+#pragma omp parallel if (parallel)
+  {
+    const int team = team_size();
+    const int t = thread_id();
+    // Independent per-output-row gathers, balanced by entry count; the
+    // boundaries depend only on (col_ptr, team), so the tiling is
+    // deterministic and covers exactly [0, jstar).
+    const std::span<const std::int64_t> cp(colptr, m + 1);
+    const std::size_t j0 = nnz_boundary(cp, nnz, t, team);
+    const std::size_t j1 = nnz_boundary(cp, nnz, t + 1, team);
+    for (std::size_t j = j0; j < j1; ++j) {
+      double* crow = pc + j * n;
+      if (beta == 0.0) {
+        for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+      } else if (beta != 1.0) {
+        for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+      }
+      for (std::int64_t e = colptr[j]; e < colptr[j + 1]; ++e) {
+        const double v = alpha * tvals[e];
+        const double* brow = pb + static_cast<std::size_t>(trows[e]) * n;
+        for (std::size_t q = 0; q < n; ++q) crow[q] += v * brow[q];
+      }
+    }
+    // jstar is the first column at which the prefix reaches nnz;
+    // trailing empty columns still need their beta scaling.
+    const std::size_t jstar = nnz_boundary(cp, nnz, team, team);
+    const Range jz = slice(m - jstar, t, team);
+    for (std::size_t j = jstar + jz.lo; j < jstar + jz.hi; ++j) {
+      double* crow = pc + j * n;
+      if (beta == 0.0) {
+        for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+      } else if (beta != 1.0) {
+        for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- softmax
+
+/// One fused sweep over a score row: running max and running exp-sum are
+/// maintained together (stored exponentials are rescaled on the rare max
+/// update), so each score is exponentiated exactly once; a second short
+/// sweep normalizes. The implicit class contributes score 0 (m starts at
+/// 0, alpha at e⁰ = 1), matching the paper's eq. (9)-(10) stabilization.
+double softmax_row(const double* s, double* p, std::size_t c,
+                   std::int32_t label, double& lse_out) {
+  double m = 0.0;
+  double alpha = 1.0;
+  for (std::size_t j = 0; j < c; ++j) {
+    const double v = s[j];
+    if (v <= m) {
+      const double e = std::exp(v - m);
+      p[j] = e;
+      alpha += e;
+    } else {
+      const double rescale = std::exp(m - v);
+      for (std::size_t t = 0; t < j; ++t) p[t] *= rescale;
+      alpha = alpha * rescale + 1.0;
+      p[j] = 1.0;
+      m = v;
+    }
+  }
+  const double inv_alpha = 1.0 / alpha;
+  for (std::size_t j = 0; j < c; ++j) p[j] *= inv_alpha;
+  lse_out = m + std::log(alpha);
+  const auto y = static_cast<std::size_t>(label);
+  return lse_out - (y < c ? s[y] : 0.0);
+}
+
+}  // namespace
+
+// ===========================================================================
+// Engine kernels
+// ===========================================================================
+
+void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.cols() == b.rows(), "gemm_nn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm_nn: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (m == 0 || n == 0) return;
+  const double* pa = a.data().data();
+  double* pc = c.data().data();
+
+  const std::size_t nstrips = (n + kNR - 1) / kNR;
+  const double* bp = pack_b(b.data().data(), k, n, nstrips);
+
+  const std::size_t ntiles = (m + kMR - 1) / kMR;
+  [[maybe_unused]] const bool parallel = 2 * m * k * n >= kParallelFlops;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t it = 0; it < static_cast<std::ptrdiff_t>(ntiles); ++it) {
+    const std::size_t i = static_cast<std::size_t>(it) * kMR;
+    const std::size_t mr = std::min(kMR, m - i);
+    for (std::size_t s = 0; s < nstrips; ++s) {
+      const std::size_t j0 = s * kNR;
+      const std::size_t w = std::min(kNR, n - j0);
+      micro_nn_dispatch(mr, w, pa + i * k, k, bp + s * k * kNR, k,
+                        alpha, beta, pc + i * n + j0, n);
+    }
+  }
+}
+
+void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.rows() == b.rows(), "gemm_tn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "gemm_tn: output shape mismatch");
+  const std::size_t k = a.rows();  // samples
+  const std::size_t m = a.cols();  // features
+  const std::size_t n = b.cols();  // classes
+  const std::size_t mn = m * n;
+  if (mn == 0) return;
+  if (k == 0) {
+    scale_output(beta, c.data());
+    return;
+  }
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+
+  const bool parallel = 2 * k * m * n >= kParallelFlops;
+  const int tmax = max_team(parallel);
+  // Per-thread k-block partials; phase 2 folds them in thread order.
+  double* ws = reduction_workspace(static_cast<std::size_t>(tmax) * mn);
+#pragma omp parallel if (parallel)
+  {
+    const int team = team_size();
+    const int t = thread_id();
+    double* local = ws + static_cast<std::size_t>(t) * mn;
+    std::fill(local, local + mn, 0.0);
+    const Range kr = slice(k, t, team);
+    accumulate_tn(pa, pb, m, n, kr.lo, kr.hi, local);
+#pragma omp barrier
+    const Range er = slice(mn, t, team);
+    fold_partials(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
+  }
+}
+
+void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  NADMM_CHECK(a.rows() == x.size(), "gemv_t: x size mismatch");
+  NADMM_CHECK(a.cols() == y.size(), "gemv_t: y size mismatch");
+  const std::size_t k = a.rows(), m = a.cols();
+  if (m == 0) return;
+  if (k == 0) {
+    scale_output(beta, y);
+    return;
+  }
+  const double* pa = a.data().data();
+
+  const bool parallel = 2 * m * k >= kParallelFlops;
+  const int tmax = max_team(parallel);
+  double* ws = reduction_workspace(static_cast<std::size_t>(tmax) * m);
+#pragma omp parallel if (parallel)
+  {
+    const int team = team_size();
+    const int t = thread_id();
+    double* local = ws + static_cast<std::size_t>(t) * m;
+    std::fill(local, local + m, 0.0);
+    const Range kr = slice(k, t, team);
+    accumulate_tv(pa, x.data(), m, kr.lo, kr.hi, local);
+#pragma omp barrier
+    const Range er = slice(m, t, team);
+    fold_partials(alpha, beta, y.data(), ws, m, team, er.lo, er.hi);
+  }
+}
+
+void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "spmm_tn: output shape mismatch");
+  const std::size_t n = b.cols();
+  const std::size_t mn = c.size();
+  if (mn == 0) return;
+  if (a.nnz() == 0) {
+    scale_output(beta, c.data());
+    return;
+  }
+  const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+  const int tmax = max_team(parallel);
+
+  // Wide outputs (team × output panel larger than the nonzero count):
+  // dense per-thread partials would cost more traffic than the matrix
+  // itself — build the transposed view and gather instead. Narrow
+  // outputs keep the two-phase dense reduction below.
+  if (static_cast<std::size_t>(tmax) * mn > a.nnz()) {
+    spmm_tn_transpose(alpha, a, b, beta, c, parallel);
+    return;
+  }
+
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+
+  double* ws = reduction_workspace(static_cast<std::size_t>(tmax) * mn);
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+#pragma omp parallel if (parallel)
+  {
+    const int team = team_size();
+    const int t = thread_id();
+    double* local = ws + static_cast<std::size_t>(t) * mn;
+    std::fill(local, local + mn, 0.0);
+    const std::size_t r0 = nnz_boundary(rp, nnz, t, team);
+    const std::size_t r1 = nnz_boundary(rp, nnz, t + 1, team);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* brow = pb + i * n;
+      for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+        double* lrow = local + static_cast<std::size_t>(ci[e]) * n;
+        const double av = va[e];
+        for (std::size_t j = 0; j < n; ++j) lrow[j] += av * brow[j];
+      }
+    }
+#pragma omp barrier
+    const Range er = slice(mn, t, team);
+    fold_partials(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
+  }
+}
+
+double softmax_forward(const DenseMatrix& scores,
+                       std::span<const std::int32_t> labels,
+                       DenseMatrix& probs, std::span<double> lse) {
+  const std::size_t n = scores.rows();
+  const std::size_t c = scores.cols();
+  NADMM_CHECK(probs.rows() == n && probs.cols() == c,
+              "softmax_forward: probs shape mismatch");
+  NADMM_CHECK(labels.size() == n && lse.size() == n,
+              "softmax_forward: labels/lse size mismatch");
+  if (n == 0) return 0.0;
+  const double* ps = scores.data().data();
+  double* pp = probs.data().data();
+
+  const bool parallel = n * c >= kParallelRows;
+  const int tmax = max_team(parallel);
+  std::vector<double> partial(static_cast<std::size_t>(tmax), 0.0);
+#pragma omp parallel if (parallel)
+  {
+    const int team = team_size();
+    const int t = thread_id();
+    const Range rr = slice(n, t, team);
+    double loss = 0.0;
+    for (std::size_t i = rr.lo; i < rr.hi; ++i) {
+      loss += softmax_row(ps + i * c, pp + i * c, c, labels[i], lse[i]);
+    }
+    partial[static_cast<std::size_t>(t)] = loss;
+  }
+  // Fold loss partials in fixed thread order (deterministic for a given
+  // thread count; unused slots stay exactly 0.0).
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+// ===========================================================================
+// Seed reference kernels (verbatim pre-engine implementations, minus the
+// flop accounting which the public wrappers own).
+// ===========================================================================
+
+namespace reference {
+
+void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.cols() == b.rows(), "gemm_nn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm_nn: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  constexpr std::size_t kBlockK = 256;
+
+  const std::ptrdiff_t mm = static_cast<std::ptrdiff_t>(m);
+  [[maybe_unused]] const bool parallel = 2 * m * k * n >= kParallelFlops;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t i = 0; i < mm; ++i) {
+    double* crow = pc + static_cast<std::size_t>(i) * n;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const double* arow = pa + static_cast<std::size_t>(i) * k;
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k, k0 + kBlockK);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double av = alpha * arow[kk];
+        if (av == 0.0) continue;
+        const double* brow = pb + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.rows() == b.rows(), "gemm_tn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "gemm_tn: output shape mismatch");
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+
+  if (beta == 0.0) {
+    std::fill(c.data().begin(), c.data().end(), 0.0);
+  } else if (beta != 1.0) {
+    scal(beta, c.data());
+  }
+
+  [[maybe_unused]] const bool parallel = 2 * k * m * n >= kParallelFlops;
+#pragma omp parallel if (parallel)
+  {
+    std::vector<double> local(m * n, 0.0);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
+      const double* arow = pa + static_cast<std::size_t>(i) * m;
+      const double* brow = pb + static_cast<std::size_t>(i) * n;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double av = arow[j];
+        if (av == 0.0) continue;
+        double* lrow = local.data() + j * n;
+        for (std::size_t t = 0; t < n; ++t) lrow[t] += av * brow[t];
+      }
+    }
+#pragma omp critical(nadmm_ref_gemm_tn_reduce)
+    {
+      for (std::size_t e = 0; e < local.size(); ++e) pc[e] += alpha * local[e];
+    }
+  }
+}
+
+void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  NADMM_CHECK(a.rows() == x.size(), "gemv_t: x size mismatch");
+  NADMM_CHECK(a.cols() == y.size(), "gemv_t: y size mismatch");
+  const std::size_t k = a.rows(), m = a.cols();
+  const double* pa = a.data().data();
+  if (beta == 0.0) {
+    std::fill(y.begin(), y.end(), 0.0);
+  } else if (beta != 1.0) {
+    scal(beta, y);
+  }
+  [[maybe_unused]] const bool parallel = 2 * m * k >= kParallelFlops;
+#pragma omp parallel if (parallel)
+  {
+    std::vector<double> local(m, 0.0);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
+      const double xv = x[i];
+      if (xv == 0.0) continue;
+      const double* arow = pa + static_cast<std::size_t>(i) * m;
+      for (std::size_t j = 0; j < m; ++j) local[j] += xv * arow[j];
+    }
+#pragma omp critical(nadmm_ref_gemv_t_reduce)
+    {
+      for (std::size_t j = 0; j < m; ++j) y[j] += alpha * local[j];
+    }
+  }
+}
+
+void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
+  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "spmm_tn: output shape mismatch");
+  const std::size_t n = b.cols();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+  if (beta == 0.0) {
+    std::fill(c.data().begin(), c.data().end(), 0.0);
+  } else if (beta != 1.0) {
+    scal(beta, c.data());
+  }
+  [[maybe_unused]] const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
+#pragma omp parallel if (parallel)
+  {
+    std::vector<double> local(c.size(), 0.0);
+#pragma omp for schedule(dynamic, 64)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
+      const double* brow = pb + static_cast<std::size_t>(i) * n;
+      for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
+        double* lrow = local.data() + static_cast<std::size_t>(ci[e]) * n;
+        const double av = va[e];
+        for (std::size_t j = 0; j < n; ++j) lrow[j] += av * brow[j];
+      }
+    }
+#pragma omp critical(nadmm_ref_spmm_tn_reduce)
+    {
+      for (std::size_t e = 0; e < local.size(); ++e) pc[e] += alpha * local[e];
+    }
+  }
+}
+
+double softmax_forward(const DenseMatrix& scores,
+                       std::span<const std::int32_t> labels,
+                       DenseMatrix& probs, std::span<double> lse) {
+  const std::size_t n = scores.rows();
+  const std::size_t c = scores.cols();
+  NADMM_CHECK(probs.rows() == n && probs.cols() == c,
+              "softmax_forward: probs shape mismatch");
+  NADMM_CHECK(labels.size() == n && lse.size() == n,
+              "softmax_forward: labels/lse size mismatch");
+  double loss = 0.0;
+  [[maybe_unused]] const bool parallel = n * c >= kParallelRows;
+#pragma omp parallel for schedule(static) reduction(+ : loss) if (parallel)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const auto s = scores.row(static_cast<std::size_t>(i));
+    auto prob = probs.row(static_cast<std::size_t>(i));
+    double m = 0.0;  // implicit class score
+    for (double v : s) m = std::max(m, v);
+    double alpha = std::exp(-m);  // implicit class contribution
+    for (std::size_t cc = 0; cc < c; ++cc) {
+      prob[cc] = std::exp(s[cc] - m);
+      alpha += prob[cc];
+    }
+    const double inv_alpha = 1.0 / alpha;
+    for (std::size_t cc = 0; cc < c; ++cc) prob[cc] *= inv_alpha;
+    const double l = m + std::log(alpha);
+    lse[static_cast<std::size_t>(i)] = l;
+    const auto y = static_cast<std::size_t>(labels[static_cast<std::size_t>(i)]);
+    loss += l - (y < c ? s[y] : 0.0);
+  }
+  return loss;
+}
+
+}  // namespace reference
+
+}  // namespace nadmm::la::kernels

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "la/flops.hpp"
+#include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
 
@@ -11,7 +12,14 @@ namespace nadmm::la {
 
 namespace {
 // Same threshold as the dense kernels: small products stay serial.
-constexpr std::size_t kParallelFlops = 1 << 17;
+constexpr std::size_t kParallelFlops = kernels::kParallelFlops;
+
+// Compulsory CSR traffic: each nonzero is a value (8B) plus a column
+// index (8B), the row pointers are streamed once, dense operands are
+// read once, and the output is written once (read too when beta != 0).
+std::uint64_t csr_bytes(const CsrMatrix& a) {
+  return 16 * a.nnz() + 8 * (a.rows() + 1);
+}
 }  // namespace
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
@@ -82,6 +90,32 @@ CsrMatrix CsrMatrix::row_slice(std::size_t begin, std::size_t end) const {
                    std::move(vals));
 }
 
+const CsrTransposed& CsrMatrix::transposed() const {
+  std::call_once(*transpose_once_, [this] {
+    NADMM_CHECK(rows_ <= 0x7fffffffULL,
+                "CsrMatrix::transposed: row count exceeds int32 range");
+    CsrTransposed& t = *transpose_;
+    t.col_ptr.assign(cols_ + 1, 0);
+    t.row_idx.resize(values_.size());
+    t.values.resize(values_.size());
+    // Counting sort by column; within a column the CSR row sweep
+    // preserves ascending row order, so the view (and every kernel
+    // summation over it) is deterministic.
+    for (std::int64_t c : col_idx_) ++t.col_ptr[static_cast<std::size_t>(c) + 1];
+    for (std::size_t j = 0; j < cols_; ++j) t.col_ptr[j + 1] += t.col_ptr[j];
+    std::vector<std::int64_t> next(t.col_ptr.begin(), t.col_ptr.end() - 1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const auto j = static_cast<std::size_t>(col_idx_[e]);
+        const std::int64_t p = next[j]++;
+        t.row_idx[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(r);
+        t.values[static_cast<std::size_t>(p)] = values_[e];
+      }
+    }
+  });
+  return *transpose_;
+}
+
 DenseMatrix CsrMatrix::to_dense() const {
   DenseMatrix d(rows_, cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -119,43 +153,17 @@ void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
     }
   }
   flops::add(2 * a.nnz() * n);
+  flops::add_bytes(csr_bytes(a) +
+                   8 * (a.cols() * n + flops::output_passes(beta) * a.rows() * n));
 }
 
 void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
-  NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
-  NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
-              "spmm_tn: output shape mismatch");
+  kernels::spmm_tn(alpha, a, b, beta, c);
   const std::size_t n = b.cols();
-  const auto rp = a.row_ptr();
-  const auto ci = a.col_idx();
-  const auto va = a.values();
-  const double* pb = b.data().data();
-  double* pc = c.data().data();
-  if (beta == 0.0) {
-    std::fill(c.data().begin(), c.data().end(), 0.0);
-  } else if (beta != 1.0) {
-    scal(beta, c.data());
-  }
-  [[maybe_unused]] const bool parallel = 2 * a.nnz() * n >= kParallelFlops;
-#pragma omp parallel if (parallel)
-  {
-    std::vector<double> local(c.size(), 0.0);
-#pragma omp for schedule(dynamic, 64)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.rows()); ++i) {
-      const double* brow = pb + static_cast<std::size_t>(i) * n;
-      for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
-        double* lrow = local.data() + static_cast<std::size_t>(ci[e]) * n;
-        const double av = va[e];
-        for (std::size_t j = 0; j < n; ++j) lrow[j] += av * brow[j];
-      }
-    }
-#pragma omp critical(nadmm_spmm_tn_reduce)
-    {
-      for (std::size_t e = 0; e < local.size(); ++e) pc[e] += alpha * local[e];
-    }
-  }
   flops::add(2 * a.nnz() * n);
+  flops::add_bytes(csr_bytes(a) +
+                   8 * (a.rows() * n + flops::output_passes(beta) * a.cols() * n));
 }
 
 void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
@@ -175,6 +183,7 @@ void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
     y[i] = alpha * acc + beta * y[i];
   }
   flops::add(2 * a.nnz());
+  flops::add_bytes(csr_bytes(a) + 8 * (a.cols() + 2 * a.rows()));
 }
 
 }  // namespace nadmm::la

@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -20,6 +22,15 @@ struct Triplet {
   std::size_t row;
   std::size_t col;
   double value;
+};
+
+/// Column-major (CSC) view of a CsrMatrix: entries of column j live at
+/// [col_ptr[j], col_ptr[j+1]) in ascending row order. Built lazily by
+/// CsrMatrix::transposed() for the wide-output Aᵀ·B gather kernel.
+struct CsrTransposed {
+  std::vector<std::int64_t> col_ptr;  // cols + 1
+  std::vector<std::int32_t> row_idx;  // nnz sample indices
+  std::vector<double> values;         // nnz values
 };
 
 /// Immutable CSR matrix of doubles.
@@ -54,12 +65,38 @@ class CsrMatrix {
   /// Densify (tests and small problems only).
   [[nodiscard]] DenseMatrix to_dense() const;
 
+  /// Approximate resident bytes: the CSR arrays plus the transposed
+  /// (CSC) view that the wide-output Aᵀ·B kernel builds lazily. The view
+  /// is counted up front so byte budgets (DatasetProvider's LRU) hold at
+  /// peak, not just before the first gradient step.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return row_ptr_.size() * sizeof(std::int64_t) +
+           col_idx_.size() * sizeof(std::int64_t) +
+           values_.size() * sizeof(double) +
+           (cols_ + 1) * sizeof(std::int64_t) +
+           values_.size() * (sizeof(std::int32_t) + sizeof(double));
+  }
+
+  /// Lazy transposed (CSC) view, built deterministically on first use and
+  /// shared between copies of this matrix (the matrix is immutable, so
+  /// the view never goes stale). Thread-safe: concurrent first calls —
+  /// e.g. sweep scenarios sharing a cached dataset — build exactly once.
+  /// The ADMM gradient/Hessian path hits this every CG iteration on wide
+  /// shards, so the build cost amortizes to zero.
+  [[nodiscard]] const CsrTransposed& transposed() const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::int64_t> row_ptr_{0};
   std::vector<std::int64_t> col_idx_;
   std::vector<double> values_;
+
+  // Shared (not deep-copied) lazy transpose state; see transposed().
+  mutable std::shared_ptr<std::once_flag> transpose_once_ =
+      std::make_shared<std::once_flag>();
+  mutable std::shared_ptr<CsrTransposed> transpose_ =
+      std::make_shared<CsrTransposed>();
 };
 
 /// C = alpha * A * B + beta * C.  A: m×k CSR, B: k×n dense, C: m×n dense.

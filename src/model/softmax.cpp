@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/flops.hpp"
+#include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
 
@@ -11,8 +12,8 @@ namespace nadmm::model {
 
 namespace {
 // Per-sample loops cost only a few flops per element; stay serial below
-// this many elements.
-constexpr std::size_t kParallelRows = 1 << 14;
+// this many elements (shared with the fused forward in la/kernels.hpp).
+constexpr std::size_t kParallelRows = la::kernels::kParallelRows;
 }  // namespace
 
 SoftmaxObjective::SoftmaxObjective(const data::Dataset& shard, double l2_lambda)
@@ -43,32 +44,15 @@ void SoftmaxObjective::ensure_forward(std::span<const double> x) {
   std::copy(x.begin(), x.end(), xm_.data().begin());
   shard_->scores(xm_, scores_);
 
-  // Per-sample LSE with the paper's eq. (9)-(10) stabilization, plus the
-  // probability panel P_ic = e^{s_ic − M_i} / α_i.
+  // Fused single-sweep softmax forward (la/kernels.cpp): per-row online
+  // max / exp / sum with the paper's eq. (9)-(10) stabilization, writing
+  // the probability panel P_ic = e^{s_ic − M_i} / α_i and the per-sample
+  // LSE, and returning the summed cross-entropy loss.
   const std::size_t n = shard_->num_samples();
-  const auto labels = shard_->labels();
-  double loss = 0.0;
-  [[maybe_unused]] const bool parallel = n * cm1_ >= kParallelRows;
-#pragma omp parallel for schedule(static) reduction(+ : loss) if (parallel)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-    const auto s = scores_.row(static_cast<std::size_t>(i));
-    auto prob = probs_.row(static_cast<std::size_t>(i));
-    double m = 0.0;  // implicit class score
-    for (double v : s) m = std::max(m, v);
-    double alpha = std::exp(-m);  // implicit class contribution
-    for (std::size_t c = 0; c < cm1_; ++c) {
-      prob[c] = std::exp(s[c] - m);
-      alpha += prob[c];
-    }
-    const double inv_alpha = 1.0 / alpha;
-    for (std::size_t c = 0; c < cm1_; ++c) prob[c] *= inv_alpha;
-    const double lse = m + std::log(alpha);
-    lse_[static_cast<std::size_t>(i)] = lse;
-    const auto y = static_cast<std::size_t>(labels[static_cast<std::size_t>(i)]);
-    loss += lse - (y < cm1_ ? s[y] : 0.0);
-  }
+  loss_sum_ = la::kernels::softmax_forward(scores_, shard_->labels(), probs_,
+                                           lse_);
   nadmm::flops::add(5 * n * cm1_ + 4 * n);
-  loss_sum_ = loss;
+  nadmm::flops::add_bytes(8 * (2 * n * cm1_ + n) + 4 * n);
   cache_valid_ = true;
 }
 

@@ -73,7 +73,7 @@ int cmd_list() {
       "\ndatasets:  higgs | mnist | cifar | e18 | blobs (synthetic, "
       "paper-shaped)\n"
       "           libsvm:<path> (streamed from disk as row shards)\n"
-      "devices:   p100 | cpu | <gflops>\n"
+      "devices:   p100 | cpu | <gflops>[:<gbytes_per_s>]\n"
       "networks:  ib100 | eth10 | eth1 | wan | ideal\n"
       "penalties: fixed | rb | sps\n");
   return 0;
@@ -86,7 +86,8 @@ void add_scenario_options(CliParser& cli) {
   cli.add_int("e18-features", 1400, "feature dim for e18/blobs");
   cli.add_int("seed", 42, "dataset generator seed");
   cli.add_int("workers", 8, "simulated cluster size");
-  cli.add_string("device", "p100", "device model (p100|cpu|<gflops>)");
+  cli.add_string("device", "p100",
+                 "device model (p100|cpu|<gflops>[:<gbytes_per_s>])");
   cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
   cli.add_string("penalty", "sps", "ADMM penalty rule (fixed|rb|sps)");
   cli.add_double("lambda", 1e-5, "l2 regularization");

@@ -81,7 +81,7 @@ core::RunResult run_single_node(const std::string& name,
     }
   }
 
-  r.total_sim_seconds = device.seconds_for_flops(scope.elapsed());
+  r.total_sim_seconds = device.seconds_for(scope.elapsed(), scope.elapsed_bytes());
   r.total_wall_seconds = timer.seconds();
   if (r.iterations > 0) {
     r.avg_epoch_sim_seconds = r.total_sim_seconds / r.iterations;

@@ -91,6 +91,31 @@ TEST(SimClock, ResetClearsState) {
   EXPECT_DOUBLE_EQ(clock.total_seconds(), 0.0);
 }
 
+TEST(SimClock, RooflinePricesBandwidthBoundIntervals) {
+  // 1 GF/s and 1 GB/s: whichever of the flop and byte terms is larger
+  // bounds each sync interval.
+  nadmm::flops::reset();
+  SimClock clock(la::DeviceModel{"t", 1.0, 1.0});
+  nadmm::flops::add(1'000'000'000ULL);      // 1.0 s of flops
+  nadmm::flops::add_bytes(500'000'000ULL);  // 0.5 s of traffic
+  clock.sync_compute();
+  EXPECT_DOUBLE_EQ(clock.compute_seconds(), 1.0);  // flop-bound
+  nadmm::flops::add(1'000'000'000ULL);
+  nadmm::flops::add_bytes(3'000'000'000ULL);
+  clock.sync_compute();
+  EXPECT_DOUBLE_EQ(clock.compute_seconds(), 4.0);  // + 3.0 s, byte-bound
+  EXPECT_EQ(clock.total_bytes(), 3'500'000'000ULL);
+}
+
+TEST(SimClock, FlopOnlyDevicesIgnoreBytes) {
+  nadmm::flops::reset();
+  SimClock clock(la::DeviceModel{"t", 1.0});  // no bandwidth rating
+  nadmm::flops::add(1'000'000'000ULL);
+  nadmm::flops::add_bytes(50'000'000'000ULL);
+  clock.sync_compute();
+  EXPECT_DOUBLE_EQ(clock.compute_seconds(), 1.0);
+}
+
 // ------------------------------------------------------- collectives
 
 class CollectivesTest : public testing::TestWithParam<int> {};
@@ -179,6 +204,45 @@ TEST_P(CollectivesTest, AllgatherGivesEveryoneEverything) {
     ctx.allgather(mine, all);
     ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(all[r], 2.0 * r);
+  });
+}
+
+// Regression for the two-barrier allreduce (the seed used three rounds):
+// back-to-back collectives over rank-dependent data must agree across all
+// ranks on every round, including when reductions are interleaved with
+// other collectives reusing the shared staging slots.
+TEST_P(CollectivesTest, AllreduceAgreesAcrossRanksUnderReuse) {
+  const int n = GetParam();
+  auto cluster = make_cluster(n);
+  const std::size_t len = 37;
+  cluster.run([&](RankCtx& ctx) {
+    std::vector<double> v(len);
+    for (int round = 0; round < 100; ++round) {
+      for (std::size_t j = 0; j < len; ++j) {
+        v[j] = static_cast<double>((ctx.rank() + 1) * (round + 1)) +
+               0.25 * static_cast<double>(j);
+      }
+      ctx.allreduce_sum(v);
+      for (std::size_t j = 0; j < len; ++j) {
+        double expected = 0.0;
+        for (int r = 0; r < n; ++r) {
+          expected += static_cast<double>((r + 1) * (round + 1)) +
+                      0.25 * static_cast<double>(j);
+        }
+        ASSERT_DOUBLE_EQ(v[j], expected)
+            << "rank " << ctx.rank() << " round " << round << " elem " << j;
+      }
+      if (round % 10 == 0) {
+        // Interleave other collectives so a straggler from the previous
+        // allreduce would be caught corrupting the staging slots.
+        std::vector<double> mine{static_cast<double>(ctx.rank())};
+        std::vector<double> all;
+        ctx.allgather(mine, all);
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+        EXPECT_DOUBLE_EQ(ctx.allreduce_max(static_cast<double>(ctx.rank())),
+                         static_cast<double>(n - 1));
+      }
+    }
   });
 }
 

@@ -1,0 +1,408 @@
+// Kernel-engine tests: parity of every rewired kernel against the seed
+// reference implementations (kernels::reference) and an independent naive
+// oracle, across degenerate shapes and the alpha/beta grid; dense-vs-CSR
+// dispatch parity; fixed-thread-count bit-determinism of the two-phase
+// reductions; the fused softmax forward; and the bytes-moved accounting
+// feeding the device roofline.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/flops.hpp"
+#include "la/kernels.hpp"
+#include "la/sparse_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace nadmm::la {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& e : v) e = rng.normal();
+  return v;
+}
+
+DenseMatrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  DenseMatrix m(r, c);
+  for (double& e : m.data()) e = rng.normal();
+  return m;
+}
+
+CsrMatrix random_csr(std::size_t r, std::size_t c, double density, Rng& rng) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (rng.bernoulli(density)) t.push_back({i, j, rng.normal()});
+    }
+  }
+  return CsrMatrix(r, c, std::move(t));
+}
+
+void expect_matrices_near(const DenseMatrix& got, const DenseMatrix& want,
+                          double tol, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      const double scale = std::abs(want.at(i, j)) + 1.0;
+      EXPECT_NEAR(got.at(i, j), want.at(i, j), tol * scale)
+          << what << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+/// Temporarily pin the OpenMP thread count (no-op without OpenMP).
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) {
+#ifdef _OPENMP
+    prev_ = omp_get_max_threads();
+    omp_set_num_threads(threads);
+#else
+    static_cast<void>(threads);
+#endif
+  }
+  ~ThreadGuard() {
+#ifdef _OPENMP
+    omp_set_num_threads(prev_);
+#endif
+  }
+
+ private:
+  int prev_ = 1;
+};
+
+constexpr double kAlphas[] = {0.0, 1.0, 0.75};
+constexpr double kBetas[] = {0.0, 1.0, -0.5};
+
+// ---------------------------------------------------------- dense parity
+
+TEST(KernelEngine, GemmNnMatchesReferenceAcrossShapesAndAlphaBeta) {
+  Rng rng(11);
+  // Row tails (m mod 4), strip tails (n mod 8), 1×N / N×1, tall and wide.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {5, 7, 3},   {64, 129, 9},
+                                   {1, 300, 1}, {257, 2, 8}, {4, 8, 8},
+                                   {6, 5, 16},  {7, 3, 17},  {3, 200, 23},
+                                   {100, 1, 9}};
+  for (const auto& sh : shapes) {
+    const std::size_t m = sh[0], k = sh[1], n = sh[2];
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    const auto c0 = random_matrix(m, n, rng);
+    for (double alpha : kAlphas) {
+      for (double beta : kBetas) {
+        DenseMatrix c = c0, c_ref = c0;
+        gemm_nn(alpha, a, b, beta, c);
+        kernels::reference::gemm_nn(alpha, a, b, beta, c_ref);
+        expect_matrices_near(c, c_ref, 1e-12, "gemm_nn");
+      }
+    }
+  }
+}
+
+TEST(KernelEngine, GemmTnMatchesReferenceAcrossShapesAndAlphaBeta) {
+  Rng rng(12);
+  const std::size_t shapes[][3] = {{1, 1, 1},  {6, 4, 3},   {200, 33, 9},
+                                   {1, 5, 2},  {513, 7, 1}, {3, 1, 19},
+                                   {50, 64, 8}};
+  for (const auto& sh : shapes) {
+    const std::size_t k = sh[0], m = sh[1], n = sh[2];
+    const auto a = random_matrix(k, m, rng);  // used transposed
+    const auto b = random_matrix(k, n, rng);
+    const auto c0 = random_matrix(m, n, rng);
+    for (double alpha : kAlphas) {
+      for (double beta : kBetas) {
+        DenseMatrix c = c0, c_ref = c0;
+        gemm_tn(alpha, a, b, beta, c);
+        kernels::reference::gemm_tn(alpha, a, b, beta, c_ref);
+        expect_matrices_near(c, c_ref, 1e-12, "gemm_tn");
+      }
+    }
+  }
+}
+
+TEST(KernelEngine, GemvTMatchesReferenceAcrossShapesAndAlphaBeta) {
+  Rng rng(13);
+  const std::size_t shapes[][2] = {{1, 1}, {7, 5}, {300, 17}, {2, 257}, {129, 3}};
+  for (const auto& sh : shapes) {
+    const std::size_t k = sh[0], m = sh[1];
+    const auto a = random_matrix(k, m, rng);
+    const auto x = random_vec(k, rng);
+    const auto y0 = random_vec(m, rng);
+    for (double alpha : kAlphas) {
+      for (double beta : kBetas) {
+        auto y = y0, y_ref = y0;
+        gemv_t(alpha, a, x, beta, y);
+        kernels::reference::gemv_t(alpha, a, x, beta, y_ref);
+        for (std::size_t j = 0; j < m; ++j) {
+          EXPECT_NEAR(y[j], y_ref[j], 1e-12 * (std::abs(y_ref[j]) + 1.0));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEngine, DegenerateShapesMatchBetaScaling) {
+  Rng rng(14);
+  // k = 0: C must become beta·C without reading any A/B data.
+  const DenseMatrix a0(0, 4), b0(0, 3);
+  const auto c0 = random_matrix(4, 3, rng);
+  for (double beta : kBetas) {
+    DenseMatrix c = c0;
+    gemm_tn(0.5, a0, b0, beta, c);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_DOUBLE_EQ(c.at(i, j), beta * c0.at(i, j));
+      }
+    }
+  }
+  // m = 0 / n = 0 outputs: must not touch anything (empty buffers).
+  DenseMatrix c_empty(0, 5);
+  gemm_nn(1.0, DenseMatrix(0, 7), DenseMatrix(7, 5), 0.0, c_empty);
+  DenseMatrix c_nocols(5, 0);
+  gemm_nn(1.0, DenseMatrix(5, 7), DenseMatrix(7, 0), 1.0, c_nocols);
+  // Empty CSR: C = beta·C.
+  const CsrMatrix empty(6, 4, {});
+  const auto cs0 = random_matrix(4, 2, rng);
+  DenseMatrix cs = cs0;
+  spmm_tn(2.0, empty, DenseMatrix(6, 2), -0.5, cs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(cs.at(i, j), -0.5 * cs0.at(i, j));
+    }
+  }
+  // k = 0 gemv_t.
+  std::vector<double> y{1.0, 2.0};
+  gemv_t(1.0, DenseMatrix(0, 2), std::vector<double>{}, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+// ---------------------------------------------------------- sparse parity
+
+TEST(KernelEngine, SpmmTnMatchesReferenceIncludingSkewedRows) {
+  Rng rng(15);
+  std::vector<CsrMatrix> mats;
+  mats.push_back(random_csr(50, 20, 0.15, rng));
+  mats.push_back(random_csr(100, 40, 0.02, rng));  // many empty rows
+  // Wide output (cols ≫ nnz/team): exercises the transpose/gather path,
+  // including trailing empty columns that only see the beta scaling.
+  mats.push_back(random_csr(60, 800, 0.01, rng));
+  {
+    // Heavily skewed: one dense row dominates the nonzero count, which
+    // exercises the nnz-balanced row partition.
+    std::vector<Triplet> t;
+    for (std::size_t j = 0; j < 30; ++j) t.push_back({0, j, rng.normal()});
+    for (std::size_t i = 10; i < 40; ++i) t.push_back({i, i % 30, rng.normal()});
+    mats.push_back(CsrMatrix(40, 30, std::move(t)));
+  }
+  for (const auto& a : mats) {
+    const auto b = random_matrix(a.rows(), 5, rng);
+    const auto c0 = random_matrix(a.cols(), 5, rng);
+    for (double alpha : kAlphas) {
+      for (double beta : kBetas) {
+        DenseMatrix c = c0, c_ref = c0;
+        spmm_tn(alpha, a, b, beta, c);
+        kernels::reference::spmm_tn(alpha, a, b, beta, c_ref);
+        expect_matrices_near(c, c_ref, 1e-12, "spmm_tn");
+      }
+    }
+  }
+}
+
+TEST(KernelEngine, DenseAndCsrDispatchAgree) {
+  Rng rng(16);
+  const auto sp = random_csr(60, 25, 0.2, rng);
+  const auto dn = sp.to_dense();
+  std::vector<std::int32_t> labels(60);
+  for (auto& y : labels) y = static_cast<std::int32_t>(rng.uniform_index(3));
+  const auto ds_dense = data::Dataset::dense(dn, labels, 3);
+  const auto ds_sparse = data::Dataset::sparse(sp, labels, 3);
+
+  const auto x = random_matrix(25, 2, rng);
+  DenseMatrix s_dense(60, 2), s_sparse(60, 2);
+  ds_dense.scores(x, s_dense);
+  ds_sparse.scores(x, s_sparse);
+  expect_matrices_near(s_sparse, s_dense, 1e-11, "scores dispatch");
+
+  const auto w = random_matrix(60, 2, rng);
+  DenseMatrix g_dense(25, 2), g_sparse(25, 2);
+  ds_dense.accumulate_gradient(1.0, w, 0.0, g_dense);
+  ds_sparse.accumulate_gradient(1.0, w, 0.0, g_sparse);
+  expect_matrices_near(g_sparse, g_dense, 1e-11, "gradient dispatch");
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(KernelEngine, TwoPhaseReductionsAreBitDeterministicAtFixedThreads) {
+  Rng rng(17);
+  // Large enough to clear the parallel threshold (2·k·m·n ≥ 2^17).
+  const auto a = random_matrix(2000, 64, rng);
+  const auto b = random_matrix(2000, 9, rng);
+  const auto sp = random_csr(500, 300, 0.05, rng);
+  const auto bs = random_matrix(500, 9, rng);
+  const auto sp_wide = random_csr(300, 2000, 0.01, rng);  // transpose path
+  const auto bw = random_matrix(300, 9, rng);
+  const auto x = random_vec(2000, rng);
+
+  for (int threads : {1, 3, 4}) {
+    ThreadGuard guard(threads);
+    DenseMatrix c1(64, 9), c2(64, 9);
+    gemm_tn(1.0, a, b, 0.0, c1);
+    gemm_tn(1.0, a, b, 0.0, c2);
+    ASSERT_EQ(0, std::memcmp(c1.data().data(), c2.data().data(),
+                             c1.size() * sizeof(double)))
+        << "gemm_tn not deterministic at " << threads << " threads";
+
+    DenseMatrix s1(300, 9), s2(300, 9);
+    spmm_tn(1.0, sp, bs, 0.0, s1);
+    spmm_tn(1.0, sp, bs, 0.0, s2);
+    ASSERT_EQ(0, std::memcmp(s1.data().data(), s2.data().data(),
+                             s1.size() * sizeof(double)))
+        << "spmm_tn not deterministic at " << threads << " threads";
+
+    DenseMatrix w1(2000, 9), w2(2000, 9);
+    spmm_tn(1.0, sp_wide, bw, 0.0, w1);
+    spmm_tn(1.0, sp_wide, bw, 0.0, w2);
+    ASSERT_EQ(0, std::memcmp(w1.data().data(), w2.data().data(),
+                             w1.size() * sizeof(double)))
+        << "spmm_tn (transpose path) not deterministic at " << threads
+        << " threads";
+
+    std::vector<double> y1(64, 0.0), y2(64, 0.0);
+    gemv_t(1.0, a, x, 0.0, y1);
+    gemv_t(1.0, a, x, 0.0, y2);
+    ASSERT_EQ(0, std::memcmp(y1.data(), y2.data(), y1.size() * sizeof(double)))
+        << "gemv_t not deterministic at " << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------- softmax
+
+/// Independent high-precision oracle for one softmax row.
+void softmax_row_oracle(std::span<const double> s, std::vector<double>& p,
+                        double& lse) {
+  long double m = 0.0L;
+  for (double v : s) m = std::max(m, static_cast<long double>(v));
+  long double alpha = std::exp(-m);
+  p.assign(s.size(), 0.0);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    const long double e = std::exp(static_cast<long double>(s[j]) - m);
+    p[j] = static_cast<double>(e);
+    alpha += e;
+  }
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    p[j] = static_cast<double>(p[j] / static_cast<double>(alpha));
+  }
+  lse = static_cast<double>(m + std::log(alpha));
+}
+
+TEST(KernelEngine, FusedSoftmaxForwardMatchesOracleAndReference) {
+  const std::size_t c = 9;
+  // Rows engineered to stress the online max: ascending (max updates every
+  // step), descending (one update), all-negative (implicit class wins),
+  // huge magnitudes (stabilization), plus random rows.
+  std::vector<std::vector<double>> rows;
+  rows.push_back({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  rows.push_back({9, 8, 7, 6, 5, 4, 3, 2, 1});
+  rows.push_back({-5, -4, -3, -2, -1, -9, -8, -7, -6});
+  rows.push_back({400, -400, 0, 1, -1, 200, -200, 0.5, -0.5});
+  Rng rng(18);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> r(c);
+    for (double& v : r) v = 10.0 * rng.normal();
+    rows.push_back(std::move(r));
+  }
+
+  const std::size_t n = rows.size();
+  DenseMatrix scores(n, c);
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), scores.row(i).begin());
+    // Cycle through all labels including the implicit class c.
+    labels[i] = static_cast<std::int32_t>(i % (c + 1));
+  }
+
+  DenseMatrix probs(n, c), probs_ref(n, c);
+  std::vector<double> lse(n), lse_ref(n);
+  const double loss = kernels::softmax_forward(scores, labels, probs, lse);
+  const double loss_ref =
+      kernels::reference::softmax_forward(scores, labels, probs_ref, lse_ref);
+
+  double loss_oracle = 0.0;
+  std::vector<double> p_oracle;
+  for (std::size_t i = 0; i < n; ++i) {
+    double lse_o = 0.0;
+    softmax_row_oracle(scores.row(i), p_oracle, lse_o);
+    EXPECT_NEAR(lse[i], lse_o, 1e-11 * (std::abs(lse_o) + 1.0)) << "row " << i;
+    for (std::size_t j = 0; j < c; ++j) {
+      EXPECT_NEAR(probs.at(i, j), p_oracle[j], 1e-12) << i << "," << j;
+    }
+    const auto y = static_cast<std::size_t>(labels[i]);
+    loss_oracle += lse_o - (y < c ? scores.at(i, y) : 0.0);
+  }
+  EXPECT_NEAR(loss, loss_oracle, 1e-9 * (std::abs(loss_oracle) + 1.0));
+  EXPECT_NEAR(loss, loss_ref, 1e-9 * (std::abs(loss_ref) + 1.0));
+  expect_matrices_near(probs, probs_ref, 1e-11, "softmax probs");
+}
+
+TEST(KernelEngine, FusedSoftmaxForwardIsDeterministicAtFixedThreads) {
+  Rng rng(19);
+  const std::size_t n = 4000, c = 9;  // above the parallel-row threshold
+  const auto scores = random_matrix(n, c, rng);
+  std::vector<std::int32_t> labels(n);
+  for (auto& y : labels) y = static_cast<std::int32_t>(rng.uniform_index(c + 1));
+  for (int threads : {1, 4}) {
+    ThreadGuard guard(threads);
+    DenseMatrix p1(n, c), p2(n, c);
+    std::vector<double> l1(n), l2(n);
+    const double loss1 = kernels::softmax_forward(scores, labels, p1, l1);
+    const double loss2 = kernels::softmax_forward(scores, labels, p2, l2);
+    EXPECT_EQ(std::memcmp(&loss1, &loss2, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(p1.data().data(), p2.data().data(),
+                          p1.size() * sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(l1.data(), l2.data(), n * sizeof(double)), 0);
+  }
+}
+
+// ---------------------------------------------------------- bytes/roofline
+
+TEST(KernelEngine, KernelsCreditBytesMoved) {
+  flops::reset();
+  DenseMatrix a(4, 5), b(5, 6), c(4, 6);
+  gemm_nn(1.0, a, b, 0.0, c);
+  // Compulsory traffic: A + B read once, C written once (beta = 0).
+  EXPECT_EQ(flops::read_bytes(), 8u * (4 * 5 + 5 * 6 + 4 * 6));
+  flops::reset();
+  gemm_nn(1.0, a, b, 1.0, c);  // beta != 0: C is read and written
+  EXPECT_EQ(flops::read_bytes(), 8u * (4 * 5 + 5 * 6 + 2 * 4 * 6));
+  flops::reset();
+  const CsrMatrix sp(2, 3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  DenseMatrix bs(2, 4), cs(3, 4);
+  spmm_tn(1.0, sp, bs, 0.0, cs);
+  EXPECT_EQ(flops::read_bytes(), 16u * 2 + 8u * 3 + 8u * (2 * 4 + 3 * 4));
+  EXPECT_GT(flops::read(), 0u);
+}
+
+TEST(KernelEngine, FlopsScopeTracksBytes) {
+  flops::reset();
+  flops::Scope scope;
+  flops::add_bytes(123);
+  flops::add(7);
+  EXPECT_EQ(scope.elapsed_bytes(), 123u);
+  EXPECT_EQ(scope.elapsed(), 7u);
+  flops::reset();
+  EXPECT_EQ(flops::read_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nadmm::la

@@ -345,12 +345,33 @@ TEST(Device, ConvertsFlopsToSeconds) {
   EXPECT_DOUBLE_EQ(d.seconds_for_flops(0), 0.0);
 }
 
+TEST(Device, RooflineTakesSlowerOfFlopAndByteTerms) {
+  const DeviceModel d{"x", 10.0, 2.0};  // 10 GF/s, 2 GB/s
+  // Flop-bound: 1 s of flops vs 0.5 s of traffic.
+  EXPECT_DOUBLE_EQ(d.seconds_for(10'000'000'000ULL, 1'000'000'000ULL), 1.0);
+  // Bandwidth-bound: 0.1 s of flops vs 5 s of traffic.
+  EXPECT_DOUBLE_EQ(d.seconds_for(1'000'000'000ULL, 10'000'000'000ULL), 5.0);
+  EXPECT_DOUBLE_EQ(d.balance(), 5.0);  // flops/byte
+  // No bandwidth rating: flop-only pricing, balance undefined (0).
+  const DeviceModel flat{"x", 10.0};
+  EXPECT_DOUBLE_EQ(flat.seconds_for(1'000'000'000ULL, 1ULL << 40), 0.1);
+  EXPECT_DOUBLE_EQ(flat.balance(), 0.0);
+}
+
 TEST(Device, PresetsAndParsing) {
   EXPECT_EQ(device_from_string("p100").name, "p100");
   EXPECT_EQ(device_from_string("cpu").name, "cpu");
+  EXPECT_GT(device_from_string("p100").gbytes_per_s, 0.0);
   EXPECT_DOUBLE_EQ(device_from_string("123.5").gflops, 123.5);
+  EXPECT_DOUBLE_EQ(device_from_string("123.5").gbytes_per_s, 0.0);
+  const auto custom = device_from_string("3000:550");
+  EXPECT_DOUBLE_EQ(custom.gflops, 3000.0);
+  EXPECT_DOUBLE_EQ(custom.gbytes_per_s, 550.0);
   EXPECT_THROW(device_from_string("bogus"), InvalidArgument);
   EXPECT_THROW(device_from_string("-3"), InvalidArgument);
+  EXPECT_THROW(device_from_string("100:"), InvalidArgument);
+  EXPECT_THROW(device_from_string("100:-5"), InvalidArgument);
+  EXPECT_THROW(device_from_string("100x5"), InvalidArgument);
 }
 
 }  // namespace

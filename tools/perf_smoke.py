@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the kernel engine.
+
+Consumes the JSON emitted by `bench_kernels --benchmark_format=json`.
+Every kernel is benchmarked twice in the same run — the engine version and
+the seed (pre-engine, critical-section) version preserved under
+la::kernels::reference — so the engine-vs-seed *speedup* per
+(kernel, threads) is a same-machine ratio that transfers across runner
+hardware far better than absolute timings.
+
+Modes:
+  check (default)   compare measured speedups against the committed
+                    baseline (BENCH_kernels.json); exit 1 if any entry
+                    regresses more than `tolerance` (default 25%) below
+                    its baseline speedup.
+  --write-baseline  regenerate the baseline from a bench run.
+
+Usage:
+  bench_kernels --benchmark_format=json > bench.json
+  tools/perf_smoke.py bench.json                     # gate against baseline
+  tools/perf_smoke.py bench.json --write-baseline    # refresh baseline
+"""
+
+import argparse
+import json
+import re
+import sys
+
+BASELINE_DEFAULT = "BENCH_kernels.json"
+NAME_RE = re.compile(r"^(BM_\w+?)_(Engine|Seed)/(\d+)$")
+
+
+def load_pairs(bench_json_path):
+    """Return {(kernel, threads): {"engine": ips, "seed": ips}}.
+
+    When the run used --benchmark_repetitions, median aggregates are
+    preferred over per-iteration entries for noise robustness.
+    """
+    with open(bench_json_path) as f:
+        data = json.load(f)
+    has_aggregates = any(
+        b.get("run_type") == "aggregate" for b in data.get("benchmarks", []))
+    pairs = {}
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        if has_aggregates:
+            if b.get("aggregate_name") != "median":
+                continue
+            name = name.removesuffix("_median")
+        elif b.get("run_type") == "aggregate":
+            continue
+        m = NAME_RE.match(name)
+        if not m:
+            continue
+        kernel, side, threads = m.group(1), m.group(2), int(m.group(3))
+        ips = b.get("items_per_second")
+        if ips is None:
+            # Fall back to inverse real time when items were not set.
+            ips = 1.0 / b["real_time"] if b.get("real_time") else None
+        if ips is None:
+            continue
+        pairs.setdefault((kernel, threads), {})[side.lower()] = ips
+    return pairs
+
+
+def to_entries(pairs):
+    entries = []
+    for (kernel, threads), sides in sorted(pairs.items()):
+        if "engine" not in sides or "seed" not in sides:
+            continue
+        entries.append(
+            {
+                "kernel": kernel,
+                "threads": threads,
+                "engine_items_per_s": round(sides["engine"], 1),
+                "seed_items_per_s": round(sides["seed"], 1),
+                "speedup": round(sides["engine"] / sides["seed"], 3),
+            }
+        )
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="output of bench_kernels --benchmark_format=json")
+    ap.add_argument("--baseline", default=BASELINE_DEFAULT)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative speedup regression (default 0.25)")
+    ap.add_argument("--max-threads", type=int, default=None,
+                    help="ignore entries above this thread count (set to the "
+                         "runner's core count: an 8-thread ratio measured on "
+                         "a 4-core machine gates nothing meaningful)")
+    ap.add_argument("--write-baseline", action="store_true")
+    args = ap.parse_args()
+
+    entries = to_entries(load_pairs(args.bench_json))
+    if args.max_threads is not None and not args.write_baseline:
+        entries = [e for e in entries if e["threads"] <= args.max_threads]
+    if not entries:
+        print("perf_smoke: no engine/seed benchmark pairs found", file=sys.stderr)
+        return 1
+
+    if args.write_baseline:
+        baseline = {
+            "bench": "kernels",
+            "gate": "engine-vs-seed speedup per (kernel, threads); "
+                    "fails when measured < baseline * (1 - tolerance)",
+            "tolerance": args.tolerance,
+            "entries": entries,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"perf_smoke: wrote {len(entries)} entries to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base = {(e["kernel"], e["threads"]): e["speedup"]
+            for e in baseline["entries"]
+            if args.max_threads is None or e["threads"] <= args.max_threads}
+    tolerance = args.tolerance
+
+    failures, missing = [], []
+    width = max(len(e["kernel"]) for e in entries)
+    print(f"{'kernel':<{width}}  thr  speedup  baseline  floor")
+    for e in entries:
+        key = (e["kernel"], e["threads"])
+        if key not in base:
+            missing.append(key)
+            continue
+        floor = base[key] * (1.0 - tolerance)
+        status = "ok" if e["speedup"] >= floor else "REGRESSION"
+        print(f"{e['kernel']:<{width}}  {e['threads']:>3}  "
+              f"{e['speedup']:>7.3f}  {base[key]:>8.3f}  {floor:>5.3f}  {status}")
+        if e["speedup"] < floor:
+            failures.append((key, e["speedup"], floor))
+
+    for key in sorted(set(base) - {(e["kernel"], e["threads"]) for e in entries}):
+        print(f"perf_smoke: baseline entry {key} missing from bench run",
+              file=sys.stderr)
+        failures.append((key, 0.0, base[key]))
+
+    if missing:
+        print(f"perf_smoke: note: {len(missing)} measured pairs have no "
+              f"baseline entry (new benchmarks?): {missing}")
+    if failures:
+        print(f"perf_smoke: {len(failures)} kernel(s) regressed >"
+              f"{tolerance:.0%} against {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"perf_smoke: all {len(entries)} kernel speedups within "
+          f"{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
