@@ -1,0 +1,81 @@
+// Coordinator merge throughput for the async runtime.
+//
+// The asynchronous coordinator folds one worker's contribution into the
+// eq. 7 z-update on *every* message arrival, so the merge is the hot
+// path of the whole event loop. core::ConsensusState keeps running sums
+// and delta-updates them in O(dim) per arrival ("Engine"); the "Seed"
+// baseline is the synchronous solver's root merge — recompute z from all
+// N stored contributions from scratch, O(N·dim) per arrival. The
+// engine-vs-seed speedup (≈ N/3) is a same-machine ratio, gated in CI by
+// tools/perf_smoke.py against BENCH_async.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/admm_worker.hpp"
+#include "la/vector_ops.hpp"
+
+namespace {
+
+constexpr std::size_t kDim = 8192;  // MNIST-like p·(C−1)
+constexpr double kLambda = 1e-5;
+
+/// One deterministic packed contribution [c ; ρ] per worker.
+std::vector<std::vector<double>> make_contributions(int workers) {
+  std::vector<std::vector<double>> packed(
+      static_cast<std::size_t>(workers), std::vector<double>(kDim + 1, 0.0));
+  for (int w = 0; w < workers; ++w) {
+    auto& c = packed[static_cast<std::size_t>(w)];
+    for (std::size_t j = 0; j < kDim; ++j) {
+      c[j] = 0.25 * static_cast<double>(w + 1) +
+             1e-4 * static_cast<double>(j % 97);
+    }
+    c[kDim] = 1.0 + 0.1 * static_cast<double>(w);
+  }
+  return packed;
+}
+
+void BM_CoordinatorMerge_Engine(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const auto packed = make_contributions(workers);
+  nadmm::core::ConsensusState acc(workers, kDim, kLambda);
+  std::vector<double> z(kDim, 0.0);
+  int w = 0;
+  for (auto _ : state) {
+    acc.apply(w, packed[static_cast<std::size_t>(w)]);
+    acc.compute_z(z);
+    benchmark::DoNotOptimize(z.data());
+    w = (w + 1) % workers;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// The pre-async root merge, replayed per arrival: zero z, walk every
+/// worker's stored contribution, rescale.
+void BM_CoordinatorMerge_Seed(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  auto stored = make_contributions(workers);
+  std::vector<double> z(kDim, 0.0);
+  int w = 0;
+  for (auto _ : state) {
+    nadmm::la::fill(z, 0.0);
+    double rho_sum = 0.0;
+    for (int r = 0; r < workers; ++r) {
+      const auto& c = stored[static_cast<std::size_t>(r)];
+      for (std::size_t j = 0; j < kDim; ++j) z[j] += c[j];
+      rho_sum += c[kDim];
+    }
+    nadmm::la::scal(1.0 / (kLambda + rho_sum), z);
+    benchmark::DoNotOptimize(z.data());
+    w = (w + 1) % workers;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_CoordinatorMerge_Engine)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_CoordinatorMerge_Seed)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

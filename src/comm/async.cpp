@@ -1,0 +1,149 @@
+#include "comm/async.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace nadmm::comm {
+
+namespace {
+
+/// Strict-weak ordering for the min-heap: the earliest
+/// (delivery_time, seq) pair is the next event. `seq` is globally unique
+/// (and increases with send order, so same-timestamp messages keep their
+/// send order per rank), making the order total and independent of heap
+/// internals.
+bool event_after(const AsyncMessage& a, const AsyncMessage& b) {
+  if (a.delivery_time != b.delivery_time) {
+    return a.delivery_time > b.delivery_time;
+  }
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+int AsyncRank::size() const { return engine_->size(); }
+
+const NetworkModel& AsyncRank::network() const { return engine_->network(); }
+
+void AsyncRank::send(int to, int tag, std::vector<double> payload) {
+  NADMM_CHECK(to >= 0 && to < engine_->size(),
+              "async send: destination rank out of range");
+  clock_.sync_compute();  // timestamp after any compute since the last sync
+  AsyncMessage m;
+  m.from = rank_;
+  m.to = to;
+  m.tag = tag;
+  m.send_time = clock_.total_seconds();
+  if (to == rank_) {
+    m.delivery_time = m.send_time;  // loopback: no wire, no charge
+  } else {
+    const auto bytes =
+        static_cast<std::uint64_t>(payload.size()) * sizeof(double);
+    m.delivery_time = m.send_time + engine_->network_.point_to_point(bytes);
+    clock_.add_comm(engine_->network_.serialization(bytes));
+  }
+  m.payload = std::move(payload);
+  ++sent_;
+  engine_->push_event(std::move(m));
+}
+
+void AsyncRank::send_self(int tag, double delay, std::vector<double> payload) {
+  NADMM_CHECK(delay >= 0.0, "async send_self: delay must be >= 0");
+  clock_.sync_compute();
+  AsyncMessage m;
+  m.from = rank_;
+  m.to = rank_;
+  m.tag = tag;
+  m.send_time = clock_.total_seconds();
+  m.delivery_time = m.send_time + delay;
+  m.payload = std::move(payload);
+  ++sent_;
+  engine_->push_event(std::move(m));
+}
+
+AsyncEngine::AsyncEngine(std::vector<la::DeviceModel> devices,
+                         NetworkModel network, int omp_threads)
+    : devices_(std::move(devices)),
+      network_(std::move(network)),
+      omp_threads_(omp_threads) {
+  NADMM_CHECK(!devices_.empty(), "async engine needs at least one rank");
+}
+
+void AsyncEngine::push_event(AsyncMessage message) {
+  message.seq = next_seq_++;
+  queue_.push_back(std::move(message));
+  std::push_heap(queue_.begin(), queue_.end(), event_after);
+}
+
+AsyncMessage AsyncEngine::pop_event() {
+  std::pop_heap(queue_.begin(), queue_.end(), event_after);
+  AsyncMessage m = std::move(queue_.back());
+  queue_.pop_back();
+  return m;
+}
+
+std::vector<AsyncRankReport> AsyncEngine::run(const StartFn& on_start,
+                                              const MessageFn& on_message) {
+  NADMM_CHECK(!ran_, "async engine: run() is single use");
+  NADMM_CHECK(static_cast<bool>(on_message), "async engine needs a handler");
+  ran_ = true;
+
+#ifdef _OPENMP
+  if (omp_threads_ > 0) omp_set_num_threads(omp_threads_);
+#else
+  static_cast<void>(omp_threads_);
+#endif
+
+  std::vector<AsyncRank> ranks;
+  ranks.reserve(devices_.size());
+  for (std::size_t r = 0; r < devices_.size(); ++r) {
+    ranks.push_back(AsyncRank(static_cast<int>(r), *this, devices_[r]));
+  }
+
+  // The whole loop runs on this one thread, so the thread-local flop
+  // counters are shared by every rank's clock: resume() resynchronizes a
+  // clock's counter snapshot before its handler runs, and sync_compute()
+  // folds the handler's delta in afterwards.
+  if (on_start) {
+    for (auto& rank : ranks) {
+      rank.clock_.resume();
+      on_start(rank);
+      rank.clock_.sync_compute();
+    }
+  }
+
+  while (!queue_.empty()) {
+    AsyncMessage m = pop_event();
+    AsyncRank& rank = ranks[static_cast<std::size_t>(m.to)];
+    if (rank.halted_) continue;  // dropped on delivery
+    rank.clock_.wait_until(m.delivery_time);
+    rank.clock_.resume();
+    ++rank.received_;
+    ++delivered_;
+    on_message(rank, m);
+    rank.clock_.sync_compute();
+  }
+
+  std::vector<AsyncRankReport> reports(devices_.size());
+  for (std::size_t r = 0; r < devices_.size(); ++r) {
+    const SimClock& clock = ranks[r].clock_;
+    AsyncRankReport& report = reports[r];
+    report.compute_seconds = clock.compute_seconds();
+    report.comm_seconds = clock.comm_seconds();
+    report.wait_seconds = clock.wait_seconds();
+    report.finish_time = clock.total_seconds();
+    report.total_flops = clock.total_flops();
+    report.total_bytes = clock.total_bytes();
+    report.messages_sent = ranks[r].sent_;
+    report.messages_received = ranks[r].received_;
+  }
+  return reports;
+}
+
+}  // namespace nadmm::comm

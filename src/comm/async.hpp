@@ -1,0 +1,133 @@
+// Event-driven asynchronous runtime on virtual time.
+//
+// The synchronous SimCluster can only express SPMD ranks meeting at
+// barriers — it cannot model the paper's most interesting regime, where
+// ranks are heterogeneous, the interconnect is slow, and nobody waits.
+// This engine fills that gap: each rank owns a mailbox of timestamped
+// messages; point-to-point sends are priced by the NetworkModel (the
+// sender's clock is charged the serialization term only, and the full
+// in-flight time `point_to_point` becomes the delivery timestamp — see
+// the charging-discipline note in network_model.hpp); a message handler
+// runs on the destination rank at max(rank clock, delivery time), with
+// any gap booked as idle wait.
+//
+// Determinism: delivery follows the strict total order
+// (delivery_time, seq), where `seq` is a global send counter — unique,
+// so no further tiebreak (e.g. by rank) can ever be reached. The event
+// loop is single-threaded, so two runs of the same configuration replay
+// byte-identical schedules regardless of host load, sweep-pool
+// interleaving, or how many scenarios run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/clock.hpp"
+#include "comm/network_model.hpp"
+#include "la/device.hpp"
+
+namespace nadmm::comm {
+
+/// One timestamped mailbox entry.
+struct AsyncMessage {
+  int from = -1;
+  int to = -1;
+  int tag = 0;               ///< protocol-defined discriminator
+  double send_time = 0.0;     ///< sender's clock when the send was issued
+  double delivery_time = 0.0; ///< send_time + point_to_point(bytes)
+  std::uint64_t seq = 0;      ///< global send order (deterministic tiebreak)
+  std::vector<double> payload;
+};
+
+/// Per-rank statistics returned by AsyncEngine::run.
+struct AsyncRankReport {
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;   ///< serialization charges for sent messages
+  double wait_seconds = 0.0;   ///< idle time between handler invocations
+  double finish_time = 0.0;    ///< rank clock when the event queue drained
+  std::uint64_t total_flops = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class AsyncEngine;
+
+/// Handle passed to the start and message handlers of one rank.
+class AsyncRank {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  /// This rank's current virtual time (compute + comm + wait).
+  [[nodiscard]] double now() { return clock_.total_seconds(); }
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] const NetworkModel& network() const;
+
+  /// Post `payload` to rank `to`. The message is delivered at
+  /// now() + point_to_point(bytes); the sender's clock is charged the
+  /// serialization term. Loopback sends (to == rank()) are free and
+  /// deliver at now().
+  void send(int to, int tag, std::vector<double> payload);
+
+  /// Self-message after `delay` simulated seconds (a timer). Free.
+  void send_self(int tag, double delay, std::vector<double> payload = {});
+
+  /// Stop accepting messages: anything still in flight toward this rank
+  /// is dropped on delivery.
+  void halt() { halted_ = true; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+ private:
+  friend class AsyncEngine;
+  AsyncRank(int rank, AsyncEngine& engine, la::DeviceModel device)
+      : rank_(rank), engine_(&engine), clock_(std::move(device)) {}
+
+  int rank_;
+  AsyncEngine* engine_;
+  SimClock clock_;
+  bool halted_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// The virtual-time scheduler. Construct with one device model per rank,
+/// then `run(on_start, on_message)`: every rank's start handler executes
+/// at time 0 (in rank order), after which messages are delivered in the
+/// (delivery_time, seq) total order until the queue drains or
+/// every rank has halted.
+class AsyncEngine {
+ public:
+  /// `omp_threads` pins the OpenMP team used by handler compute; 0 keeps
+  /// the calling thread's current setting (the whole event loop runs on
+  /// one thread, so there is no per-rank split to derive).
+  AsyncEngine(std::vector<la::DeviceModel> devices, NetworkModel network,
+              int omp_threads = 0);
+
+  using StartFn = std::function<void(AsyncRank&)>;
+  using MessageFn = std::function<void(AsyncRank&, const AsyncMessage&)>;
+
+  /// Execute the protocol; single use (construct a fresh engine per run).
+  std::vector<AsyncRankReport> run(const StartFn& on_start,
+                                   const MessageFn& on_message);
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] const NetworkModel& network() const { return network_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  friend class AsyncRank;
+
+  void push_event(AsyncMessage message);
+  AsyncMessage pop_event();
+
+  std::vector<la::DeviceModel> devices_;
+  NetworkModel network_;
+  int omp_threads_;
+  std::vector<AsyncMessage> queue_;  ///< binary min-heap, see event_after
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace nadmm::comm

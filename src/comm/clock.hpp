@@ -5,7 +5,11 @@
 //     (polled from the thread-local counters in la/flops.hpp), priced by
 //     the device's roofline: each sync interval costs
 //     max(flops / flop_rate, bytes / bandwidth);
-//   * communication seconds — collective costs from the NetworkModel.
+//   * communication seconds — collective costs from the NetworkModel;
+//   * wait seconds — idle time spent blocked on a peer (the async event
+//     engine advances a rank's clock to a message's delivery time with
+//     wait_until; synchronous collectives never wait, their barrier skew
+//     is reported separately by SimCluster).
 // Figures report simulated time so results are deterministic and
 // independent of host load; wall-clock is tracked alongside for sanity.
 #pragma once
@@ -70,15 +74,26 @@ class SimClock {
   /// Charge explicit compute seconds (for work not expressed in flops).
   void add_compute(double seconds) { compute_s_ += seconds; }
 
+  /// Advance the clock to absolute simulated time `t`, booking the gap as
+  /// idle wait (a rank sleeping until a message delivery). No-op when `t`
+  /// is not in the future.
+  void wait_until(double t) {
+    const double now = total_seconds();
+    if (t > now) wait_s_ += t - now;
+  }
+
   [[nodiscard]] double compute_seconds() const { return compute_s_; }
   [[nodiscard]] double comm_seconds() const { return comm_s_; }
-  [[nodiscard]] double total_seconds() const { return compute_s_ + comm_s_; }
+  [[nodiscard]] double wait_seconds() const { return wait_s_; }
+  [[nodiscard]] double total_seconds() const {
+    return compute_s_ + comm_s_ + wait_s_;
+  }
   [[nodiscard]] std::uint64_t total_flops() const { return total_flops_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] const la::DeviceModel& device() const { return device_; }
 
   void reset() {
-    compute_s_ = comm_s_ = 0.0;
+    compute_s_ = comm_s_ = wait_s_ = 0.0;
     total_flops_ = 0;
     total_bytes_ = 0;
     flops_at_last_sync_ = nadmm::flops::read();
@@ -90,6 +105,7 @@ class SimClock {
   bool paused_ = false;
   double compute_s_ = 0.0;
   double comm_s_ = 0.0;
+  double wait_s_ = 0.0;
   std::uint64_t total_flops_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t flops_at_last_sync_ = 0;

@@ -44,15 +44,21 @@ void FailableBarrier::reset() {
 
 SimCluster::SimCluster(int n, la::DeviceModel device, NetworkModel network,
                        int omp_threads_per_rank)
-    : size_(n),
-      device_(std::move(device)),
+    : SimCluster(std::vector<la::DeviceModel>(
+                     static_cast<std::size_t>(std::max(n, 0)), std::move(device)),
+                 std::move(network), omp_threads_per_rank) {}
+
+SimCluster::SimCluster(std::vector<la::DeviceModel> devices,
+                       NetworkModel network, int omp_threads_per_rank)
+    : size_(static_cast<int>(devices.size())),
+      devices_(std::move(devices)),
       network_(std::move(network)),
       omp_threads_per_rank_(omp_threads_per_rank),
-      barrier_(n),
-      contributions_(static_cast<std::size_t>(n)),
-      reduce_slots_(static_cast<std::size_t>(n)),
-      scalar_slots_(static_cast<std::size_t>(n), 0.0) {
-  NADMM_CHECK(n >= 1, "cluster needs at least one rank");
+      barrier_(size_),
+      contributions_(static_cast<std::size_t>(size_)),
+      reduce_slots_(static_cast<std::size_t>(size_)),
+      scalar_slots_(static_cast<std::size_t>(size_), 0.0) {
+  NADMM_CHECK(size_ >= 1, "cluster needs at least one rank");
 }
 
 std::vector<RankReport> SimCluster::run(
@@ -76,7 +82,7 @@ std::vector<RankReport> SimCluster::run(
     static_cast<void>(omp_threads);
 #endif
     nadmm::flops::reset();
-    RankCtx ctx(rank, size_, *this, device_);
+    RankCtx ctx(rank, size_, *this, devices_[static_cast<std::size_t>(rank)]);
     try {
       fn(ctx);
       ctx.clock_.sync_compute();
@@ -90,6 +96,7 @@ std::vector<RankReport> SimCluster::run(
     RankReport& report = reports[static_cast<std::size_t>(rank)];
     report.compute_seconds = ctx.clock_.compute_seconds();
     report.comm_seconds = ctx.clock_.comm_seconds();
+    report.wait_seconds = ctx.clock_.wait_seconds();
     report.total_flops = ctx.clock_.total_flops();
     report.total_bytes = ctx.clock_.total_bytes();
   };
@@ -98,6 +105,16 @@ std::vector<RankReport> SimCluster::run(
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) threads.emplace_back(worker, r);
   for (auto& t : threads) t.join();
+
+  // Barrier skew: the run ends when the slowest rank does, so every
+  // other rank spent the difference parked at barriers.
+  double max_busy = 0.0;
+  for (const auto& r : reports) {
+    max_busy = std::max(max_busy, r.compute_seconds + r.comm_seconds);
+  }
+  for (auto& r : reports) {
+    r.wait_seconds += max_busy - (r.compute_seconds + r.comm_seconds);
+  }
 
   if (first_error_) {
     std::exception_ptr err = first_error_;

@@ -112,6 +112,10 @@ class RankCtx {
 struct RankReport {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
+  /// Simulated idle time: for synchronous runs this is the end-to-end
+  /// barrier skew (slowest rank's busy time minus this rank's), the time
+  /// a fast rank spent parked at barriers waiting for stragglers.
+  double wait_seconds = 0.0;
   std::uint64_t total_flops = 0;
   std::uint64_t total_bytes = 0;
 };
@@ -119,12 +123,18 @@ struct RankReport {
 /// Owns the shared collective state and the rank threads.
 class SimCluster {
  public:
-  /// `n` ranks, a device model per rank, and a network model. OpenMP
+  /// `n` ranks, one shared device model, and a network model. OpenMP
   /// threads inside each rank are limited so that n ranks never
   /// oversubscribe the host; `omp_threads_per_rank` > 0 overrides the
   /// automatic split (the sweep scheduler pins ranks to one thread so
   /// concurrent scenarios neither oversubscribe nor perturb results).
   SimCluster(int n, la::DeviceModel device, NetworkModel network,
+             int omp_threads_per_rank = 0);
+
+  /// Heterogeneous cluster: one device model per rank (`devices.size()`
+  /// ranks). This is how straggling ranks are modeled — give one rank a
+  /// down-rated device and every barrier pays for it.
+  SimCluster(std::vector<la::DeviceModel> devices, NetworkModel network,
              int omp_threads_per_rank = 0);
 
   SimCluster(const SimCluster&) = delete;
@@ -136,12 +146,21 @@ class SimCluster {
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] const NetworkModel& network() const { return network_; }
+  [[nodiscard]] const la::DeviceModel& device(int rank) const {
+    return devices_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const std::vector<la::DeviceModel>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] int omp_threads_per_rank() const {
+    return omp_threads_per_rank_;
+  }
 
  private:
   friend class RankCtx;
 
   int size_;
-  la::DeviceModel device_;
+  std::vector<la::DeviceModel> devices_;
   NetworkModel network_;
   int omp_threads_per_rank_;
   detail::FailableBarrier barrier_;

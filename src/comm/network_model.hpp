@@ -13,13 +13,32 @@
 
 namespace nadmm::comm {
 
+// Charging discipline (audited for the async engine, see comm/async.hpp):
+//   * Synchronous collectives (comm/cluster.cpp) are barriers — every
+//     participant is blocked for the whole collective, so the full
+//     formula below is charged to every rank's SimClock.
+//   * Asynchronous point-to-point sends must NOT charge `point_to_point`
+//     to both endpoints (that would price every message twice). The
+//     engine charges the sender `serialization(bytes)` only (its link is
+//     busy pushing the message out) and folds the full in-flight time
+//     `point_to_point(bytes)` into the delivery timestamp; the receiver
+//     pays nothing directly — if it is idle when the message lands, the
+//     gap is booked as wait time, not communication.
 struct NetworkModel {
   std::string name;
   double latency_s;        ///< α: per-message latency in seconds
   double bandwidth_bps;    ///< β: bytes per second (not bits)
 
+  /// Full in-flight time of one message: α + bytes/β.
   [[nodiscard]] double point_to_point(std::uint64_t bytes) const {
-    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+    return latency_s + serialization(bytes);
+  }
+
+  /// Sender-side link occupancy alone (the bytes/β term). This is what an
+  /// asynchronous sender's clock is charged; the latency α is time the
+  /// message spends on the wire, not time either endpoint is busy.
+  [[nodiscard]] double serialization(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / bandwidth_bps;
   }
 
   /// Tree depth for N participants.

@@ -1,0 +1,99 @@
+#include "core/admm_worker.hpp"
+
+#include <utility>
+
+#include "la/flops.hpp"
+#include "la/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::core {
+
+AdmmWorker::AdmmWorker(data::Dataset shard, const NewtonAdmmOptions& options,
+                       std::size_t dim)
+    : dim_(dim),
+      shard_(std::move(shard)),
+      local_(shard_, /*l2_lambda=*/0.0),
+      x_(dim, 0.0),
+      y_(dim, 0.0),
+      y_hat_(dim, 0.0),
+      z_(dim, 0.0),
+      z_prev_(dim, 0.0),
+      center_(dim, 0.0),
+      packed_(dim + 1, 0.0),
+      prox_(local_, options.penalty.rho0, std::vector<double>(dim, 0.0)),
+      penalty_(options.penalty, dim) {
+  NADMM_CHECK(dim_ == local_.dim(), "admm worker: dimension mismatch");
+  newton_opts_.max_iterations = options.local_newton_steps;
+  newton_opts_.gradient_tol = 0.0;  // always take the configured steps
+  newton_opts_.cg = options.cg;
+  newton_opts_.line_search = options.line_search;
+}
+
+std::span<const double> AdmmWorker::local_step() {
+  const double rho = penalty_.rho();
+  round_rho_ = rho;
+  // --- local x-update (eq. 6a) ---
+  for (std::size_t j = 0; j < dim_; ++j) center_[j] = z_[j] + y_[j] / rho;
+  nadmm::flops::add(2 * dim_);
+  prox_.set_center(center_);
+  prox_.set_rho(rho);
+  auto local_result = solvers::newton_cg(prox_, x_, newton_opts_);
+  x_ = std::move(local_result.x);
+
+  // Intermediate dual ĥ_i = y_i + ρ_i(z^k − x_i^{k+1}) for SPS.
+  for (std::size_t j = 0; j < dim_; ++j) {
+    y_hat_[j] = y_[j] + rho * (z_[j] - x_[j]);
+  }
+  nadmm::flops::add(3 * dim_);
+
+  // Packed consensus contribution [ρ·x − y ; ρ].
+  for (std::size_t j = 0; j < dim_; ++j) packed_[j] = rho * x_[j] - y_[j];
+  packed_[dim_] = rho;
+  nadmm::flops::add(2 * dim_);
+  return packed_;
+}
+
+void AdmmWorker::snapshot_z_prev() { la::copy(z_, z_prev_); }
+
+void AdmmWorker::apply_consensus(int k) {
+  const double rho = round_rho_;
+  // --- local dual update (eq. 6c) and penalty adaptation (step 8) ---
+  for (std::size_t j = 0; j < dim_; ++j) y_[j] += rho * (z_[j] - x_[j]);
+  nadmm::flops::add(3 * dim_);
+  penalty_.observe(k, x_, z_, z_prev_, y_, y_hat_);
+}
+
+ConsensusState::ConsensusState(int workers, std::size_t dim, double lambda)
+    : lambda_(lambda),
+      sum_(dim, 0.0),
+      contrib_(static_cast<std::size_t>(workers),
+               std::vector<double>(dim, 0.0)),
+      rho_(static_cast<std::size_t>(workers), 0.0) {
+  NADMM_CHECK(workers >= 1, "consensus state needs at least one worker");
+  NADMM_CHECK(lambda >= 0.0, "consensus state: lambda must be >= 0");
+}
+
+void ConsensusState::apply(int w, std::span<const double> packed) {
+  NADMM_CHECK(w >= 0 && static_cast<std::size_t>(w) < contrib_.size(),
+              "consensus apply: worker index out of range");
+  NADMM_CHECK(packed.size() == sum_.size() + 1,
+              "consensus apply: expected [c ; rho] of dim+1 values");
+  auto& prev = contrib_[static_cast<std::size_t>(w)];
+  for (std::size_t j = 0; j < sum_.size(); ++j) {
+    sum_[j] += packed[j] - prev[j];
+    prev[j] = packed[j];
+  }
+  nadmm::flops::add(2 * sum_.size());
+  rho_sum_ += packed[sum_.size()] - rho_[static_cast<std::size_t>(w)];
+  rho_[static_cast<std::size_t>(w)] = packed[sum_.size()];
+}
+
+void ConsensusState::compute_z(std::span<double> z) const {
+  NADMM_CHECK(z.size() == sum_.size(), "consensus z: dimension mismatch");
+  const double denom = lambda_ + rho_sum_;
+  const double inv = 1.0 / denom;
+  for (std::size_t j = 0; j < sum_.size(); ++j) z[j] = sum_[j] * inv;
+  nadmm::flops::add(sum_.size());
+}
+
+}  // namespace nadmm::core

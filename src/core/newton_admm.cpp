@@ -3,11 +3,10 @@
 #include <cmath>
 #include <memory>
 
+#include "core/admm_worker.hpp"
 #include "data/partition.hpp"
 #include "la/vector_ops.hpp"
-#include "model/prox.hpp"
 #include "model/softmax.hpp"
-#include "solvers/newton.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -27,17 +26,16 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
   const std::size_t dim =
       train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
 
-  cluster.run([&](comm::RankCtx& ctx) {
+  const auto reports = cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     // --- setup (untimed: data distribution is not part of an epoch) ---
     ctx.clock().pause();
-    const data::Dataset shard =
-        data::shard_contiguous(train, n_ranks, rank);
+    AdmmWorker worker(data::shard_contiguous(train, n_ranks, rank), options,
+                      dim);
     const data::Dataset test_shard =
         (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
             ? data::shard_contiguous(*test, n_ranks, rank)
             : data::Dataset{};
-    model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
     model::SoftmaxObjective* test_eval = nullptr;
     std::unique_ptr<model::SoftmaxObjective> test_eval_owner;
     if (!test_shard.empty()) {
@@ -46,42 +44,21 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
     }
     ctx.clock().resume();
 
-    std::vector<double> x(dim, 0.0), z(dim, 0.0), z_prev(dim, 0.0),
-        y(dim, 0.0), y_hat(dim, 0.0), center(dim, 0.0), packed(dim + 1, 0.0);
     std::vector<double> gathered;  // root only
-    model::ProxAugmentedObjective prox(local, options.penalty.rho0, center);
-    PenaltyController penalty(options.penalty, dim);
-
-    solvers::NewtonOptions newton_opts;
-    newton_opts.max_iterations = options.local_newton_steps;
-    newton_opts.gradient_tol = 0.0;  // always take the configured steps
-    newton_opts.cg = options.cg;
-    newton_opts.line_search = options.line_search;
 
     WallTimer wall;
     double prev_sim_time = 0.0;
     bool stop = false;
 
     for (int k = 0; k < options.max_iterations && !stop; ++k) {
-      const double rho = penalty.rho();
-      // --- local x-update (eq. 6a) ---
-      for (std::size_t j = 0; j < dim; ++j) center[j] = z[j] + y[j] / rho;
-      nadmm::flops::add(2 * dim);
-      prox.set_center(center);
-      prox.set_rho(rho);
-      auto local_result = solvers::newton_cg(prox, x, newton_opts);
-      x = std::move(local_result.x);
-
-      // Intermediate dual ĥ_i = y_i + ρ_i(z^k − x_i^{k+1}) for SPS.
-      for (std::size_t j = 0; j < dim; ++j) y_hat[j] = y[j] + rho * (z[j] - x[j]);
-      nadmm::flops::add(3 * dim);
+      // --- local x-update (eq. 6a), ĥ, and the packed contribution ---
+      const auto packed = worker.local_step();
+      const double rho = worker.round_rho();
 
       // --- one communication round: gather, z-update (eq. 7), scatter ---
-      for (std::size_t j = 0; j < dim; ++j) packed[j] = rho * x[j] - y[j];
-      packed[dim] = rho;
-      nadmm::flops::add(2 * dim);
       ctx.gather(packed, gathered, /*root=*/0);
-      la::copy(z, z_prev);
+      worker.snapshot_z_prev();
+      const auto z = worker.z();
       if (ctx.is_root()) {
         double rho_sum = 0.0;
         la::fill(z, 0.0);
@@ -98,25 +75,23 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
       ctx.broadcast(z, /*root=*/0);
 
       // --- local dual update (eq. 6c) and penalty adaptation (step 8) ---
-      for (std::size_t j = 0; j < dim; ++j) y[j] += rho * (z[j] - x[j]);
-      nadmm::flops::add(3 * dim);
-      penalty.observe(k, x, z, z_prev, y, y_hat);
+      worker.apply_consensus(k);
 
       // --- diagnostics on the paused clock ---
       ctx.clock().pause();
       const double iter_sim_time = ctx.allreduce_max(ctx.clock().total_seconds());
-      double objective = ctx.allreduce_sum(local.value(z));
+      double objective = ctx.allreduce_sum(worker.objective().value(z));
       if (options.lambda > 0.0) {
         objective += 0.5 * options.lambda * la::nrm2_sq(z);
       }
       const double primal_sq = ctx.allreduce_sum(
           [&] {
-            const double d = la::dist2(x, z);
+            const double d = la::dist2(worker.x(), z);
             return d * d;
           }());
-      const double dz = la::dist2(z, z_prev);
+      const double dz = la::dist2(z, worker.z_prev());
       const double dual_sq = ctx.allreduce_sum(rho * rho * dz * dz);
-      const double rho_mean = ctx.allreduce_sum(penalty.rho()) / n_ranks;
+      const double rho_mean = ctx.allreduce_sum(worker.rho()) / n_ranks;
       double accuracy = -1.0;
       if (test_eval != nullptr) {
         const double local_hits =
@@ -157,9 +132,13 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
       }
       ctx.clock().resume();
     }
-    if (ctx.is_root()) result.x = z;
+    if (ctx.is_root()) result.x.assign(worker.z().begin(), worker.z().end());
   });
 
+  result.rank_wait_seconds.reserve(reports.size());
+  for (const auto& r : reports) {
+    result.rank_wait_seconds.push_back(r.wait_seconds);
+  }
   if (result.iterations > 0) {
     result.avg_epoch_sim_seconds =
         result.total_sim_seconds / result.iterations;

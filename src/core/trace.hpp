@@ -3,6 +3,7 @@
 // the paper's figures use (objective / accuracy vs. time).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,22 @@ struct RunResult {
   double total_sim_seconds = 0.0;
   double total_wall_seconds = 0.0;
   double avg_epoch_sim_seconds = 0.0;
+
+  /// Simulated idle seconds per rank: barrier skew for synchronous
+  /// solvers, mailbox/staleness-gate waits for asynchronous ones. Empty
+  /// for solvers that do not report it (single-node, SGD baselines).
+  std::vector<double> rank_wait_seconds;
+  /// staleness_hist[s] counts consensus updates applied while their
+  /// worker was `s` rounds ahead of the slowest worker (asynchronous
+  /// solvers only; empty otherwise). The bounded-staleness gate
+  /// guarantees the top non-zero bucket is <= the --staleness bound.
+  std::vector<std::uint64_t> staleness_hist;
+
+  [[nodiscard]] double max_wait_seconds() const {
+    double w = 0.0;
+    for (const double v : rank_wait_seconds) w = v > w ? v : w;
+    return w;
+  }
 
   /// Earliest cumulative simulated time at which the trace objective is
   /// ≤ threshold; −1 if never reached.

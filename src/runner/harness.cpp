@@ -1,6 +1,8 @@
 #include "runner/harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "runner/registry.hpp"
 #include "support/check.hpp"
@@ -26,9 +28,63 @@ data::TrainTest make_data(const ExperimentConfig& config) {
   return data::generate_dataset(dataset_key(config));
 }
 
+namespace {
+
+/// Split a per-rank device list on ',' or '+' (equivalent; sweep axis
+/// values must use '+' because commas separate axis entries).
+std::vector<std::string> split_device_specs(const std::string& list) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : list) {
+    if (c == ',' || c == '+') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else if (c != ' ') {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+std::vector<la::DeviceModel> cluster_devices(const ExperimentConfig& config) {
+  NADMM_CHECK(config.workers >= 1, "cluster needs at least one rank");
+  const auto specs = split_device_specs(config.device);
+  NADMM_CHECK(!specs.empty(), "device spec must not be empty");
+  std::vector<la::DeviceModel> devices;
+  devices.reserve(static_cast<std::size_t>(config.workers));
+  for (int r = 0; r < config.workers; ++r) {
+    devices.push_back(la::device_from_string(
+        specs[static_cast<std::size_t>(r) % specs.size()]));
+  }
+  if (!config.straggler.empty() && config.straggler != "none") {
+    const auto colon = config.straggler.find(':');
+    NADMM_CHECK(colon != std::string::npos,
+                "straggler spec must be 'none' or '<rank>:<slowdown>', got '" +
+                    config.straggler + "'");
+    char* end = nullptr;
+    const long rank = std::strtol(config.straggler.c_str(), &end, 10);
+    NADMM_CHECK(end == config.straggler.c_str() + colon && rank >= 0 &&
+                    rank < config.workers,
+                "straggler rank must be an integer in [0, workers), got '" +
+                    config.straggler + "'");
+    const double slowdown =
+        std::strtod(config.straggler.c_str() + colon + 1, &end);
+    NADMM_CHECK(end != nullptr && *end == '\0' && slowdown > 0.0,
+                "straggler slowdown must be a positive number, got '" +
+                    config.straggler + "'");
+    la::DeviceModel& d = devices[static_cast<std::size_t>(rank)];
+    d.gflops /= slowdown;
+    if (d.gbytes_per_s > 0.0) d.gbytes_per_s /= slowdown;
+    d.name += "/x" + config.straggler.substr(colon + 1);
+  }
+  return devices;
+}
+
 comm::SimCluster make_cluster(const ExperimentConfig& config) {
-  return comm::SimCluster(config.workers,
-                          la::device_from_string(config.device),
+  return comm::SimCluster(cluster_devices(config),
                           comm::network_from_string(config.network),
                           config.omp_threads);
 }
@@ -45,6 +101,15 @@ core::NewtonAdmmOptions admm_options(const ExperimentConfig& config) {
   o.local_newton_steps = config.local_newton_steps;
   o.objective_target = config.objective_target;
   o.evaluate_accuracy = config.evaluate_accuracy;
+  return o;
+}
+
+solvers::AsyncAdmmOptions async_options(const ExperimentConfig& config,
+                                        bool stale_sync) {
+  solvers::AsyncAdmmOptions o;
+  o.admm = admm_options(config);
+  o.staleness = config.staleness;
+  o.sync_every = stale_sync ? std::max(1, config.sync_every) : 0;
   return o;
 }
 

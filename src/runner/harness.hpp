@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "baselines/dane.hpp"
 #include "baselines/disco.hpp"
 #include "baselines/giant.hpp"
@@ -15,6 +17,7 @@
 #include "core/trace.hpp"
 #include "data/generators.hpp"
 #include "data/provider.hpp"
+#include "solvers/async_admm.hpp"
 
 namespace nadmm::runner {
 
@@ -26,8 +29,16 @@ struct ExperimentConfig {
   std::size_t e18_features = 1'400;  ///< scaled-down E18 dimension
   std::uint64_t seed = 42;
   int workers = 8;
-  std::string device = "p100";    ///< la::device_from_string spec
+  /// One la::device_from_string spec, or a ','/'+'-separated per-rank
+  /// list ("p100+cpu+cpu"): entry i rates rank i, cycling when the list
+  /// is shorter than `workers` (sweep axis values use '+', commas being
+  /// the axis separator).
+  std::string device = "p100";
   std::string network = "ib100";  ///< comm::network_from_string preset
+  /// Straggler injection: "none", or "<rank>:<slowdown>" — divide that
+  /// rank's flop rate and bandwidth by `slowdown` (e.g. "1:4" makes rank
+  /// 1 four times slower).
+  std::string straggler = "none";
   double lambda = 1e-5;           ///< paper default
   std::string penalty = "sps";    ///< ADMM rule: fixed|rb|sps
   double rho0 = 1.0;              ///< initial ADMM penalty ρ₀
@@ -45,6 +56,8 @@ struct ExperimentConfig {
   double fo_step = 0.0;           ///< single-node first-order step (0: rule default)
   double gradient_tol = -1.0;     ///< single-node ‖g‖ stop (<0: solver default)
   int omp_threads = 0;            ///< OpenMP threads per rank (0 = auto)
+  int staleness = 4;              ///< async-admm bounded-staleness τ (rounds)
+  int sync_every = 4;             ///< stale-sync-admm barrier period k
 };
 
 /// The content-defining parameters of the config's dataset — scenarios
@@ -55,11 +68,18 @@ data::DatasetKey dataset_key(const ExperimentConfig& config);
 /// path with no caching; sweeps go through a DatasetProvider instead.
 data::TrainTest make_data(const ExperimentConfig& config);
 
+/// Per-rank device models from the config: the (possibly heterogeneous)
+/// `device` list cycled over `workers` ranks, with the `straggler`
+/// slowdown applied. Throws InvalidArgument on malformed specs.
+std::vector<la::DeviceModel> cluster_devices(const ExperimentConfig& config);
+
 /// Construct the simulated cluster named by the config.
 comm::SimCluster make_cluster(const ExperimentConfig& config);
 
 /// Option builders pre-filled from the shared config.
 core::NewtonAdmmOptions admm_options(const ExperimentConfig& config);
+solvers::AsyncAdmmOptions async_options(const ExperimentConfig& config,
+                                        bool stale_sync);
 baselines::GiantOptions giant_options(const ExperimentConfig& config);
 baselines::SyncSgdOptions sgd_options(const ExperimentConfig& config);
 baselines::DaneOptions dane_options(const ExperimentConfig& config);

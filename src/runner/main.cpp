@@ -63,19 +63,25 @@ void print_usage() {
 
 int cmd_list() {
   std::printf("solvers:\n");
-  Table solvers({"name", "kind", "description"});
+  // The class and knobs columns come straight from the registry, so this
+  // listing cannot drift from what the factories actually read.
+  Table solvers({"name", "kind", "class", "knobs", "description"});
   for (const auto& info : runner::SolverRegistry::instance().list()) {
     solvers.add_row({info.name, runner::to_string(info.kind),
+                     runner::to_string(info.comm_class), info.knobs,
                      info.description});
   }
   solvers.print();
   std::printf(
-      "\ndatasets:  higgs | mnist | cifar | e18 | blobs (synthetic, "
+      "\ndatasets:   higgs | mnist | cifar | e18 | blobs (synthetic, "
       "paper-shaped)\n"
-      "           libsvm:<path> (streamed from disk as row shards)\n"
-      "devices:   p100 | cpu | <gflops>[:<gbytes_per_s>]\n"
-      "networks:  ib100 | eth10 | eth1 | wan | ideal\n"
-      "penalties: fixed | rb | sps\n");
+      "            libsvm:<path> (streamed from disk as row shards)\n"
+      "devices:    p100 | cpu | <gflops>[:<gbytes_per_s>], per-rank lists\n"
+      "            with ','/'+' (\"p100+cpu\" cycles over the ranks)\n"
+      "networks:   ib100 | eth10 | eth1 | wan | ideal\n"
+      "penalties:  fixed | rb | sps\n"
+      "stragglers: none | <rank>:<slowdown> (e.g. 1:4 — rank 1 is 4x "
+      "slower)\n");
   return 0;
 }
 
@@ -87,14 +93,23 @@ void add_scenario_options(CliParser& cli) {
   cli.add_int("seed", 42, "dataset generator seed");
   cli.add_int("workers", 8, "simulated cluster size");
   cli.add_string("device", "p100",
-                 "device model (p100|cpu|<gflops>[:<gbytes_per_s>])");
+                 "device model (p100|cpu|<gflops>[:<gbytes_per_s>]); a "
+                 "','/'+'-separated list rates ranks individually");
+  cli.add_string("devices", "",
+                 "alias for --device (matches the sweep axis name)");
   cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
   cli.add_string("penalty", "sps", "ADMM penalty rule (fixed|rb|sps)");
   cli.add_double("lambda", 1e-5, "l2 regularization");
+  cli.add_string("straggler", "none",
+                 "inject a straggler: <rank>:<slowdown> (none disables)");
   cli.add_int("iterations", 100, "outer iterations (epochs)");
   cli.add_int("cg-iterations", 10, "CG budget per Newton step");
   cli.add_double("cg-tol", 1e-4, "CG relative tolerance");
   cli.add_int("line-search", 10, "line-search iteration budget");
+  cli.add_double("objective-target", 0.0,
+                 "stop once F(z) <= target (<= 0 disables)");
+  cli.add_int("staleness", 4, "async-admm bounded-staleness (rounds)");
+  cli.add_int("sync-every", 4, "stale-sync-admm barrier period (rounds)");
   cli.add_int("omp-threads", 0, "OpenMP threads per rank (0 = auto)");
 }
 
@@ -106,14 +121,19 @@ runner::ExperimentConfig config_from_cli(const CliParser& cli) {
   c.e18_features = static_cast<std::size_t>(cli.get_int("e18-features"));
   c.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   c.workers = static_cast<int>(cli.get_int("workers"));
-  c.device = cli.get_string("device");
+  c.device = cli.get_string("devices").empty() ? cli.get_string("device")
+                                               : cli.get_string("devices");
   c.network = cli.get_string("network");
   c.penalty = cli.get_string("penalty");
   c.lambda = cli.get_double("lambda");
+  c.straggler = cli.get_string("straggler");
   c.iterations = static_cast<int>(cli.get_int("iterations"));
   c.cg_iterations = static_cast<int>(cli.get_int("cg-iterations"));
   c.cg_tol = cli.get_double("cg-tol");
   c.line_search_iterations = static_cast<int>(cli.get_int("line-search"));
+  c.objective_target = cli.get_double("objective-target");
+  c.staleness = static_cast<int>(cli.get_int("staleness"));
+  c.sync_every = static_cast<int>(cli.get_int("sync-every"));
   c.omp_threads = static_cast<int>(cli.get_int("omp-threads"));
   return c;
 }
@@ -164,11 +184,16 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_string("networks", "", "e.g. ib100,eth10");
   cli.add_string("penalties", "", "e.g. sps,fixed");
   cli.add_string("lambdas", "", "e.g. 1e-5,1e-4");
+  cli.add_string("stragglers", "", "e.g. none,1:4");
   cli.add_int("n-train", -1, "training samples (-1: keep spec/default)");
   cli.add_int("n-test", -1, "test samples (-1: keep spec/default)");
   cli.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
   cli.add_int("seed", -1, "generator seed (-1: keep)");
   cli.add_int("iterations", -1, "outer iterations (-1: keep)");
+  cli.add_int("staleness", -1, "async-admm staleness bound (-1: keep)");
+  cli.add_int("sync-every", -1, "stale-sync barrier period (-1: keep)");
+  cli.add_double("objective-target", -1.0,
+                 "early-stop objective target (-1: keep)");
   cli.add_int("jobs", 1, "concurrent scenarios");
   cli.add_string("out", "sweep.csv", "aggregated CSV report path");
   cli.add_string("json", "", "if set, also write a JSON report here");
@@ -185,7 +210,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   if (!spec_path.empty()) spec = runner::parse_sweep_file(spec_path);
 
   for (const char* axis : {"solvers", "datasets", "workers", "devices",
-                           "networks", "penalties", "lambdas"}) {
+                           "networks", "penalties", "lambdas", "stragglers"}) {
     const std::string value = cli.get_string(axis);
     if (!value.empty()) runner::apply_sweep_assignment(spec, axis, value);
   }
@@ -196,11 +221,18 @@ int cmd_sweep(int argc, const char* const* argv) {
   for (const auto& [flag, key] :
        {ScalarFlag{"n-train", "n_train"}, ScalarFlag{"n-test", "n_test"},
         ScalarFlag{"e18-features", "e18_features"}, ScalarFlag{"seed", "seed"},
-        ScalarFlag{"iterations", "iterations"}}) {
+        ScalarFlag{"iterations", "iterations"},
+        ScalarFlag{"staleness", "staleness"},
+        ScalarFlag{"sync-every", "sync_every"}}) {
     const std::int64_t value = cli.get_int(flag);
     if (value >= 0) {
       runner::apply_sweep_assignment(spec, key, std::to_string(value));
     }
+  }
+  if (cli.get_double("objective-target") >= 0.0) {
+    runner::apply_sweep_assignment(
+        spec, "objective_target",
+        std::to_string(cli.get_double("objective-target")));
   }
 
   const std::string out = cli.get_string("out");

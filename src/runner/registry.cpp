@@ -112,6 +112,15 @@ std::string to_string(SolverKind kind) {
   return kind == SolverKind::kDistributed ? "distributed" : "single-node";
 }
 
+std::string to_string(CommClass comm_class) {
+  switch (comm_class) {
+    case CommClass::kSynchronous: return "sync";
+    case CommClass::kAsynchronous: return "async";
+    case CommClass::kNone: break;
+  }
+  return "-";
+}
+
 SolverRegistry& SolverRegistry::instance() {
   static SolverRegistry registry;
   return registry;
@@ -180,33 +189,61 @@ core::RunResult SolverRegistry::run(const std::string& name,
 }
 
 void SolverRegistry::register_builtins() {
+  // Every distributed solver runs on a cluster built by make_cluster, so
+  // the heterogeneity knobs apply to all of them.
+  const std::string cluster_knobs = "devices,straggler";
+  const std::string newton_knobs =
+      "penalty,rho0,cg-iterations,cg-tol,line-search,objective-target," +
+      cluster_knobs;
   add({"newton-admm", SolverKind::kDistributed,
-       "distributed Newton-CG with ADMM consensus (the paper's method)"},
+       "distributed Newton-CG with ADMM consensus (the paper's method)",
+       CommClass::kSynchronous, newton_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         return core::newton_admm(cluster, train, test, admm_options(config));
       });
+  add({"async-admm", SolverKind::kDistributed,
+       "stale-consensus Newton-ADMM: coordinator merges updates on arrival",
+       CommClass::kAsynchronous, newton_knobs + ",staleness"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return solvers::async_admm(cluster, train, test,
+                                   async_options(config, /*stale_sync=*/false));
+      });
+  add({"stale-sync-admm", SolverKind::kDistributed,
+       "semi-synchronous Newton-ADMM: barrier every --sync-every rounds",
+       CommClass::kAsynchronous, newton_knobs + ",sync-every"},
+      [](comm::SimCluster& cluster, const data::Dataset& train,
+         const data::Dataset* test, const ExperimentConfig& config) {
+        return solvers::async_admm(cluster, train, test,
+                                   async_options(config, /*stale_sync=*/true));
+      });
   add({"giant", SolverKind::kDistributed,
-       "globally improved approximate Newton (Wang et al.)"},
+       "globally improved approximate Newton (Wang et al.)",
+       CommClass::kSynchronous,
+       "cg-iterations,cg-tol,line-search,objective-target," + cluster_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         return baselines::giant(cluster, train, test, giant_options(config));
       });
   add({"sync-sgd", SolverKind::kDistributed,
-       "synchronous minibatch SGD (allreduced mean gradient)"},
+       "synchronous minibatch SGD (allreduced mean gradient)",
+       CommClass::kSynchronous, "sgd-batch,sgd-step," + cluster_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         return baselines::sync_sgd(cluster, train, test, sgd_options(config));
       });
   add({"inexact-dane", SolverKind::kDistributed,
-       "InexactDANE with SVRG inner solves (Reddi et al.)"},
+       "InexactDANE with SVRG inner solves (Reddi et al.)",
+       CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         return baselines::inexact_dane(cluster, train, test,
                                        dane_options(config));
       });
   add({"aide", SolverKind::kDistributed,
-       "accelerated InexactDANE (catalyst smoothing)"},
+       "accelerated InexactDANE (catalyst smoothing)",
+       CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         auto o = dane_options(config);
@@ -214,23 +251,29 @@ void SolverRegistry::register_builtins() {
         return baselines::inexact_dane(cluster, train, test, o);
       });
   add({"disco", SolverKind::kDistributed,
-       "distributed self-concordant optimization (Zhang & Xiao)"},
+       "distributed self-concordant optimization (Zhang & Xiao)",
+       CommClass::kSynchronous, "cg-iterations,cg-tol," + cluster_knobs},
       [](comm::SimCluster& cluster, const data::Dataset& train,
          const data::Dataset* test, const ExperimentConfig& config) {
         return baselines::disco(cluster, train, test, disco_options(config));
       });
 
   add({"newton-cg", SolverKind::kSingleNode,
-       "single-node inexact Newton-CG (paper Algorithm 1)"},
+       "single-node inexact Newton-CG (paper Algorithm 1)", CommClass::kNone,
+       "cg-iterations,cg-tol,line-search,gradient-tol"},
       single_node_factory("newton-cg"));
-  add({"gd", SolverKind::kSingleNode, "single-node full-batch gradient descent"},
+  add({"gd", SolverKind::kSingleNode, "single-node full-batch gradient descent",
+       CommClass::kNone, "fo-step,gradient-tol"},
       single_node_factory("gd"));
   add({"momentum", SolverKind::kSingleNode,
-       "single-node heavy-ball momentum"},
+       "single-node heavy-ball momentum", CommClass::kNone,
+       "fo-step,gradient-tol"},
       single_node_factory("momentum"));
-  add({"adagrad", SolverKind::kSingleNode, "single-node Adagrad"},
+  add({"adagrad", SolverKind::kSingleNode, "single-node Adagrad",
+       CommClass::kNone, "fo-step,gradient-tol"},
       single_node_factory("adagrad"));
-  add({"adam", SolverKind::kSingleNode, "single-node Adam"},
+  add({"adam", SolverKind::kSingleNode, "single-node Adam", CommClass::kNone,
+       "fo-step,gradient-tol"},
       single_node_factory("adam"));
 }
 

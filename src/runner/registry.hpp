@@ -23,12 +23,24 @@ namespace nadmm::runner {
 
 enum class SolverKind { kDistributed, kSingleNode };
 
+/// Communication discipline of a distributed solver: synchronous solvers
+/// meet at SimCluster barriers every round; asynchronous ones run on the
+/// event engine (comm/async.hpp) and never barrier (or only every
+/// --sync-every rounds). Single-node solvers have no discipline (kNone).
+enum class CommClass { kSynchronous, kAsynchronous, kNone };
+
 std::string to_string(SolverKind kind);
+std::string to_string(CommClass comm_class);
 
 struct SolverInfo {
   std::string name;
   SolverKind kind = SolverKind::kDistributed;
   std::string description;
+  CommClass comm_class = CommClass::kNone;
+  /// Comma-separated CLI knobs this solver actually reads (beyond the
+  /// shared dataset/cluster flags) — `nadmm list` prints it so the help
+  /// text cannot drift from the registry.
+  std::string knobs;
 };
 
 /// Factory signature shared by both families. Single-node solvers ignore

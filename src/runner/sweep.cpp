@@ -77,6 +77,28 @@ std::string fmt_compact(double v) {
   return buf;
 }
 
+/// ';'-joined per-rank wait seconds ("0;1.5;0.25"), empty when the
+/// solver reports none. Round-trips through the journal verbatim.
+std::string fmt_rank_waits(const std::vector<double>& waits) {
+  std::string out;
+  for (std::size_t r = 0; r < waits.size(); ++r) {
+    if (r > 0) out += ';';
+    out += fmt_double(waits[r]);
+  }
+  return out;
+}
+
+/// Sparse "staleness:count" pairs ("0:24;2:7"), empty when unreported.
+std::string fmt_staleness_hist(const std::vector<std::uint64_t>& hist) {
+  std::string out;
+  for (std::size_t s = 0; s < hist.size(); ++s) {
+    if (hist[s] == 0) continue;
+    if (!out.empty()) out += ';';
+    out += std::to_string(s) + ':' + std::to_string(hist[s]);
+  }
+  return out;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -191,7 +213,10 @@ std::string journal_outcome_line(const ScenarioOutcome& o) {
        << ", \"total_sim_seconds\": " << fmt_double(o.result.total_sim_seconds)
        << ", \"avg_epoch_sim_seconds\": "
        << fmt_double(o.result.avg_epoch_sim_seconds)
-       << ", \"total_comm_sim_seconds\": " << fmt_double(o.comm_sim_seconds);
+       << ", \"total_comm_sim_seconds\": " << fmt_double(o.comm_sim_seconds)
+       << ", \"max_wait_seconds\": " << fmt_double(o.max_wait_seconds)  //
+       << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
+       << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist) << "\"";
   } else {
     os << ", \"error\": \"" << json_escape(o.error) << "\"";
   }
@@ -244,6 +269,14 @@ bool restore_outcome_line(const std::string& line,
                          o.comm_sim_seconds)) {
       return false;
     }
+    // The async columns entered the journal with this PR; their absence
+    // is impossible in practice because the fingerprint serialization
+    // changed at the same time (older journals are rejected up front).
+    if (!json_get_double(line, "max_wait_seconds", o.max_wait_seconds) ||
+        !json_get_string(line, "rank_wait_seconds", o.rank_waits) ||
+        !json_get_string(line, "staleness_hist", o.staleness_hist)) {
+      return false;
+    }
     o.ok = true;
     o.result.solver = scenarios[i].solver;
     o.result.iterations = static_cast<int>(iterations);
@@ -289,6 +322,8 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     for (const auto& item : list()) {
       spec.lambdas.push_back(parse_double(key, item));
     }
+  } else if (key == "stragglers") {
+    spec.stragglers = list();
   } else if (key == "n_train") {
     spec.base.n_train = static_cast<std::size_t>(parse_int(key, value));
   } else if (key == "n_test") {
@@ -305,12 +340,19 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     spec.base.cg_tol = parse_double(key, value);
   } else if (key == "line_search_iterations") {
     spec.base.line_search_iterations = static_cast<int>(parse_int(key, value));
+  } else if (key == "staleness") {
+    spec.base.staleness = static_cast<int>(parse_int(key, value));
+  } else if (key == "sync_every") {
+    spec.base.sync_every = static_cast<int>(parse_int(key, value));
+  } else if (key == "objective_target") {
+    spec.base.objective_target = parse_double(key, value);
   } else {
     throw InvalidArgument(
         "unknown sweep key '" + key +
         "' (grid axes: solvers|datasets|workers|devices|networks|penalties|"
-        "lambdas; scalars: n_train|n_test|e18_features|seed|iterations|"
-        "cg_iterations|cg_tol|line_search_iterations)");
+        "lambdas|stragglers; scalars: n_train|n_test|e18_features|seed|"
+        "iterations|cg_iterations|cg_tol|line_search_iterations|staleness|"
+        "sync_every|objective_target)");
   }
 }
 
@@ -337,21 +379,30 @@ SweepSpec parse_sweep_file(const std::string& path) {
   return spec;
 }
 
-std::string Scenario::tag() const {
-  // File-system-unsafe characters (e.g. from "libsvm:/path" dataset
-  // sources) are mapped to '-'; the index prefix keeps tags unique.
-  std::string dataset = config.dataset;
-  for (char& c : dataset) {
+namespace {
+
+/// Map file-system-unsafe characters (e.g. from "libsvm:/path" dataset
+/// sources, "p100+cpu" device lists, "1:4" straggler specs) to '-'.
+std::string fs_safe(std::string s) {
+  for (char& c : s) {
     const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '.' || c == '_' ||
                       c == '-';
     if (!safe) c = '-';
   }
+  return s;
+}
+
+}  // namespace
+
+std::string Scenario::tag() const {
+  // The index prefix keeps tags unique even after sanitization.
   char buf[512];
-  std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s", index,
-                solver.c_str(), dataset.c_str(), config.workers,
-                config.device.c_str(), config.network.c_str(),
-                config.penalty.c_str(), fmt_compact(config.lambda).c_str());
+  std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s_st%s", index,
+                solver.c_str(), fs_safe(config.dataset).c_str(), config.workers,
+                fs_safe(config.device).c_str(), config.network.c_str(),
+                config.penalty.c_str(), fmt_compact(config.lambda).c_str(),
+                fs_safe(config.straggler).c_str());
   return buf;
 }
 
@@ -363,6 +414,8 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
   NADMM_CHECK(!spec.networks.empty(), "sweep needs at least one network");
   NADMM_CHECK(!spec.penalties.empty(), "sweep needs at least one penalty");
   NADMM_CHECK(!spec.lambdas.empty(), "sweep needs at least one lambda");
+  NADMM_CHECK(!spec.stragglers.empty(),
+              "sweep needs at least one straggler entry ('none' disables)");
 
   std::vector<Scenario> scenarios;
   int index = 0;
@@ -373,17 +426,20 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
           for (const auto& network : spec.networks) {
             for (const auto& penalty : spec.penalties) {
               for (const double lambda : spec.lambdas) {
-                Scenario s;
-                s.index = index++;
-                s.solver = solver;
-                s.config = spec.base;
-                s.config.dataset = dataset;
-                s.config.workers = workers;
-                s.config.device = device;
-                s.config.network = network;
-                s.config.penalty = penalty;
-                s.config.lambda = lambda;
-                scenarios.push_back(std::move(s));
+                for (const auto& straggler : spec.stragglers) {
+                  Scenario s;
+                  s.index = index++;
+                  s.solver = solver;
+                  s.config = spec.base;
+                  s.config.dataset = dataset;
+                  s.config.workers = workers;
+                  s.config.device = device;
+                  s.config.network = network;
+                  s.config.penalty = penalty;
+                  s.config.lambda = lambda;
+                  s.config.straggler = straggler;
+                  scenarios.push_back(std::move(s));
+                }
               }
             }
           }
@@ -414,6 +470,7 @@ std::string spec_fingerprint(const SweepSpec& spec) {
   join("networks", spec.networks, str);
   join("penalties", spec.penalties, str);
   join("lambdas", spec.lambdas, fmt_double);
+  join("stragglers", spec.stragglers, str);
   // Every base knob that survives scenario expansion (the per-axis fields
   // are overwritten per scenario and already covered above).
   const auto& b = spec.base;
@@ -430,7 +487,8 @@ std::string spec_fingerprint(const SweepSpec& spec) {
      << ";dane_epochs=" << b.dane_epochs << ";svrg_outer=" << b.svrg_outer
      << ";fo_step=" << fmt_double(b.fo_step)
      << ";gradient_tol=" << fmt_double(b.gradient_tol)
-     << ";omp_threads=" << b.omp_threads << ';';
+     << ";omp_threads=" << b.omp_threads
+     << ";staleness=" << b.staleness << ";sync_every=" << b.sync_every << ';';
   const std::string canonical = os.str();
   std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
   for (const char c : canonical) {
@@ -454,8 +512,9 @@ std::vector<std::string> SweepReport::csv_rows() const {
   rows.reserve(outcomes.size() + 1);
   rows.emplace_back(
       "scenario,solver,dataset,n_train,n_test,workers,device,network,penalty,"
-      "lambda,status,iterations,final_objective,final_test_accuracy,"
-      "total_sim_seconds,avg_epoch_sim_seconds,total_comm_sim_seconds");
+      "lambda,straggler,status,iterations,final_objective,final_test_accuracy,"
+      "total_sim_seconds,avg_epoch_sim_seconds,total_comm_sim_seconds,"
+      "max_wait_seconds,staleness_hist");
   for (const auto& o : outcomes) {
     const auto& c = o.scenario.config;
     const auto& r = o.result;
@@ -464,13 +523,15 @@ std::vector<std::string> SweepReport::csv_rows() const {
     row << o.scenario.index << ',' << o.scenario.solver << ',' << c.dataset
         << ',' << c.n_train << ',' << c.n_test << ',' << c.workers << ','
         << c.device << ',' << c.network << ',' << c.penalty << ','
-        << fmt_double(c.lambda) << ',' << (o.ok ? "ok" : "error") << ','
+        << fmt_double(c.lambda) << ',' << c.straggler << ','
+        << (o.ok ? "ok" : "error") << ','
         << (o.ok ? r.iterations : 0) << ','
         << fmt_double(o.ok ? r.final_objective : 0.0) << ','
         << fmt_double(o.ok ? r.final_test_accuracy : 0.0) << ','
         << fmt_double(o.ok ? r.total_sim_seconds : 0.0) << ','
         << fmt_double(o.ok ? r.avg_epoch_sim_seconds : 0.0) << ','
-        << fmt_double(comm);
+        << fmt_double(comm) << ',' << fmt_double(o.max_wait_seconds) << ','
+        << o.staleness_hist;
     rows.push_back(row.str());
   }
   return rows;
@@ -502,6 +563,7 @@ void SweepReport::write_json(const std::string& path) const {
         << ", \"network\": \"" << json_escape(c.network) << "\""        //
         << ", \"penalty\": \"" << json_escape(c.penalty) << "\""        //
         << ", \"lambda\": " << fmt_json_number(c.lambda)                //
+        << ", \"straggler\": \"" << json_escape(c.straggler) << "\""    //
         << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
     if (o.ok) {
       out << ", \"iterations\": " << r.iterations                        //
@@ -512,7 +574,11 @@ void SweepReport::write_json(const std::string& path) const {
           << fmt_json_number(r.total_sim_seconds)                        //
           << ", \"avg_epoch_sim_seconds\": "
           << fmt_json_number(r.avg_epoch_sim_seconds)                    //
-          << ", \"total_comm_sim_seconds\": " << fmt_json_number(comm);
+          << ", \"total_comm_sim_seconds\": " << fmt_json_number(comm)   //
+          << ", \"max_wait_seconds\": " << fmt_json_number(o.max_wait_seconds)
+          << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
+          << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist)
+          << "\"";
     } else {
       out << ", \"error\": \"" << json_escape(o.error) << "\"";
     }
@@ -640,6 +706,10 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
                                      ? 0.0
                                      : outcome.result.trace.back()
                                            .comm_sim_seconds;
+      outcome.max_wait_seconds = outcome.result.max_wait_seconds();
+      outcome.rank_waits = fmt_rank_waits(outcome.result.rank_wait_seconds);
+      outcome.staleness_hist =
+          fmt_staleness_hist(outcome.result.staleness_hist);
       outcome.ok = true;
     } catch (const std::exception& e) {
       outcome.ok = false;

@@ -40,10 +40,14 @@ struct SweepSpec {
   std::vector<std::string> solvers{"newton-admm"};
   std::vector<std::string> datasets{"blobs"};
   std::vector<int> workers{8};
+  /// Device axis values may be '+'-separated per-rank lists
+  /// ("p100+cpu+cpu") — commas separate axis entries.
   std::vector<std::string> devices{"p100"};
   std::vector<std::string> networks{"ib100"};
   std::vector<std::string> penalties{"sps"};
   std::vector<double> lambdas{1e-5};
+  /// Straggler axis: "none" or "<rank>:<slowdown>" entries.
+  std::vector<std::string> stragglers{"none"};
   ExperimentConfig base;
 };
 
@@ -70,7 +74,7 @@ struct Scenario {
 };
 
 /// Expand the grid in fixed axis order (solver, dataset, workers,
-/// device, network, penalty, lambda — rightmost fastest).
+/// device, network, penalty, lambda, straggler — rightmost fastest).
 std::vector<Scenario> expand_scenarios(const SweepSpec& spec);
 
 /// 64-bit FNV-1a hash (hex) over the canonical serialization of every
@@ -84,6 +88,12 @@ struct ScenarioOutcome {
   bool ok = false;
   bool from_journal = false;     ///< reconstructed on resume (trace empty)
   double comm_sim_seconds = 0.0; ///< cached from the trace for reports
+  // Async-runtime columns, pre-formatted so journal restores stay
+  // byte-identical to fresh runs: per-rank waits and the staleness
+  // histogram as ';'-joined strings ("w0;w1;…", "s:count;…").
+  double max_wait_seconds = 0.0;
+  std::string rank_waits;
+  std::string staleness_hist;
   std::string error;             ///< non-empty when !ok
 };
 

@@ -1,0 +1,233 @@
+#include "solvers/async_admm.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <memory>
+#include <utility>
+
+#include "comm/async.hpp"
+#include "core/admm_worker.hpp"
+#include "data/partition.hpp"
+#include "la/vector_ops.hpp"
+#include "model/metrics.hpp"
+#include "model/softmax.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace nadmm::solvers {
+
+namespace {
+
+enum : int {
+  kTagUpdate = 1,     ///< worker → coordinator: [round, barrier, c.. , ρ]
+  kTagConsensus = 2,  ///< coordinator → worker: [z..]
+  kTagStop = 3,       ///< coordinator → worker: run is over
+};
+
+}  // namespace
+
+core::RunResult async_admm(comm::SimCluster& cluster,
+                           const data::Dataset& train,
+                           const data::Dataset* test,
+                           const AsyncAdmmOptions& options) {
+  const core::NewtonAdmmOptions& admm = options.admm;
+  NADMM_CHECK(admm.max_iterations >= 1, "async_admm: need >= 1 iteration");
+  NADMM_CHECK(admm.lambda >= 0.0, "async_admm: lambda must be >= 0");
+  NADMM_CHECK(options.staleness >= 0, "async_admm: staleness must be >= 0");
+  NADMM_CHECK(options.sync_every >= 0, "async_admm: sync_every must be >= 0");
+
+  const int n = cluster.size();
+  const std::size_t dim =
+      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  // In stale-sync mode the barrier is the only brake on fast workers.
+  const int staleness =
+      options.sync_every > 0 ? INT_MAX : options.staleness;
+
+  core::RunResult result;
+  result.solver = options.sync_every > 0 ? "stale-sync-admm" : "async-admm";
+
+  // --- untimed setup: shards, workers, diagnostic objective ---
+  std::vector<std::unique_ptr<core::AdmmWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    workers.push_back(std::make_unique<core::AdmmWorker>(
+        data::shard_contiguous(train, n, r), admm, dim));
+  }
+  model::SoftmaxObjective global(train, /*l2_lambda=*/0.0);
+  const bool eval_accuracy =
+      test != nullptr && admm.evaluate_accuracy && test->num_samples() > 0;
+
+  // --- coordinator state (the event loop is single-threaded) ---
+  core::ConsensusState acc(n, dim, admm.lambda);
+  std::vector<double> z(dim, 0.0);
+  std::vector<int> rounds(static_cast<std::size_t>(n), 0);
+  std::vector<int> worker_round(static_cast<std::size_t>(n), 0);
+  std::vector<char> deferred(static_cast<std::size_t>(n), 0);
+  std::vector<int> barrier;  // arrival order of parked sync-round workers
+  barrier.reserve(static_cast<std::size_t>(n));
+  std::uint64_t commits = 0;
+  int epochs = 0;
+  bool stopping = false;
+  double prev_sim_time = 0.0;
+  std::vector<std::uint64_t>& hist = result.staleness_hist;
+  WallTimer wall;
+
+  comm::AsyncEngine engine(cluster.devices(), cluster.network(),
+                           cluster.omp_threads_per_rank());
+
+  // One local Newton round on this rank, then ship the contribution.
+  const auto do_round = [&](comm::AsyncRank& ctx) {
+    const int r = ctx.rank();
+    const auto packed = workers[static_cast<std::size_t>(r)]->local_step();
+    const int round = ++worker_round[static_cast<std::size_t>(r)];
+    std::vector<double> payload(dim + 3);
+    payload[0] = round;
+    payload[1] =
+        (options.sync_every > 0 && round % options.sync_every == 0) ? 1.0 : 0.0;
+    std::copy(packed.begin(), packed.end(), payload.begin() + 2);
+    ctx.send(0, kTagUpdate, std::move(payload));
+  };
+
+  const auto reply_z = [&](comm::AsyncRank& ctx, int to) {
+    ctx.send(to, kTagConsensus, z);
+  };
+  const auto reply_stop = [&](comm::AsyncRank& ctx, int to) {
+    ctx.send(to, kTagStop, {});
+  };
+
+  const auto coordinator_handle = [&](comm::AsyncRank& ctx,
+                                      const comm::AsyncMessage& msg) {
+    const int w = msg.from;
+    if (stopping) {
+      reply_stop(ctx, w);
+      return;
+    }
+    // Observed staleness: completed rounds ahead of the slowest worker
+    // when this update's round started. The reply gate bounded it then,
+    // and the minimum only grows, so hist's top bucket stays <= τ.
+    const int min_before = *std::min_element(rounds.begin(), rounds.end());
+    const auto s = static_cast<std::size_t>(
+        rounds[static_cast<std::size_t>(w)] - min_before);
+    if (hist.size() <= s) hist.resize(s + 1, 0);
+    ++hist[s];
+
+    rounds[static_cast<std::size_t>(w)] = static_cast<int>(msg.payload[0]);
+    const bool flagged = msg.payload[1] != 0.0;
+    acc.apply(w, std::span<const double>(msg.payload).subspan(2));
+    acc.compute_z(z);
+    ++commits;
+
+    if (commits % static_cast<std::uint64_t>(n) == 0) {
+      // --- epoch diagnostics on the paused clock ---
+      ctx.clock().pause();
+      ++epochs;
+      double objective = global.value(z);
+      if (admm.lambda > 0.0) {
+        objective += 0.5 * admm.lambda * la::nrm2_sq(z);
+      }
+      const double accuracy =
+          eval_accuracy ? model::accuracy(*test, z) : -1.0;
+      const double sim_time = ctx.now();
+      if (admm.record_trace) {
+        core::IterationStats it;
+        it.iteration = epochs;
+        it.objective = objective;
+        it.test_accuracy = accuracy;
+        it.sim_seconds = sim_time;
+        it.wall_seconds = wall.seconds();
+        it.epoch_sim_seconds = sim_time - prev_sim_time;
+        it.comm_sim_seconds = ctx.clock().comm_seconds();
+        it.rho_mean = acc.rho_sum() / n;
+        result.trace.push_back(it);
+      }
+      prev_sim_time = sim_time;
+      result.iterations = epochs;
+      result.final_objective = objective;
+      result.final_test_accuracy = accuracy;
+      result.total_sim_seconds = sim_time;
+      result.total_wall_seconds = wall.seconds();
+      if (epochs >= admm.max_iterations ||
+          (admm.objective_target > 0.0 &&
+           objective <= admm.objective_target)) {
+        stopping = true;
+      }
+      ctx.clock().resume();
+    }
+
+    if (stopping) {
+      reply_stop(ctx, w);
+      for (int d = 0; d < n; ++d) {
+        if (deferred[static_cast<std::size_t>(d)]) {
+          deferred[static_cast<std::size_t>(d)] = 0;
+          reply_stop(ctx, d);
+        }
+      }
+      for (const int b : barrier) reply_stop(ctx, b);
+      barrier.clear();
+      return;
+    }
+
+    if (flagged) {
+      barrier.push_back(w);
+      if (static_cast<int>(barrier.size()) == n) {
+        for (const int b : barrier) reply_z(ctx, b);
+        barrier.clear();
+      }
+      return;
+    }
+    const int min_r = *std::min_element(rounds.begin(), rounds.end());
+    if (rounds[static_cast<std::size_t>(w)] - min_r <= staleness) {
+      reply_z(ctx, w);
+    } else {
+      deferred[static_cast<std::size_t>(w)] = 1;
+    }
+    // This commit may have raised the minimum round; release any parked
+    // worker whose lead is back within the bound (rank order — the loop
+    // is deterministic either way, but keep replies canonical).
+    for (int d = 0; d < n; ++d) {
+      if (deferred[static_cast<std::size_t>(d)] &&
+          rounds[static_cast<std::size_t>(d)] - min_r <= staleness) {
+        deferred[static_cast<std::size_t>(d)] = 0;
+        reply_z(ctx, d);
+      }
+    }
+  };
+
+  const auto reports = engine.run(
+      [&](comm::AsyncRank& ctx) { do_round(ctx); },
+      [&](comm::AsyncRank& ctx, const comm::AsyncMessage& msg) {
+        switch (msg.tag) {
+          case kTagUpdate:
+            coordinator_handle(ctx, msg);
+            break;
+          case kTagConsensus: {
+            auto& worker = *workers[static_cast<std::size_t>(ctx.rank())];
+            worker.snapshot_z_prev();
+            std::copy(msg.payload.begin(), msg.payload.end(),
+                      worker.z().begin());
+            worker.apply_consensus(
+                worker_round[static_cast<std::size_t>(ctx.rank())] - 1);
+            do_round(ctx);
+            break;
+          }
+          case kTagStop:
+            ctx.halt();
+            break;
+          default:
+            NADMM_CHECK(false, "async_admm: unknown message tag");
+        }
+      });
+
+  result.x = z;
+  result.rank_wait_seconds.reserve(reports.size());
+  for (const auto& r : reports) {
+    result.rank_wait_seconds.push_back(r.wait_seconds);
+  }
+  if (result.iterations > 0) {
+    result.avg_epoch_sim_seconds =
+        result.total_sim_seconds / result.iterations;
+  }
+  return result;
+}
+
+}  // namespace nadmm::solvers

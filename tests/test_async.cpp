@@ -1,0 +1,414 @@
+// Tests for the event-driven async runtime (comm/async.*), the
+// stale-consensus solvers built on it (solvers/async_admm.*), and the
+// heterogeneous-cluster / straggler plumbing in the runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/async.hpp"
+#include "core/trace.hpp"
+#include "runner/harness.hpp"
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+#include "support/check.hpp"
+
+namespace nadmm {
+namespace {
+
+// ------------------------------------------------------------- engine
+
+la::DeviceModel unit_device() { return {"unit", 1.0}; }  // 1 GF/s
+
+TEST(AsyncEngine, DeliversInVirtualTimeOrder) {
+  // Rank 0 posts three self-timers out of order; delivery must follow
+  // (delivery_time, seq) regardless of send order.
+  comm::AsyncEngine engine({unit_device()}, comm::ideal_network());
+  std::vector<int> tags;
+  engine.run(
+      [&](comm::AsyncRank& ctx) {
+        ctx.send_self(/*tag=*/3, /*delay=*/3.0);
+        ctx.send_self(/*tag=*/1, /*delay=*/1.0);
+        ctx.send_self(/*tag=*/2, /*delay=*/2.0);
+        ctx.send_self(/*tag=*/11, /*delay=*/1.0);  // ties break by seq
+      },
+      [&](comm::AsyncRank&, const comm::AsyncMessage& msg) {
+        tags.push_back(msg.tag);
+      });
+  EXPECT_EQ(tags, (std::vector<int>{1, 11, 2, 3}));
+}
+
+TEST(AsyncEngine, SenderPaysSerializationReceiverWaits) {
+  // 1 kB message on a 1 ms / 1 MB/s network: serialization = 1 ms,
+  // in-flight = 2 ms. The sender's clock must be charged 1 ms of comm
+  // (not the full 2 ms), and the idle receiver books the delivery gap as
+  // wait time — nobody is double-charged.
+  comm::NetworkModel net{"t", 1e-3, 1e6};
+  EXPECT_DOUBLE_EQ(net.serialization(1000), 1e-3);
+  EXPECT_DOUBLE_EQ(net.point_to_point(1000), net.latency_s +
+                                                 net.serialization(1000));
+
+  comm::AsyncEngine engine({unit_device(), unit_device()}, net);
+  double delivery = -1.0;
+  const auto reports = engine.run(
+      [&](comm::AsyncRank& ctx) {
+        if (ctx.rank() == 0) {
+          ctx.send(1, /*tag=*/7, std::vector<double>(125, 1.0));  // 1000 B
+        }
+      },
+      [&](comm::AsyncRank& ctx, const comm::AsyncMessage& msg) {
+        delivery = msg.delivery_time;
+        EXPECT_EQ(ctx.rank(), 1);
+        EXPECT_EQ(msg.from, 0);
+        EXPECT_EQ(msg.tag, 7);
+      });
+  EXPECT_DOUBLE_EQ(delivery, 2e-3);
+  EXPECT_DOUBLE_EQ(reports[0].comm_seconds, 1e-3);   // serialization only
+  EXPECT_DOUBLE_EQ(reports[0].wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(reports[1].comm_seconds, 0.0);    // receiving is free
+  EXPECT_DOUBLE_EQ(reports[1].wait_seconds, 2e-3);   // idle until delivery
+  EXPECT_EQ(reports[0].messages_sent, 1u);
+  EXPECT_EQ(reports[1].messages_received, 1u);
+}
+
+TEST(AsyncEngine, LoopbackSendsAreFree) {
+  comm::AsyncEngine engine({unit_device()}, comm::wan());
+  const auto reports = engine.run(
+      [&](comm::AsyncRank& ctx) {
+        ctx.send(0, /*tag=*/1, std::vector<double>(1000, 0.0));
+      },
+      [&](comm::AsyncRank&, const comm::AsyncMessage& msg) {
+        EXPECT_DOUBLE_EQ(msg.delivery_time, msg.send_time);
+      });
+  EXPECT_DOUBLE_EQ(reports[0].comm_seconds, 0.0);
+  EXPECT_EQ(engine.messages_delivered(), 1u);
+}
+
+TEST(AsyncEngine, HaltDropsInFlightMessages) {
+  comm::AsyncEngine engine({unit_device(), unit_device()},
+                           comm::ideal_network());
+  int delivered_to_1 = 0;
+  engine.run(
+      [&](comm::AsyncRank& ctx) {
+        if (ctx.rank() == 0) {
+          ctx.send(1, /*tag=*/1, {});
+          ctx.send(1, /*tag=*/2, {});
+        }
+      },
+      [&](comm::AsyncRank& ctx, const comm::AsyncMessage&) {
+        ++delivered_to_1;
+        ctx.halt();  // the second message must be dropped
+      });
+  EXPECT_EQ(delivered_to_1, 1);
+}
+
+TEST(AsyncEngine, ComputeIsPricedPerRankDevice) {
+  // Same flops, 1 GF/s vs 4 GF/s devices: rank 1 finishes 4x faster.
+  comm::AsyncEngine engine({unit_device(), {"fast", 4.0}},
+                           comm::ideal_network());
+  const auto reports = engine.run(
+      [&](comm::AsyncRank&) { nadmm::flops::add(2'000'000'000ULL); },
+      [](comm::AsyncRank&, const comm::AsyncMessage&) {});
+  EXPECT_DOUBLE_EQ(reports[0].compute_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(reports[1].compute_seconds, 0.5);
+}
+
+// ----------------------------------------------- async-admm solvers
+
+runner::ExperimentConfig tiny_config(const std::string& network = "eth1") {
+  runner::ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 240;
+  c.n_test = 60;
+  c.e18_features = 8;
+  c.workers = 3;
+  c.network = network;
+  c.iterations = 4;
+  c.lambda = 1e-3;
+  c.omp_threads = 1;
+  return c;
+}
+
+core::RunResult run_registry(const std::string& solver,
+                             const runner::ExperimentConfig& config) {
+  const auto tt = runner::make_data(config);
+  auto cluster = runner::make_cluster(config);
+  return runner::SolverRegistry::instance().run(solver, cluster, tt.train,
+                                                &tt.test, config);
+}
+
+/// Deterministic fields of a trace, serialized for byte comparison
+/// (wall-clock stays out by design).
+std::string trace_fingerprint(const core::RunResult& r) {
+  std::string out;
+  char buf[256];
+  for (const auto& it : r.trace) {
+    std::snprintf(buf, sizeof buf, "%d,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                  it.iteration, it.objective, it.test_accuracy, it.sim_seconds,
+                  it.epoch_sim_seconds, it.comm_sim_seconds);
+    out += buf;
+  }
+  for (const double w : r.rank_wait_seconds) {
+    std::snprintf(buf, sizeof buf, "w%.17g\n", w);
+    out += buf;
+  }
+  for (const auto h : r.staleness_hist) {
+    std::snprintf(buf, sizeof buf, "h%llu\n",
+                  static_cast<unsigned long long>(h));
+    out += buf;
+  }
+  return out;
+}
+
+TEST(AsyncAdmm, ConvergesAndReportsAsyncColumns) {
+  const auto config = tiny_config();
+  const auto r = run_registry("async-admm", config);
+  EXPECT_EQ(r.solver, "async-admm");
+  EXPECT_EQ(r.iterations, config.iterations);
+  ASSERT_EQ(r.trace.size(), static_cast<std::size_t>(config.iterations));
+  EXPECT_LT(r.trace.back().objective, r.trace.front().objective);
+  EXPECT_TRUE(std::isfinite(r.final_objective));
+  EXPECT_GE(r.final_test_accuracy, 0.0);
+  EXPECT_GT(r.total_sim_seconds, 0.0);
+  EXPECT_EQ(r.rank_wait_seconds.size(),
+            static_cast<std::size_t>(config.workers));
+  EXPECT_FALSE(r.staleness_hist.empty());
+}
+
+TEST(AsyncAdmm, ReachesSynchronousQualityObjective) {
+  // Same budget of local solves: the stale-consensus result should land
+  // in the same objective ballpark as the synchronous solver.
+  auto config = tiny_config();
+  config.iterations = 8;
+  const auto sync = run_registry("newton-admm", config);
+  const auto async = run_registry("async-admm", config);
+  EXPECT_LT(async.final_objective, 1.15 * sync.final_objective);
+}
+
+TEST(AsyncAdmm, DeterministicAcrossConcurrentReruns) {
+  // The delivery order is a total order on (delivery_time, seq), so
+  // rerunning the same configuration — here 10 times on concurrently
+  // racing threads — must reproduce the trace byte-for-byte.
+  const auto config = tiny_config();
+  const auto reference = trace_fingerprint(run_registry("async-admm", config));
+  ASSERT_FALSE(reference.empty());
+  constexpr int kRuns = 10;
+  std::vector<std::string> fingerprints(kRuns);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kRuns);
+    for (int i = 0; i < kRuns; ++i) {
+      threads.emplace_back([&, i] {
+        fingerprints[static_cast<std::size_t>(i)] =
+            trace_fingerprint(run_registry("async-admm", config));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(fingerprints[static_cast<std::size_t>(i)], reference)
+        << "run " << i << " diverged";
+  }
+}
+
+TEST(AsyncAdmm, StalenessBoundIsEnforced) {
+  // With a straggling rank the fast workers run ahead — but never past
+  // the τ bound: every bucket above τ must stay empty.
+  auto config = tiny_config("wan");
+  config.device = "0.2";  // slow enough that compute dominates the wire
+  config.straggler = "1:4";
+  config.iterations = 6;
+  for (const int tau : {0, 1, 3}) {
+    config.staleness = tau;
+    const auto r = run_registry("async-admm", config);
+    ASSERT_FALSE(r.staleness_hist.empty()) << "tau=" << tau;
+    EXPECT_LE(static_cast<int>(r.staleness_hist.size()) - 1, tau)
+        << "tau=" << tau;
+  }
+  // A generous bound must actually be exercised by the straggler run.
+  config.staleness = 8;
+  const auto r = run_registry("async-admm", config);
+  EXPECT_GT(r.staleness_hist.size(), 1u)
+      << "straggler run never went stale — bound untested";
+}
+
+TEST(AsyncAdmm, StaleSyncBarrierEveryRoundIsLockstep) {
+  // sync_every=1 parks every worker at the coordinator each round: no
+  // update can ever be stale.
+  auto config = tiny_config();
+  config.sync_every = 1;
+  const auto r = run_registry("stale-sync-admm", config);
+  EXPECT_EQ(r.solver, "stale-sync-admm");
+  ASSERT_EQ(r.staleness_hist.size(), 1u);
+  EXPECT_GT(r.staleness_hist[0], 0u);
+}
+
+TEST(AsyncAdmm, StaleSyncBarrierPeriodBoundsStaleness) {
+  auto config = tiny_config("wan");
+  config.device = "0.2";
+  config.straggler = "0:4";
+  config.iterations = 6;
+  config.sync_every = 3;
+  const auto r = run_registry("stale-sync-admm", config);
+  // Between barriers a worker can lead by at most sync_every − 1 rounds.
+  EXPECT_LE(static_cast<int>(r.staleness_hist.size()) - 1,
+            config.sync_every - 1);
+}
+
+TEST(AsyncAdmm, StragglerShiftsWaitTime) {
+  auto config = tiny_config("eth1");
+  config.device = "0.2";
+  config.iterations = 5;
+  config.staleness = 2;
+  const auto even = run_registry("async-admm", config);
+  config.straggler = "1:4";
+  const auto skewed = run_registry("async-admm", config);
+  ASSERT_EQ(even.rank_wait_seconds.size(), skewed.rank_wait_seconds.size());
+  // The straggler slows every consensus round, so the fast ranks spend
+  // strictly more simulated time idle than in the balanced run.
+  double even_fast = 0.0, skewed_fast = 0.0;
+  for (std::size_t r = 0; r < even.rank_wait_seconds.size(); ++r) {
+    if (r == 1) continue;  // rank 1 is the straggler
+    even_fast += even.rank_wait_seconds[r];
+    skewed_fast += skewed.rank_wait_seconds[r];
+  }
+  EXPECT_GT(skewed_fast, even_fast);
+  EXPECT_GT(skewed.total_sim_seconds, even.total_sim_seconds);
+}
+
+// --------------------------------------- heterogeneous clusters / runner
+
+TEST(ClusterDevices, PerRankListsCycleAndStragglerApplies) {
+  runner::ExperimentConfig config;
+  config.workers = 5;
+  config.device = "p100+cpu";
+  const auto cycled = runner::cluster_devices(config);
+  ASSERT_EQ(cycled.size(), 5u);
+  EXPECT_EQ(cycled[0].name, "p100");
+  EXPECT_EQ(cycled[1].name, "cpu");
+  EXPECT_EQ(cycled[2].name, "p100");
+  EXPECT_EQ(cycled[4].name, "p100");
+
+  config.device = "100:50";
+  config.straggler = "2:4";
+  const auto skewed = runner::cluster_devices(config);
+  EXPECT_DOUBLE_EQ(skewed[0].gflops, 100.0);
+  EXPECT_DOUBLE_EQ(skewed[2].gflops, 25.0);
+  EXPECT_DOUBLE_EQ(skewed[2].gbytes_per_s, 12.5);
+  EXPECT_NE(skewed[2].name.find("x4"), std::string::npos);
+
+  config.straggler = "9:4";  // rank out of range
+  EXPECT_THROW(static_cast<void>(runner::cluster_devices(config)),
+               InvalidArgument);
+  config.straggler = "1:being-slow";
+  EXPECT_THROW(static_cast<void>(runner::cluster_devices(config)),
+               InvalidArgument);
+}
+
+TEST(ClusterDevices, SynchronousSolverPaysForTheStraggler) {
+  auto config = tiny_config("ib100");
+  config.device = "0.2";
+  config.iterations = 3;
+  const auto even = run_registry("newton-admm", config);
+  config.straggler = "2:8";
+  const auto skewed = run_registry("newton-admm", config);
+  // Every barrier waits for rank 2, so epochs slow down by roughly the
+  // slowdown factor, and the fast ranks' barrier skew shows up as wait.
+  EXPECT_GT(skewed.total_sim_seconds, 3.0 * even.total_sim_seconds);
+  ASSERT_EQ(skewed.rank_wait_seconds.size(), 3u);
+  EXPECT_GT(skewed.rank_wait_seconds[0], 0.0);
+  EXPECT_LT(skewed.rank_wait_seconds[2], skewed.rank_wait_seconds[0]);
+}
+
+// --------------------------------------------------- sweep integration
+
+TEST(AsyncSweep, StragglerAxisExpandsAndTagsStayUnique) {
+  runner::SweepSpec spec;
+  spec.solvers = {"async-admm"};
+  spec.stragglers = {"none", "1:4"};
+  spec.networks = {"eth1", "wan"};
+  const auto scenarios = runner::expand_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].config.straggler, "none");
+  EXPECT_EQ(scenarios[1].config.straggler, "1:4");
+  EXPECT_NE(scenarios[0].tag(), scenarios[1].tag());
+  EXPECT_EQ(scenarios[1].tag().find(':'), std::string::npos);
+  EXPECT_NE(scenarios[1].tag().find("_st1-4"), std::string::npos);
+
+  // The straggler axis and the async knobs are part of the fingerprint.
+  const std::string base_fp = runner::spec_fingerprint(spec);
+  runner::SweepSpec other = spec;
+  other.stragglers = {"none"};
+  EXPECT_NE(runner::spec_fingerprint(other), base_fp);
+  other = spec;
+  other.base.staleness += 1;
+  EXPECT_NE(runner::spec_fingerprint(other), base_fp);
+  other = spec;
+  other.base.sync_every += 1;
+  EXPECT_NE(runner::spec_fingerprint(other), base_fp);
+}
+
+TEST(AsyncSweep, ReportCarriesWaitAndStalenessColumns) {
+  runner::SweepSpec spec;
+  spec.solvers = {"async-admm", "newton-admm"};
+  spec.workers = {2};
+  spec.networks = {"eth1"};
+  spec.stragglers = {"1:2"};
+  spec.base.n_train = 120;
+  spec.base.n_test = 40;
+  spec.base.e18_features = 8;
+  spec.base.iterations = 2;
+  runner::SweepOptions options;
+  const auto report = runner::run_sweep(spec, options);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  ASSERT_TRUE(report.outcomes[0].ok) << report.outcomes[0].error;
+  ASSERT_TRUE(report.outcomes[1].ok) << report.outcomes[1].error;
+  const auto rows = report.csv_rows();
+  EXPECT_NE(rows[0].find("straggler"), std::string::npos);
+  EXPECT_NE(rows[0].find("max_wait_seconds"), std::string::npos);
+  EXPECT_NE(rows[0].find("staleness_hist"), std::string::npos);
+  // The async scenario populates the histogram; the sync one leaves it
+  // empty but still reports per-rank waits.
+  EXPECT_FALSE(report.outcomes[0].staleness_hist.empty());
+  EXPECT_TRUE(report.outcomes[1].staleness_hist.empty());
+  EXPECT_FALSE(report.outcomes[1].rank_waits.empty());
+}
+
+TEST(AsyncSweep, JournalRoundTripsAsyncColumnsByteIdentically) {
+  runner::SweepSpec spec;
+  spec.solvers = {"async-admm"};
+  spec.workers = {2};
+  spec.networks = {"eth1"};
+  spec.stragglers = {"none", "0:2"};
+  spec.base.n_train = 120;
+  spec.base.n_test = 40;
+  spec.base.e18_features = 8;
+  spec.base.iterations = 2;
+
+  const std::string journal =
+      testing::TempDir() + "/nadmm_async_journal.jsonl";
+  std::remove(journal.c_str());
+
+  runner::SweepOptions first;
+  first.journal_path = journal;
+  first.max_scenarios = 1;  // deterministic interruption
+  const auto partial = runner::run_sweep(spec, first);
+  EXPECT_FALSE(partial.complete());
+
+  runner::SweepOptions resumed;
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  const auto rest = runner::run_sweep(spec, resumed);
+  EXPECT_EQ(rest.resumed, 1u);
+
+  runner::SweepOptions fresh;
+  const auto full = runner::run_sweep(spec, fresh);
+  EXPECT_EQ(full.csv_rows(), rest.csv_rows());
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace nadmm

@@ -28,8 +28,9 @@ ExperimentConfig tiny_config() {
 TEST(SolverRegistry, ResolvesEveryBuiltinName) {
   const auto& registry = SolverRegistry::instance();
   for (const char* name :
-       {"newton-admm", "giant", "sync-sgd", "inexact-dane", "aide", "disco",
-        "newton-cg", "gd", "momentum", "adagrad", "adam"}) {
+       {"newton-admm", "async-admm", "stale-sync-admm", "giant", "sync-sgd",
+        "inexact-dane", "aide", "disco", "newton-cg", "gd", "momentum",
+        "adagrad", "adam"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_EQ(registry.info(name).name, name);
   }
@@ -43,6 +44,29 @@ TEST(SolverRegistry, KindsAreClassified) {
   EXPECT_EQ(registry.info("adam").kind, SolverKind::kSingleNode);
   EXPECT_EQ(to_string(SolverKind::kDistributed), "distributed");
   EXPECT_EQ(to_string(SolverKind::kSingleNode), "single-node");
+}
+
+TEST(SolverRegistry, CommClassAndKnobsComeFromTheRegistry) {
+  const auto& registry = SolverRegistry::instance();
+  EXPECT_EQ(registry.info("newton-admm").comm_class, CommClass::kSynchronous);
+  EXPECT_EQ(registry.info("async-admm").comm_class, CommClass::kAsynchronous);
+  EXPECT_EQ(registry.info("stale-sync-admm").comm_class,
+            CommClass::kAsynchronous);
+  EXPECT_EQ(registry.info("adam").comm_class, CommClass::kNone);
+  EXPECT_EQ(to_string(CommClass::kSynchronous), "sync");
+  EXPECT_EQ(to_string(CommClass::kAsynchronous), "async");
+  EXPECT_EQ(to_string(CommClass::kNone), "-");
+  // Every distributed solver documents its knobs; the async pair names
+  // its staleness/barrier controls so `nadmm list` cannot drift.
+  for (const auto& info : registry.list()) {
+    if (info.kind == SolverKind::kDistributed) {
+      EXPECT_FALSE(info.knobs.empty()) << info.name;
+    }
+  }
+  EXPECT_NE(registry.info("async-admm").knobs.find("staleness"),
+            std::string::npos);
+  EXPECT_NE(registry.info("stale-sync-admm").knobs.find("sync-every"),
+            std::string::npos);
 }
 
 TEST(SolverRegistry, ListIsSortedAndMatchesNames) {
@@ -78,10 +102,13 @@ TEST(SolverRegistry, RejectsDuplicateAndEmptyRegistration) {
                           const data::Dataset*, const ExperimentConfig&) {
     return core::RunResult{};
   };
-  EXPECT_THROW(registry.add({"newton-admm", SolverKind::kDistributed, "dup"},
+  EXPECT_THROW(registry.add({"newton-admm", SolverKind::kDistributed, "dup",
+                             CommClass::kSynchronous, ""},
                             factory),
                InvalidArgument);
-  EXPECT_THROW(registry.add({"", SolverKind::kDistributed, "unnamed"}, factory),
+  EXPECT_THROW(registry.add({"", SolverKind::kDistributed, "unnamed",
+                             CommClass::kSynchronous, ""},
+                            factory),
                InvalidArgument);
 }
 

@@ -84,6 +84,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_json", help="output of bench_kernels --benchmark_format=json")
     ap.add_argument("--baseline", default=BASELINE_DEFAULT)
+    ap.add_argument("--bench-name", default="kernels",
+                    help="label written into the baseline with "
+                         "--write-baseline (e.g. 'async')")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative speedup regression (default 0.25)")
     ap.add_argument("--max-threads", type=int, default=None,
@@ -102,7 +105,7 @@ def main():
 
     if args.write_baseline:
         baseline = {
-            "bench": "kernels",
+            "bench": args.bench_name,
             "gate": "engine-vs-seed speedup per (kernel, threads); "
                     "fails when measured < baseline * (1 - tolerance)",
             "tolerance": args.tolerance,
