@@ -1,0 +1,93 @@
+// Shard setup cost: zero-copy rank views vs the seed's per-rank copies.
+//
+// The shard-native data plane hands every rank an O(1) row-range view of
+// the shared dataset ("Engine", data::shard_dataset under a contiguous
+// plan); the seed materialized one owning copy per rank
+// ("Seed", data::shard_contiguous). The benchmark argument is the rank
+// count N: each iteration sets up ALL N shards — the full per-scenario
+// setup the sweep scheduler pays — so items/s is scenarios-set-up per
+// second and the engine-vs-seed speedup is the data-plane win. Byte
+// counters report the resident bytes each path adds on top of the full
+// dataset (0 for views). Gated in CI by tools/perf_smoke.py against
+// BENCH_shard.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "data/partition.hpp"
+
+namespace {
+
+using nadmm::data::Dataset;
+using nadmm::data::ShardPlan;
+using nadmm::data::TrainTest;
+
+constexpr std::size_t kDenseRows = 20'000;
+constexpr std::size_t kDenseCols = 256;   // MNIST-like shard shape
+constexpr std::size_t kSparseRows = 6'000;
+constexpr std::size_t kSparseCols = 4'000; // E18-like wide sparse shard
+
+const TrainTest& dense_data() {
+  static const TrainTest tt =
+      nadmm::data::make_blobs(kDenseRows, 1, kDenseCols, 10, 3.0, 1.0, 7);
+  return tt;
+}
+
+const TrainTest& sparse_data() {
+  static const TrainTest tt =
+      nadmm::data::make_e18_like(kSparseRows, 1, kSparseCols, 7);
+  return tt;
+}
+
+void run_shards(benchmark::State& state, const Dataset& full, bool views) {
+  const int parts = static_cast<int>(state.range(0));
+  ShardPlan plan;
+  plan.parts = parts;
+  std::size_t shard_bytes = 0;
+  for (auto _ : state) {
+    std::vector<Dataset> shards;
+    shards.reserve(static_cast<std::size_t>(parts));
+    shard_bytes = 0;
+    for (int r = 0; r < parts; ++r) {
+      shards.push_back(views ? nadmm::data::shard_dataset(full, plan, r)
+                             : nadmm::data::shard_contiguous(full, parts, r));
+      shard_bytes += shards.back().approx_bytes();
+      benchmark::DoNotOptimize(shards.back().num_samples());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shard_bytes"] =
+      benchmark::Counter(static_cast<double>(shard_bytes));
+  state.counters["full_bytes"] =
+      benchmark::Counter(static_cast<double>(full.approx_bytes()));
+}
+
+void BM_ShardDense_Engine(benchmark::State& state) {
+  run_shards(state, dense_data().train, /*views=*/true);
+}
+
+void BM_ShardDense_Seed(benchmark::State& state) {
+  run_shards(state, dense_data().train, /*views=*/false);
+}
+
+void BM_ShardCsr_Engine(benchmark::State& state) {
+  run_shards(state, sparse_data().train, /*views=*/true);
+}
+
+void BM_ShardCsr_Seed(benchmark::State& state) {
+  run_shards(state, sparse_data().train, /*views=*/false);
+}
+
+}  // namespace
+
+// The /N suffix is the rank count (not a thread count); perf_smoke pairs
+// Engine/Seed entries by it like any other benchmark key.
+BENCHMARK(BM_ShardDense_Engine)->Arg(4)->Arg(16);
+BENCHMARK(BM_ShardDense_Seed)->Arg(4)->Arg(16);
+BENCHMARK(BM_ShardCsr_Engine)->Arg(4)->Arg(16);
+BENCHMARK(BM_ShardCsr_Seed)->Arg(4)->Arg(16);
+
+BENCHMARK_MAIN();

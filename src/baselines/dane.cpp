@@ -12,35 +12,35 @@
 namespace nadmm::baselines {
 
 core::RunResult inexact_dane(comm::SimCluster& cluster,
-                             const data::Dataset& train,
-                             const data::Dataset* test,
+                             const data::ShardedDataset& data,
                              const DaneOptions& options) {
   NADMM_CHECK(options.max_iterations >= 1, "dane: need >= 1 iteration");
   NADMM_CHECK(options.tau > 0.0 || !options.accelerate,
               "dane: AIDE needs tau > 0");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "dane: shard plan does not match the cluster size");
 
   core::RunResult result;
   result.solver = options.accelerate ? "aide" : "inexact-dane";
   const int n_ranks = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  const std::size_t dim = data.dim();
   const double n_ranks_d = static_cast<double>(n_ranks);
+  const bool eval_accuracy =
+      options.evaluate_accuracy && data.test_samples > 0;
 
   cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     ctx.clock().pause();
-    const data::Dataset shard = data::shard_contiguous(train, n_ranks, rank);
-    const data::Dataset test_shard =
-        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
-            ? data::shard_contiguous(*test, n_ranks, rank)
-            : data::Dataset{};
+    const data::RankData& rd = data.ranks[static_cast<std::size_t>(rank)];
+    const data::Dataset& shard = rd.train;
     model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
     auto batch_data = solvers::make_batches(shard, options.svrg_batch);
     std::vector<model::SoftmaxObjective> batches;
     batches.reserve(batch_data.size());
     for (const auto& b : batch_data) batches.emplace_back(b, 0.0);
-    EpochRecorder recorder(ctx, local, options.lambda, test_shard,
-                           test != nullptr ? test->num_samples() : 0, result);
+    EpochRecorder recorder(ctx, local, options.lambda,
+                           eval_accuracy ? rd.test : data::Dataset{},
+                           eval_accuracy ? data.test_samples : 0, result);
     ctx.clock().resume();
 
     std::vector<double> w(dim, 0.0), x_prev(dim, 0.0), y_t(dim, 0.0),
@@ -102,6 +102,15 @@ core::RunResult inexact_dane(comm::SimCluster& cluster,
     result.avg_epoch_sim_seconds = result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+core::RunResult inexact_dane(comm::SimCluster& cluster,
+                             const data::Dataset& train,
+                             const data::Dataset* test,
+                             const DaneOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return inexact_dane(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::baselines

@@ -18,6 +18,7 @@
 #include "comm/cluster.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 #include "solvers/svrg.hpp"
 
 namespace nadmm::baselines {
@@ -36,6 +37,13 @@ struct DaneOptions {
   bool evaluate_accuracy = true;
 };
 
+/// Run InexactDANE / AIDE over pre-sharded data (rank r trains on
+/// `data.ranks[r].train`; the harness plans the shards).
+core::RunResult inexact_dane(comm::SimCluster& cluster,
+                             const data::ShardedDataset& data,
+                             const DaneOptions& options);
+
+/// Convenience overload: contiguous zero-copy view shards.
 core::RunResult inexact_dane(comm::SimCluster& cluster,
                              const data::Dataset& train,
                              const data::Dataset* test,

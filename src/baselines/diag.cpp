@@ -6,16 +6,17 @@ namespace nadmm::baselines {
 
 EpochRecorder::EpochRecorder(comm::RankCtx& ctx,
                              model::SoftmaxObjective& local_loss,
-                             double lambda, const data::Dataset& test_shard,
+                             double lambda, data::Dataset test_shard,
                              std::size_t test_total, core::RunResult& result)
     : ctx_(&ctx),
       local_loss_(&local_loss),
       lambda_(lambda),
       test_total_(test_total),
+      test_shard_(std::move(test_shard)),
       result_(&result) {
-  if (!test_shard.empty()) {
-    test_eval_ = std::make_unique<model::SoftmaxObjective>(test_shard, 0.0);
-    test_shard_size_ = test_shard.num_samples();
+  if (!test_shard_.empty()) {
+    test_eval_ = std::make_unique<model::SoftmaxObjective>(test_shard_, 0.0);
+    test_shard_size_ = test_shard_.num_samples();
   }
 }
 
@@ -25,9 +26,11 @@ double EpochRecorder::record(int k, std::span<const double> w) {
   double objective = ctx_->allreduce_sum(local_loss_->value(w));
   if (lambda_ > 0.0) objective += 0.5 * lambda_ * la::nrm2_sq(w);
   double accuracy = -1.0;
-  if (test_eval_ != nullptr && test_total_ > 0) {
-    const double hits = test_eval_->accuracy(w) *
-                        static_cast<double>(test_shard_size_);
+  if (test_total_ > 0) {
+    const double hits =
+        test_eval_ != nullptr
+            ? test_eval_->accuracy(w) * static_cast<double>(test_shard_size_)
+            : 0.0;
     accuracy = ctx_->allreduce_sum(hits) / static_cast<double>(test_total_);
   }
   if (ctx_->is_root()) {

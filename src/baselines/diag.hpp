@@ -19,10 +19,15 @@ namespace nadmm::baselines {
 /// Per-rank diagnostics state for one solver run.
 class EpochRecorder {
  public:
-  /// `test_shard` may be empty (accuracy reported as −1). `test_total` is
-  /// the global test-set size for averaging the per-shard hit counts.
+  /// `test_total` is the global test-set size for averaging the
+  /// per-shard hit counts; it gates the accuracy allreduce and MUST be
+  /// the same on every rank (0 reports accuracy as −1). `test_shard`
+  /// may be empty on an individual rank (more ranks than test rows) —
+  /// that rank still joins the allreduce with zero hits. The shard is
+  /// taken by value (an O(1) shared-storage view copy) and owned by the
+  /// recorder, so callers can pass a temporary.
   EpochRecorder(comm::RankCtx& ctx, model::SoftmaxObjective& local_loss,
-                double lambda, const data::Dataset& test_shard,
+                double lambda, data::Dataset test_shard,
                 std::size_t test_total, core::RunResult& result);
 
   /// Record iteration k (1-based in the trace) at global iterate `w`.
@@ -34,6 +39,7 @@ class EpochRecorder {
   model::SoftmaxObjective* local_loss_;
   double lambda_;
   std::size_t test_total_;
+  data::Dataset test_shard_;  ///< owned: test_eval_ points into it
   std::unique_ptr<model::SoftmaxObjective> test_eval_;
   std::size_t test_shard_size_ = 0;
   core::RunResult* result_;

@@ -10,27 +10,27 @@
 
 namespace nadmm::baselines {
 
-core::RunResult disco(comm::SimCluster& cluster, const data::Dataset& train,
-                      const data::Dataset* test, const DiscoOptions& options) {
+core::RunResult disco(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const DiscoOptions& options) {
   NADMM_CHECK(options.max_iterations >= 1, "disco: need >= 1 iteration");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "disco: shard plan does not match the cluster size");
 
   core::RunResult result;
   result.solver = "disco";
-  const int n_ranks = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  const std::size_t dim = data.dim();
+  const bool eval_accuracy =
+      options.evaluate_accuracy && data.test_samples > 0;
 
   cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     ctx.clock().pause();
-    const data::Dataset shard = data::shard_contiguous(train, n_ranks, rank);
-    const data::Dataset test_shard =
-        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
-            ? data::shard_contiguous(*test, n_ranks, rank)
-            : data::Dataset{};
-    model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
-    EpochRecorder recorder(ctx, local, options.lambda, test_shard,
-                           test != nullptr ? test->num_samples() : 0, result);
+    const data::RankData& rd = data.ranks[static_cast<std::size_t>(rank)];
+    model::SoftmaxObjective local(rd.train, /*l2_lambda=*/0.0);
+    EpochRecorder recorder(ctx, local, options.lambda,
+                           eval_accuracy ? rd.test : data::Dataset{},
+                           eval_accuracy ? data.test_samples : 0, result);
     ctx.clock().resume();
 
     std::vector<double> w(dim, 0.0), g(dim), p(dim), hp(dim);
@@ -57,7 +57,7 @@ core::RunResult disco(comm::SimCluster& cluster, const data::Dataset& train,
       local.hessian_vec(w, p, hp);
       ctx.allreduce_sum(hp);
       la::axpy(options.lambda, p, hp);
-      const double n_total = static_cast<double>(train.num_samples());
+      const double n_total = static_cast<double>(data.train_samples);
       const double delta =
           std::sqrt(std::max(0.0, la::dot(p, hp) / n_total));
       la::axpy(1.0 / (1.0 + delta), p, w);
@@ -71,6 +71,13 @@ core::RunResult disco(comm::SimCluster& cluster, const data::Dataset& train,
     result.avg_epoch_sim_seconds = result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+core::RunResult disco(comm::SimCluster& cluster, const data::Dataset& train,
+                      const data::Dataset* test, const DiscoOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return disco(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::baselines

@@ -10,6 +10,7 @@
 #include "comm/cluster.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 #include "solvers/cg.hpp"
 
 namespace nadmm::baselines {
@@ -22,6 +23,13 @@ struct DiscoOptions {
   bool evaluate_accuracy = true;
 };
 
+/// Run DiSCO over pre-sharded data (rank r trains on
+/// `data.ranks[r].train`; the harness plans the shards).
+core::RunResult disco(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const DiscoOptions& options);
+
+/// Convenience overload: contiguous zero-copy view shards.
 core::RunResult disco(comm::SimCluster& cluster, const data::Dataset& train,
                       const data::Dataset* test, const DiscoOptions& options);
 

@@ -10,30 +10,31 @@
 
 namespace nadmm::baselines {
 
-core::RunResult giant(comm::SimCluster& cluster, const data::Dataset& train,
-                      const data::Dataset* test, const GiantOptions& options) {
+core::RunResult giant(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const GiantOptions& options) {
   NADMM_CHECK(options.max_iterations >= 1, "giant: need >= 1 iteration");
   NADMM_CHECK(options.line_search_steps >= 0, "giant: bad line_search_steps");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "giant: shard plan does not match the cluster size");
 
   core::RunResult result;
   result.solver = "giant";
   const int n_ranks = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  const std::size_t dim = data.dim();
   const std::size_t n_steps =
       static_cast<std::size_t>(options.line_search_steps) + 1;
+  const bool eval_accuracy =
+      options.evaluate_accuracy && data.test_samples > 0;
 
   cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     ctx.clock().pause();
-    const data::Dataset shard = data::shard_contiguous(train, n_ranks, rank);
-    const data::Dataset test_shard =
-        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
-            ? data::shard_contiguous(*test, n_ranks, rank)
-            : data::Dataset{};
-    model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
-    EpochRecorder recorder(ctx, local, options.lambda, test_shard,
-                           test != nullptr ? test->num_samples() : 0, result);
+    const data::RankData& rd = data.ranks[static_cast<std::size_t>(rank)];
+    model::SoftmaxObjective local(rd.train, /*l2_lambda=*/0.0);
+    EpochRecorder recorder(ctx, local, options.lambda,
+                           eval_accuracy ? rd.test : data::Dataset{},
+                           eval_accuracy ? data.test_samples : 0, result);
     ctx.clock().resume();
 
     std::vector<double> w(dim, 0.0), g(dim), p(dim), trial(dim);
@@ -121,6 +122,13 @@ core::RunResult giant(comm::SimCluster& cluster, const data::Dataset& train,
     result.avg_epoch_sim_seconds = result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+core::RunResult giant(comm::SimCluster& cluster, const data::Dataset& train,
+                      const data::Dataset* test, const GiantOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return giant(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::baselines

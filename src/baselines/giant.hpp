@@ -14,6 +14,7 @@
 #include "comm/cluster.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 #include "solvers/cg.hpp"
 
 namespace nadmm::baselines {
@@ -31,6 +32,13 @@ struct GiantOptions {
   bool evaluate_accuracy = true;
 };
 
+/// Run GIANT over pre-sharded data (rank r trains on
+/// `data.ranks[r].train`; the harness plans the shards).
+core::RunResult giant(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const GiantOptions& options);
+
+/// Convenience overload: contiguous zero-copy view shards.
 core::RunResult giant(comm::SimCluster& cluster, const data::Dataset& train,
                       const data::Dataset* test, const GiantOptions& options);
 

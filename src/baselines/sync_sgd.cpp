@@ -13,31 +13,31 @@
 
 namespace nadmm::baselines {
 
-core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
-                         const data::Dataset* test,
+core::RunResult sync_sgd(comm::SimCluster& cluster,
+                         const data::ShardedDataset& data,
                          const SyncSgdOptions& options) {
   NADMM_CHECK(options.epochs >= 1, "sync_sgd: need >= 1 epoch");
   NADMM_CHECK(options.step_size > 0.0, "sync_sgd: step size must be positive");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "sync_sgd: shard plan does not match the cluster size");
 
   core::RunResult result;
   result.solver = "sync-sgd";
-  const int n_ranks = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
-  const double n_total = static_cast<double>(train.num_samples());
+  const std::size_t dim = data.dim();
+  const double n_total = static_cast<double>(data.train_samples);
   const double lambda_mean = options.lambda / n_total;
+  const bool eval_accuracy =
+      options.evaluate_accuracy && data.test_samples > 0;
 
   cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     ctx.clock().pause();
-    const data::Dataset shard = data::shard_contiguous(train, n_ranks, rank);
-    const data::Dataset test_shard =
-        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
-            ? data::shard_contiguous(*test, n_ranks, rank)
-            : data::Dataset{};
+    const data::RankData& rd = data.ranks[static_cast<std::size_t>(rank)];
+    const data::Dataset& shard = rd.train;
     model::SoftmaxObjective local(shard, /*l2_lambda=*/0.0);
-    EpochRecorder recorder(ctx, local, options.lambda, test_shard,
-                           test != nullptr ? test->num_samples() : 0, result);
+    EpochRecorder recorder(ctx, local, options.lambda,
+                           eval_accuracy ? rd.test : data::Dataset{},
+                           eval_accuracy ? data.test_samples : 0, result);
 
     auto batch_data = solvers::make_batches(shard, options.batch_size);
     std::vector<model::SoftmaxObjective> batches;
@@ -80,6 +80,14 @@ core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
     result.avg_epoch_sim_seconds = result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
+                         const data::Dataset* test,
+                         const SyncSgdOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return sync_sgd(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::baselines

@@ -13,6 +13,7 @@
 #include "comm/cluster.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 
 namespace nadmm::baselines {
 
@@ -26,6 +27,13 @@ struct SyncSgdOptions {
   bool evaluate_accuracy = true;
 };
 
+/// Run synchronous SGD over pre-sharded data (rank r trains on
+/// `data.ranks[r].train`; minibatches are zero-copy views of the shard).
+core::RunResult sync_sgd(comm::SimCluster& cluster,
+                         const data::ShardedDataset& data,
+                         const SyncSgdOptions& options);
+
+/// Convenience overload: contiguous zero-copy view shards.
 core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
                          const data::Dataset* test,
                          const SyncSgdOptions& options);

@@ -12,33 +12,35 @@
 
 namespace nadmm::core {
 
-RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
-                      const data::Dataset* test,
+RunResult newton_admm(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
                       const NewtonAdmmOptions& options) {
   NADMM_CHECK(options.max_iterations >= 1, "newton_admm: need >= 1 iteration");
   NADMM_CHECK(options.local_newton_steps >= 1,
               "newton_admm: need >= 1 local Newton step");
   NADMM_CHECK(options.lambda >= 0.0, "newton_admm: lambda must be >= 0");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "newton_admm: shard plan does not match the cluster size");
 
   RunResult result;
   result.solver = "newton-admm";
   const int n_ranks = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  const std::size_t dim = data.dim();
+  // Whether the accuracy allreduce runs is a global property (uniform
+  // across ranks even when some rank's test shard is empty).
+  const bool eval_accuracy =
+      options.evaluate_accuracy && data.test_samples > 0;
 
   const auto reports = cluster.run([&](comm::RankCtx& ctx) {
     const int rank = ctx.rank();
     // --- setup (untimed: data distribution is not part of an epoch) ---
     ctx.clock().pause();
-    AdmmWorker worker(data::shard_contiguous(train, n_ranks, rank), options,
-                      dim);
-    const data::Dataset test_shard =
-        (test != nullptr && options.evaluate_accuracy && test->num_samples() > 0)
-            ? data::shard_contiguous(*test, n_ranks, rank)
-            : data::Dataset{};
+    const data::RankData& rd = data.ranks[static_cast<std::size_t>(rank)];
+    AdmmWorker worker(rd.train, options, dim);
+    const data::Dataset& test_shard = rd.test;
     model::SoftmaxObjective* test_eval = nullptr;
     std::unique_ptr<model::SoftmaxObjective> test_eval_owner;
-    if (!test_shard.empty()) {
+    if (eval_accuracy && !test_shard.empty()) {
       test_eval_owner = std::make_unique<model::SoftmaxObjective>(test_shard, 0.0);
       test_eval = test_eval_owner.get();
     }
@@ -93,11 +95,16 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
       const double dual_sq = ctx.allreduce_sum(rho * rho * dz * dz);
       const double rho_mean = ctx.allreduce_sum(worker.rho()) / n_ranks;
       double accuracy = -1.0;
-      if (test_eval != nullptr) {
+      if (eval_accuracy) {
+        // Every rank joins the allreduce; a rank whose test shard is
+        // empty (more ranks than test rows) contributes zero hits.
         const double local_hits =
-            test_eval->accuracy(z) * static_cast<double>(test_shard.num_samples());
+            test_eval != nullptr
+                ? test_eval->accuracy(z) *
+                      static_cast<double>(test_shard.num_samples())
+                : 0.0;
         accuracy = ctx.allreduce_sum(local_hits) /
-                   static_cast<double>(test->num_samples());
+                   static_cast<double>(data.test_samples);
       }
       if (ctx.is_root() && options.record_trace) {
         IterationStats s;
@@ -144,6 +151,14 @@ RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
         result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
+                      const data::Dataset* test,
+                      const NewtonAdmmOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return newton_admm(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::core

@@ -18,6 +18,7 @@
 #include "core/penalty.hpp"
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/linesearch.hpp"
 
@@ -39,10 +40,18 @@ struct NewtonAdmmOptions {
   bool evaluate_accuracy = true;      ///< evaluate test accuracy per epoch
 };
 
-/// Run Newton-ADMM on `cluster`. `train` is sharded contiguously across
-/// ranks; `test` (optional, may be nullptr) is sharded for per-epoch
-/// accuracy evaluation. Diagnostics run on a paused simulated clock, so
-/// trace timings reflect only algorithm work.
+/// Run Newton-ADMM on `cluster` over pre-sharded data: rank r trains on
+/// `data.ranks[r].train` and evaluates accuracy on `data.ranks[r].test`
+/// (the harness plans the shards — zero-copy views for contiguous /
+/// weighted plans, streamed per-rank shards for `libsvm:` sources).
+/// Diagnostics run on a paused simulated clock, so trace timings reflect
+/// only algorithm work.
+RunResult newton_admm(comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const NewtonAdmmOptions& options);
+
+/// Convenience overload: shard `train` / `test` as contiguous zero-copy
+/// views across the cluster's ranks, then run.
 RunResult newton_admm(comm::SimCluster& cluster, const data::Dataset& train,
                       const data::Dataset* test,
                       const NewtonAdmmOptions& options);

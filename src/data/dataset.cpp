@@ -11,6 +11,16 @@ void validate_labels(std::span<const std::int32_t> labels, int num_classes) {
     NADMM_CHECK(y >= 0 && y < num_classes, "label out of [0, num_classes)");
   }
 }
+
+const la::DenseMatrix& empty_dense() {
+  static const la::DenseMatrix kEmpty;
+  return kEmpty;
+}
+
+const la::CsrMatrix& empty_sparse() {
+  static const la::CsrMatrix kEmpty;
+  return kEmpty;
+}
 }  // namespace
 
 Dataset Dataset::dense(la::DenseMatrix features,
@@ -22,8 +32,10 @@ Dataset Dataset::dense(la::DenseMatrix features,
   d.is_sparse_ = false;
   d.num_features_ = features.cols();
   d.num_classes_ = num_classes;
-  d.dense_ = std::move(features);
-  d.labels_ = std::move(labels);
+  d.row_count_ = labels.size();
+  d.dense_ = std::make_shared<const la::DenseMatrix>(std::move(features));
+  d.labels_ =
+      std::make_shared<const std::vector<std::int32_t>>(std::move(labels));
   return d;
 }
 
@@ -36,78 +48,121 @@ Dataset Dataset::sparse(la::CsrMatrix features,
   d.is_sparse_ = true;
   d.num_features_ = features.cols();
   d.num_classes_ = num_classes;
-  d.sparse_ = std::move(features);
-  d.labels_ = std::move(labels);
+  d.row_count_ = labels.size();
+  d.sparse_ = std::make_shared<const la::CsrMatrix>(std::move(features));
+  d.labels_ =
+      std::make_shared<const std::vector<std::int32_t>>(std::move(labels));
   return d;
+}
+
+std::size_t Dataset::storage_rows() const {
+  return labels_ == nullptr ? 0 : labels_->size();
+}
+
+bool Dataset::is_view() const {
+  return row_begin_ != 0 || row_count_ != storage_rows();
 }
 
 const la::DenseMatrix& Dataset::dense_features() const {
   NADMM_CHECK(!is_sparse_, "dataset is sparse; dense_features() unavailable");
-  return dense_;
+  NADMM_CHECK(!is_view(),
+              "dataset is a row-range view; use dense_view() instead of "
+              "dense_features()");
+  return dense_ == nullptr ? empty_dense() : *dense_;
 }
 
 const la::CsrMatrix& Dataset::sparse_features() const {
   NADMM_CHECK(is_sparse_, "dataset is dense; sparse_features() unavailable");
-  return sparse_;
+  NADMM_CHECK(!is_view(),
+              "dataset is a row-range view; use csr_view() instead of "
+              "sparse_features()");
+  return sparse_ == nullptr ? empty_sparse() : *sparse_;
+}
+
+la::DenseView Dataset::dense_view() const {
+  NADMM_CHECK(!is_sparse_, "dataset is sparse; dense_view() unavailable");
+  if (dense_ == nullptr) return {};
+  return dense_->view(row_begin_, row_begin_ + row_count_);
+}
+
+la::CsrView Dataset::csr_view() const {
+  NADMM_CHECK(is_sparse_, "dataset is dense; csr_view() unavailable");
+  if (sparse_ == nullptr) return {};
+  return sparse_->view(row_begin_, row_begin_ + row_count_);
+}
+
+Dataset Dataset::view(std::size_t begin, std::size_t end) const {
+  NADMM_CHECK(begin <= end && end <= row_count_, "view: bad range");
+  Dataset v = *this;  // shares storage
+  v.row_begin_ = row_begin_ + begin;
+  v.row_count_ = end - begin;
+  return v;
 }
 
 Dataset Dataset::row_slice(std::size_t begin, std::size_t end) const {
   NADMM_CHECK(begin <= end && end <= num_samples(), "row_slice: bad range");
-  std::vector<std::int32_t> labels(labels_.begin() + static_cast<std::ptrdiff_t>(begin),
-                                   labels_.begin() + static_cast<std::ptrdiff_t>(end));
+  const auto lab = labels();
+  std::vector<std::int32_t> labels_out(lab.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       lab.begin() + static_cast<std::ptrdiff_t>(end));
   if (is_sparse_) {
-    return Dataset::sparse(sparse_.row_slice(begin, end), std::move(labels),
-                           num_classes_);
+    return Dataset::sparse(
+        sparse_->row_slice(row_begin_ + begin, row_begin_ + end),
+        std::move(labels_out), num_classes_);
   }
+  const la::DenseView src = dense_view();
   la::DenseMatrix sub(end - begin, num_features_);
   for (std::size_t r = begin; r < end; ++r) {
-    const auto src = dense_.row(r);
-    std::copy(src.begin(), src.end(), sub.row(r - begin).begin());
+    const auto row = src.row(r);
+    std::copy(row.begin(), row.end(), sub.row(r - begin).begin());
   }
-  return Dataset::dense(std::move(sub), std::move(labels), num_classes_);
+  return Dataset::dense(std::move(sub), std::move(labels_out), num_classes_);
 }
 
 void Dataset::scores(const la::DenseMatrix& x, la::DenseMatrix& s) const {
   if (is_sparse_) {
-    la::spmm_nn(1.0, sparse_, x, 0.0, s);
+    la::spmm_nn(1.0, csr_view(), x, 0.0, s);
   } else {
-    la::gemm_nn(1.0, dense_, x, 0.0, s);
+    la::gemm_nn(1.0, dense_view(), x, 0.0, s);
   }
 }
 
 void Dataset::accumulate_gradient(double alpha, const la::DenseMatrix& w,
                                   double beta, la::DenseMatrix& g) const {
   if (is_sparse_) {
-    la::spmm_tn(alpha, sparse_, w, beta, g);
+    la::spmm_tn(alpha, csr_view(), w, beta, g);
   } else {
-    la::gemm_tn(alpha, dense_, w, beta, g);
+    la::gemm_tn(alpha, dense_view(), w, beta, g);
   }
 }
 
 std::vector<std::size_t> Dataset::class_histogram() const {
   std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes_), 0);
-  for (std::int32_t y : labels_) ++hist[static_cast<std::size_t>(y)];
+  for (std::int32_t y : labels()) ++hist[static_cast<std::size_t>(y)];
   return hist;
 }
 
 double Dataset::feature_density() const {
   if (num_samples() == 0 || num_features_ == 0) return 0.0;
-  if (is_sparse_) return sparse_.density();
+  const auto denom = static_cast<double>(num_samples()) *
+                     static_cast<double>(num_features_);
+  if (is_sparse_) return static_cast<double>(csr_view().nnz()) / denom;
   std::size_t nz = 0;
-  for (double v : dense_.data()) nz += (v != 0.0);
-  return static_cast<double>(nz) /
-         (static_cast<double>(num_samples()) * static_cast<double>(num_features_));
+  for (double v : dense_view().data()) nz += (v != 0.0);
+  return static_cast<double>(nz) / denom;
 }
 
 std::size_t Dataset::approx_bytes() const {
-  std::size_t bytes = labels_.size() * sizeof(std::int32_t);
+  // A proper sub-view owns nothing: its bytes belong to the parent
+  // storage, which the owning dataset (or sharded cache entry) accounts.
+  if (is_view()) return 0;
+  std::size_t bytes = storage_rows() * sizeof(std::int32_t);
   if (is_sparse_) {
     // Includes the lazily built transposed view (la/sparse_matrix.hpp),
     // so the provider's LRU byte budget holds once the gradient kernels
     // materialize it.
-    bytes += sparse_.approx_bytes();
-  } else {
-    bytes += dense_.size() * sizeof(double);
+    if (sparse_ != nullptr) bytes += sparse_->approx_bytes();
+  } else if (dense_ != nullptr) {
+    bytes += dense_->size() * sizeof(double);
   }
   return bytes;
 }

@@ -274,6 +274,157 @@ TrainTest load_libsvm_train_test(const std::string& path, std::size_t n_train,
   return tt;
 }
 
+namespace {
+
+/// Streaming row router: maps the i-th row of an n-row split to its rank
+/// under a plan. Contiguous/weighted walk the precomputed ranges with a
+/// cursor (rows arrive in order); strided is i mod parts.
+class ShardRouter {
+ public:
+  ShardRouter(const ShardPlan& plan, std::size_t n) : plan_(&plan) {
+    if (plan.mode != PartitionMode::kStrided) ranges_ = plan.ranges(n);
+  }
+
+  [[nodiscard]] std::size_t rank_of(std::size_t i) {
+    if (plan_->mode == PartitionMode::kStrided) {
+      return i % static_cast<std::size_t>(plan_->parts);
+    }
+    while (i >= ranges_[at_].end) ++at_;
+    return at_;
+  }
+
+ private:
+  const ShardPlan* plan_;
+  std::vector<RowRange> ranges_;
+  std::size_t at_ = 0;
+};
+
+/// Per-rank CSR shard under construction.
+struct ShardBuilder {
+  std::vector<std::int64_t> row_ptr{0};
+  std::vector<std::int64_t> col_idx;
+  std::vector<double> values;
+  std::vector<std::int32_t> labels;
+
+  void append(const LibsvmRow& row, std::int32_t label,
+              std::span<const double> scale) {
+    labels.push_back(label);
+    for (std::size_t e = 0; e < row.cols.size(); ++e) {
+      const auto c = static_cast<std::size_t>(row.cols[e]);
+      col_idx.push_back(row.cols[e]);
+      values.push_back(scale.empty() ? row.vals[e] : row.vals[e] * scale[c]);
+    }
+    row_ptr.push_back(static_cast<std::int64_t>(values.size()));
+  }
+
+  [[nodiscard]] Dataset build(std::size_t num_features, int num_classes) {
+    la::CsrMatrix features(labels.size(), num_features, std::move(row_ptr),
+                           std::move(col_idx), std::move(values));
+    return Dataset::sparse(std::move(features), std::move(labels),
+                           num_classes);
+  }
+};
+
+}  // namespace
+
+ShardedDataset load_libsvm_sharded(const std::string& path,
+                                   std::size_t train_rows, std::size_t n_test,
+                                   const ShardPlan& plan, bool standardize) {
+  NADMM_CHECK(plan.parts >= 1, "load_libsvm_sharded: need >= 1 part");
+  const LibsvmInfo info = scan_libsvm(path);
+  const std::size_t p = info.num_features;
+  NADMM_CHECK(info.label_values.size() >= 2,
+              "load_libsvm_sharded: " + path +
+                  " needs at least two distinct labels");
+  NADMM_CHECK(n_test < info.num_rows,
+              "load_libsvm_sharded: test split (" + std::to_string(n_test) +
+                  " rows) leaves no training rows in " + path);
+  const std::size_t n_train =
+      train_rows > 0 ? train_rows : info.num_rows - n_test;
+  NADMM_CHECK(n_train + n_test <= info.num_rows,
+              "load_libsvm_sharded: " + path + " has " +
+                  std::to_string(info.num_rows) + " rows; need " +
+                  std::to_string(n_train + n_test));
+  const auto label_map = build_label_map(info.label_values);
+  const int num_classes = static_cast<int>(label_map.size());
+
+  // Streaming standardize, pass 1 of 2: per-column max-abs over exactly
+  // the train rows. Max is order-independent, so the resulting scale —
+  // and every value scaled by it in pass 2 — is bit-identical to fitting
+  // data::Standardizer on the materialized train split.
+  std::vector<double> scale;
+  if (standardize) {
+    std::ifstream in(path);
+    if (!in) throw RuntimeError("cannot open LIBSVM file: " + path);
+    std::vector<double> max_abs(p, 0.0);
+    LibsvmRow row;
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t seen = 0;
+    while (seen < n_train && std::getline(in, line)) {
+      ++line_no;
+      if (!is_data_line(line)) continue;
+      parse_libsvm_row(line, path, line_no, row);
+      for (std::size_t e = 0; e < row.cols.size(); ++e) {
+        const auto c = static_cast<std::size_t>(row.cols[e]);
+        max_abs[c] = std::max(max_abs[c], std::abs(row.vals[e]));
+      }
+      ++seen;
+    }
+    scale.assign(p, 1.0);
+    for (std::size_t j = 0; j < p; ++j) {
+      scale[j] = max_abs[j] > 0.0 ? 1.0 / max_abs[j] : 1.0;
+    }
+  }
+
+  // Pass 2: route every row into its rank's builder as it is parsed.
+  const auto parts = static_cast<std::size_t>(plan.parts);
+  std::vector<ShardBuilder> train_builders(parts);
+  std::vector<ShardBuilder> test_builders(parts);
+  ShardRouter train_router(plan, n_train);
+  ShardRouter test_router(plan, n_test);
+  {
+    std::ifstream in(path);
+    if (!in) throw RuntimeError("cannot open LIBSVM file: " + path);
+    LibsvmRow row;
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t seen = 0;
+    while (seen < n_train + n_test && std::getline(in, line)) {
+      ++line_no;
+      if (!is_data_line(line)) continue;
+      parse_libsvm_row(line, path, line_no, row);
+      const auto it = label_map.find(row.label);
+      NADMM_ASSERT(it != label_map.end());  // scan fixed the label set
+      const bool is_train = seen < n_train;
+      ShardBuilder& builder =
+          is_train
+              ? train_builders[train_router.rank_of(seen)]
+              : test_builders[test_router.rank_of(seen - n_train)];
+      builder.append(row, it->second, scale);
+      ++seen;
+    }
+    NADMM_CHECK(seen == n_train + n_test,
+                "load_libsvm_sharded: " + path + " ended early");
+  }
+
+  ShardedDataset out;
+  out.plan = plan;
+  out.train_samples = n_train;
+  out.test_samples = n_test;
+  out.num_features = p;
+  out.num_classes = num_classes;
+  out.ranks.reserve(parts);
+  for (std::size_t r = 0; r < parts; ++r) {
+    RankData rd;
+    rd.train = train_builders[r].build(p, num_classes);
+    if (n_test > 0) rd.test = test_builders[r].build(p, num_classes);
+    out.resident_bytes += rd.train.approx_bytes() + rd.test.approx_bytes();
+    out.ranks.push_back(std::move(rd));
+  }
+  return out;
+}
+
 void save_libsvm(const Dataset& ds, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw RuntimeError("cannot open file for writing: " + path);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 
 namespace nadmm::data {
 
@@ -76,6 +77,21 @@ class LibsvmShardReader {
 TrainTest load_libsvm_train_test(const std::string& path, std::size_t n_train,
                                  std::size_t n_test,
                                  std::size_t num_features = 0);
+
+/// Stream a LIBSVM file *directly into per-rank shards* under `plan`:
+/// the first `train_rows` rows (0 = all rows not claimed by the test
+/// split) are routed row-by-row into each rank's train shard, the next
+/// `n_test` rows into its test shard, and the full matrix is never
+/// assembled in one allocation — peak resident dataset bytes stay at the
+/// sum of the shards instead of full + copies. With `standardize`, a
+/// second streaming pass fits the sparse max-abs scale on the train rows
+/// first (max is order-independent, so the fit — and therefore every
+/// shard — is bit-identical to materializing the file and running
+/// data::Standardizer). The returned ShardedDataset has no full_train /
+/// full_test; resident_bytes is the summed shard footprint.
+ShardedDataset load_libsvm_sharded(const std::string& path,
+                                   std::size_t train_rows, std::size_t n_test,
+                                   const ShardPlan& plan, bool standardize);
 
 /// Load a dense CSV: one sample per line, first column is the integer
 /// label (already in [0, C)), remaining columns are features.

@@ -1,9 +1,30 @@
 #include "data/partition.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
 #include "la/sparse_matrix.hpp"
 #include "support/check.hpp"
 
 namespace nadmm::data {
+
+PartitionMode partition_mode_from_string(const std::string& name) {
+  if (name == "contiguous") return PartitionMode::kContiguous;
+  if (name == "strided") return PartitionMode::kStrided;
+  if (name == "weighted") return PartitionMode::kWeighted;
+  throw InvalidArgument("unknown partition mode '" + name +
+                        "' (expected contiguous|strided|weighted)");
+}
+
+std::string to_string(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kContiguous: return "contiguous";
+    case PartitionMode::kStrided: return "strided";
+    case PartitionMode::kWeighted: return "weighted";
+  }
+  return "?";
+}
 
 std::vector<RowRange> partition_rows(std::size_t n, int parts) {
   NADMM_CHECK(parts >= 1, "partition_rows: parts must be >= 1");
@@ -19,6 +40,88 @@ std::vector<RowRange> partition_rows(std::size_t n, int parts) {
   }
   NADMM_ASSERT(at == n);
   return out;
+}
+
+std::vector<RowRange> partition_rows_weighted(std::size_t n,
+                                              std::span<const double> weights) {
+  NADMM_CHECK(!weights.empty(), "partition_rows_weighted: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    NADMM_CHECK(w > 0.0, "partition_rows_weighted: weights must be positive");
+    total += w;
+  }
+  const std::size_t parts = weights.size();
+  // Largest-remainder rounding: floor every quota, then hand the leftover
+  // rows to the largest fractional parts (ties to the lower rank index).
+  // Deterministic, and the sizes sum to n exactly.
+  std::vector<std::size_t> size(parts, 0);
+  std::vector<double> frac(parts, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t r = 0; r < parts; ++r) {
+    const double quota = static_cast<double>(n) * weights[r] / total;
+    size[r] = static_cast<std::size_t>(quota);
+    frac[r] = quota - static_cast<double>(size[r]);
+    assigned += size[r];
+  }
+  std::vector<std::size_t> order(parts);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  for (std::size_t i = 0; assigned < n; ++i) {
+    ++size[order[i % parts]];
+    ++assigned;
+  }
+  std::vector<RowRange> out;
+  out.reserve(parts);
+  std::size_t at = 0;
+  for (std::size_t r = 0; r < parts; ++r) {
+    out.push_back({at, at + size[r]});
+    at += size[r];
+  }
+  NADMM_ASSERT(at == n);
+  return out;
+}
+
+std::vector<RowRange> ShardPlan::ranges(std::size_t n) const {
+  NADMM_CHECK(parts >= 1, "ShardPlan: parts must be >= 1");
+  switch (mode) {
+    case PartitionMode::kContiguous:
+      return partition_rows(n, parts);
+    case PartitionMode::kWeighted: {
+      if (weights.empty()) return partition_rows(n, parts);
+      NADMM_CHECK(static_cast<int>(weights.size()) == parts,
+                  "ShardPlan: weight count != parts");
+      return partition_rows_weighted(n, weights);
+    }
+    case PartitionMode::kStrided:
+      break;
+  }
+  throw InvalidArgument("ShardPlan::ranges: strided shards are not contiguous");
+}
+
+std::string ShardPlan::cache_tag() const {
+  std::string tag = to_string(mode) + std::to_string(parts);
+  if (mode == PartitionMode::kWeighted && !weights.empty()) {
+    tag += ':';
+    char buf[32];
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+      if (r > 0) tag += ';';
+      std::snprintf(buf, sizeof buf, "%.17g", weights[r]);
+      tag += buf;
+    }
+  }
+  return tag;
+}
+
+Dataset shard_dataset(const Dataset& full, const ShardPlan& plan, int rank) {
+  NADMM_CHECK(rank >= 0 && rank < plan.parts, "shard_dataset: bad rank");
+  if (plan.mode == PartitionMode::kStrided) {
+    return shard_strided(full, plan.parts, rank);
+  }
+  const auto ranges = plan.ranges(full.num_samples());
+  const RowRange r = ranges[static_cast<std::size_t>(rank)];
+  return full.view(r.begin, r.end);
 }
 
 Dataset shard_contiguous(const Dataset& full, int parts, int rank) {
@@ -42,7 +145,7 @@ Dataset shard_strided(const Dataset& full, int parts, int rank) {
   for (std::size_t i : mine) labels.push_back(full_labels[i]);
 
   if (!full.is_sparse()) {
-    const auto& src = full.dense_features();
+    const la::DenseView src = full.dense_view();
     la::DenseMatrix x(mine.size(), full.num_features());
     for (std::size_t k = 0; k < mine.size(); ++k) {
       const auto row = src.row(mine[k]);
@@ -50,7 +153,7 @@ Dataset shard_strided(const Dataset& full, int parts, int rank) {
     }
     return Dataset::dense(std::move(x), std::move(labels), full.num_classes());
   }
-  const auto& src = full.sparse_features();
+  const la::CsrView src = full.csr_view();
   const auto rp = src.row_ptr();
   const auto ci = src.col_idx();
   const auto va = src.values();
@@ -71,6 +174,42 @@ Dataset shard_strided(const Dataset& full, int parts, int rank) {
                       std::move(col_idx), std::move(values));
   return Dataset::sparse(std::move(shard), std::move(labels),
                          full.num_classes());
+}
+
+ShardedDataset make_sharded(const Dataset& train, const Dataset* test,
+                            const ShardPlan& plan) {
+  NADMM_CHECK(plan.parts >= 1, "make_sharded: need >= 1 part");
+  ShardedDataset out;
+  out.plan = plan;
+  out.full_train = train;
+  out.train_samples = train.num_samples();
+  out.num_features = train.num_features();
+  out.num_classes = train.num_classes();
+  const bool have_test = test != nullptr && !test->empty();
+  if (have_test) {
+    out.full_test = *test;
+    out.test_samples = test->num_samples();
+  }
+  out.ranks.reserve(static_cast<std::size_t>(plan.parts));
+  for (int r = 0; r < plan.parts; ++r) {
+    RankData rd;
+    rd.train = shard_dataset(train, plan, r);
+    if (have_test) rd.test = shard_dataset(*test, plan, r);
+    out.ranks.push_back(std::move(rd));
+  }
+  // Resident bytes: the full storage plus whatever the shards own.
+  // Contiguous/weighted shards are views sharing the full storage and add
+  // nothing (a one-part "view" covers the whole set, so summing its
+  // approx_bytes would double-count); strided gather copies add their
+  // buffers.
+  out.resident_bytes = train.approx_bytes();
+  if (have_test) out.resident_bytes += test->approx_bytes();
+  if (plan.mode == PartitionMode::kStrided) {
+    for (const auto& rd : out.ranks) {
+      out.resident_bytes += rd.train.approx_bytes() + rd.test.approx_bytes();
+    }
+  }
+  return out;
 }
 
 }  // namespace nadmm::data

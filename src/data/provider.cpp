@@ -10,6 +10,10 @@
 
 namespace nadmm::data {
 
+namespace {
+constexpr std::string_view kLibsvmPrefix = "libsvm:";
+}  // namespace
+
 std::string DatasetKey::cache_tag() const {
   std::ostringstream os;
   os << source << "|n" << n_train << "|t" << n_test << "|p" << features
@@ -18,9 +22,8 @@ std::string DatasetKey::cache_tag() const {
 }
 
 TrainTest generate_dataset(const DatasetKey& key) {
-  constexpr std::string_view kLibsvmPrefix = "libsvm:";
   TrainTest tt;
-  if (key.source.rfind(kLibsvmPrefix, 0) == 0) {
+  if (key.is_streamable()) {
     const std::string path(key.source.substr(kLibsvmPrefix.size()));
     NADMM_CHECK(!path.empty(), "libsvm source needs a path: 'libsvm:<path>'");
     // The feature dimension comes from the file itself; the `features`
@@ -40,8 +43,20 @@ TrainTest generate_dataset(const DatasetKey& key) {
   return tt;
 }
 
+ShardedDataset generate_sharded_dataset(const DatasetKey& key,
+                                        const ShardPlan& plan) {
+  if (key.is_streamable()) {
+    const std::string path(key.source.substr(kLibsvmPrefix.size()));
+    NADMM_CHECK(!path.empty(), "libsvm source needs a path: 'libsvm:<path>'");
+    return load_libsvm_sharded(path, key.n_train, key.n_test, plan,
+                               key.standardize);
+  }
+  const TrainTest tt = generate_dataset(key);
+  return make_sharded(tt.train, &tt.test, plan);
+}
+
 struct DatasetProvider::Slot {
-  std::shared_future<std::shared_ptr<const TrainTest>> future;
+  std::shared_future<std::shared_ptr<const Entry>> future;
   std::size_t bytes = 0;
   std::list<std::string>::iterator lru_it;
   bool ready = false;  ///< bytes accounted toward the budget
@@ -50,9 +65,9 @@ struct DatasetProvider::Slot {
 DatasetProvider::DatasetProvider(std::size_t byte_budget)
     : byte_budget_(byte_budget) {}
 
-std::shared_ptr<const TrainTest> DatasetProvider::get(const DatasetKey& key) {
-  const std::string tag = key.cache_tag();
-  std::promise<std::shared_ptr<const TrainTest>> promise;
+std::shared_ptr<const DatasetProvider::Entry> DatasetProvider::get_entry(
+    const std::string& tag, const std::function<Entry()>& make) {
+  std::promise<std::shared_ptr<const Entry>> promise;
   std::shared_ptr<Slot> slot;
   bool creator = false;
   {
@@ -78,9 +93,9 @@ std::shared_ptr<const TrainTest> DatasetProvider::get(const DatasetKey& key) {
   if (!creator) return slot->future.get();
 
   try {
-    auto data = std::make_shared<const TrainTest>(generate_dataset(key));
-    const std::size_t bytes = data->approx_bytes();
-    promise.set_value(data);
+    auto entry = std::make_shared<const Entry>(make());
+    const std::size_t bytes = entry->bytes();
+    promise.set_value(entry);
     {
       const std::scoped_lock lock(mutex_);
       ++stats_.generations;
@@ -94,7 +109,7 @@ std::shared_ptr<const TrainTest> DatasetProvider::get(const DatasetKey& key) {
         evict_over_budget_locked(tag);
       }
     }
-    return data;
+    return entry;
   } catch (...) {
     promise.set_exception(std::current_exception());
     const std::scoped_lock lock(mutex_);
@@ -105,6 +120,45 @@ std::shared_ptr<const TrainTest> DatasetProvider::get(const DatasetKey& key) {
     }
     throw;
   }
+}
+
+std::shared_ptr<const TrainTest> DatasetProvider::get(const DatasetKey& key) {
+  const auto entry = get_entry(key.cache_tag(), [&key] {
+    return Entry{std::make_shared<const TrainTest>(generate_dataset(key)),
+                 nullptr};
+  });
+  NADMM_ASSERT(entry->full != nullptr);
+  return entry->full;
+}
+
+std::shared_ptr<const ShardedDataset> DatasetProvider::get_sharded(
+    const DatasetKey& key, const ShardPlan& plan) {
+  if (!key.is_streamable() && plan.mode != PartitionMode::kStrided) {
+    // In-memory view plans (contiguous/weighted): shard the cached full
+    // dataset as zero-copy views. The views share (and keep alive) the
+    // full entry's storage, so no second cache entry — and no extra
+    // bytes — are created.
+    const auto full = get(key);
+    return std::make_shared<const ShardedDataset>(
+        make_sharded(full->train, &full->test, plan));
+  }
+  // Streamed sources and strided gather copies own real per-shard
+  // buffers: cache them per (key, plan) with their bytes in the budget.
+  // A strided in-memory entry re-slices the cached full dataset, so
+  // repeated scenarios on the same plan share one set of copies instead
+  // of re-gathering per scenario.
+  const std::string tag = key.cache_tag() + "|shard:" + plan.cache_tag();
+  const auto entry = get_entry(tag, [this, &key, &plan] {
+    if (key.is_streamable()) {
+      return Entry{nullptr, std::make_shared<const ShardedDataset>(
+                                generate_sharded_dataset(key, plan))};
+    }
+    const auto full = get(key);
+    return Entry{nullptr, std::make_shared<const ShardedDataset>(
+                              make_sharded(full->train, &full->test, plan))};
+  });
+  NADMM_ASSERT(entry->sharded != nullptr);
+  return entry->sharded;
 }
 
 void DatasetProvider::evict_over_budget_locked(const std::string& keep_tag) {

@@ -13,11 +13,19 @@
 // request.
 //
 // Sources: any generator name accepted by data::make_by_name, or
-// "libsvm:<path>" to stream a LIBSVM file from disk as row shards
-// (io.hpp) split into the keyed train/test sizes.
+// "libsvm:<path>" to stream a LIBSVM file from disk (io.hpp).
+//
+// `get_sharded` is the shard-native entry point: for in-memory sources it
+// builds O(1) zero-copy rank views over the cached full dataset (nothing
+// extra is cached — the views share the full entry's storage); for
+// `libsvm:` sources it streams the file *directly into per-rank shards*
+// (io.hpp load_libsvm_sharded), so the full matrix never exists in one
+// allocation. Streamed sharded entries are cached under key ⊕ shard-plan
+// and account the summed per-shard bytes against the same LRU budget.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -25,6 +33,7 @@
 #include <string>
 
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 
 namespace nadmm::data {
 
@@ -40,6 +49,11 @@ struct DatasetKey {
 
   bool operator==(const DatasetKey&) const = default;
 
+  /// True for file-backed sources that can stream into per-rank shards.
+  [[nodiscard]] bool is_streamable() const {
+    return source.rfind("libsvm:", 0) == 0;
+  }
+
   /// Canonical string form — the cache-map key and journal/debug label.
   [[nodiscard]] std::string cache_tag() const;
 };
@@ -47,6 +61,12 @@ struct DatasetKey {
 /// Generate or load the dataset a key names (no caching). Shared by the
 /// provider and the one-shot `runner::make_data` path.
 TrainTest generate_dataset(const DatasetKey& key);
+
+/// Sharded analogue of generate_dataset: streams `libsvm:` sources
+/// directly into per-rank shards, and shards everything else as zero-copy
+/// views of the materialized data (no caching).
+ShardedDataset generate_sharded_dataset(const DatasetKey& key,
+                                        const ShardPlan& plan);
 
 class DatasetProvider {
  public:
@@ -59,6 +79,14 @@ class DatasetProvider {
   /// Fetch the dataset for `key`, generating it on a miss. Thread-safe;
   /// concurrent misses on one key generate once and share the result.
   std::shared_ptr<const TrainTest> get(const DatasetKey& key);
+
+  /// Fetch the per-rank sharding of `key` under `plan`. In-memory
+  /// sources: zero-copy views over the cached full dataset (one cache
+  /// entry regardless of plan). Streamed sources: a dedicated cached
+  /// entry per (key, plan) holding the per-rank shards, with their
+  /// summed bytes in the LRU budget.
+  std::shared_ptr<const ShardedDataset> get_sharded(const DatasetKey& key,
+                                                    const ShardPlan& plan);
 
   /// Change the byte budget; evicts immediately if now over budget.
   void set_byte_budget(std::size_t bytes);
@@ -82,6 +110,21 @@ class DatasetProvider {
  private:
   struct Slot;
 
+  /// One cached value: either a full TrainTest or a streamed
+  /// ShardedDataset (exactly one pointer is set per entry).
+  struct Entry {
+    std::shared_ptr<const TrainTest> full;
+    std::shared_ptr<const ShardedDataset> sharded;
+
+    [[nodiscard]] std::size_t bytes() const {
+      if (full != nullptr) return full->approx_bytes();
+      if (sharded != nullptr) return sharded->resident_bytes;
+      return 0;
+    }
+  };
+
+  std::shared_ptr<const Entry> get_entry(const std::string& tag,
+                                         const std::function<Entry()>& make);
   void evict_over_budget_locked(const std::string& keep_tag);
 
   mutable std::mutex mutex_;

@@ -22,13 +22,18 @@ void DenseMatrix::fill(double value) {
 
 double DenseMatrix::frobenius_norm() const { return nrm2(data_); }
 
+DenseView DenseMatrix::view(std::size_t begin, std::size_t end) const {
+  NADMM_CHECK(begin <= end && end <= rows_, "DenseMatrix::view: bad range");
+  return {data_.data() + begin * cols_, end - begin, cols_};
+}
+
 // Byte accounting below follows the compulsory-traffic model of
 // flops::output_passes: operands read once, outputs written once (plus
 // a read when beta forces RMW). Cache reuse beyond that is the kernel's
 // job; the roofline prices the unavoidable traffic.
 using flops::output_passes;
 
-void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   kernels::gemm_nn(alpha, a, b, beta, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -36,7 +41,7 @@ void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   flops::add_bytes(8 * (m * k + k * n + output_passes(beta) * m * n));
 }
 
-void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   kernels::gemm_tn(alpha, a, b, beta, c);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
@@ -44,7 +49,7 @@ void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   flops::add_bytes(8 * (k * m + k * n + output_passes(beta) * m * n));
 }
 
-void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv(double alpha, DenseView a, std::span<const double> x,
           double beta, std::span<double> y) {
   NADMM_CHECK(a.cols() == x.size(), "gemv: x size mismatch");
   NADMM_CHECK(a.rows() == y.size(), "gemv: y size mismatch");
@@ -62,7 +67,7 @@ void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
   flops::add_bytes(8 * (m * k + k + output_passes(beta) * m));
 }
 
-void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
             double beta, std::span<double> y) {
   kernels::gemv_t(alpha, a, x, beta, y);
   const std::size_t k = a.rows(), m = a.cols();

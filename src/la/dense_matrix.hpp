@@ -13,6 +13,8 @@
 
 namespace nadmm::la {
 
+class DenseView;
+
 /// Row-major dense matrix of doubles.
 class DenseMatrix {
  public:
@@ -53,28 +55,71 @@ class DenseMatrix {
   /// Frobenius norm.
   [[nodiscard]] double frobenius_norm() const;
 
+  /// Non-owning view of the contiguous row range [begin, end) — O(1)
+  /// metadata, no copy. The matrix must outlive the view.
+  [[nodiscard]] DenseView view(std::size_t begin, std::size_t end) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
 
+/// Non-owning, read-only row-major matrix view. A whole DenseMatrix
+/// converts implicitly, so every product kernel below accepts either a
+/// matrix or a row-range shard view; a rank's shard is O(1) metadata
+/// instead of a copied buffer (the shard-native data plane relies on
+/// this). The referenced storage must outlive the view.
+class DenseView {
+ public:
+  DenseView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate adapter.
+  DenseView(const DenseMatrix& m)
+      : data_(m.data().data()), rows_(m.rows()), cols_(m.cols()) {}
+  DenseView(const double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_ + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> data() const {
+    return {data_, rows_ * cols_};
+  }
+
+  /// Sub-view of rows [begin, end) of this view.
+  [[nodiscard]] DenseView subrows(std::size_t begin, std::size_t end) const {
+    return {data_ + begin * cols_, end - begin, cols_};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
 /// C = alpha * A * B + beta * C.   A: m×k, B: k×n, C: m×n.
-void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// C = alpha * A^T * B + beta * C.   A: k×m (transposed view), B: k×n, C: m×n.
 /// This is the gradient-accumulation shape: A is the data shard (rows =
 /// samples), B the per-sample residual panel.
-void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// y = alpha * A * x + beta * y.   A: m×k, x: k, y: m.
-void gemv(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv(double alpha, DenseView a, std::span<const double> x,
           double beta, std::span<double> y);
 
 /// y = alpha * A^T * x + beta * y.   A: k×m, x: k, y: m.
-void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
             double beta, std::span<double> y);
 
 }  // namespace nadmm::la

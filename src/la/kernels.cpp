@@ -255,68 +255,109 @@ void accumulate_tv(const double* __restrict pa, const double* __restrict x,
 /// Row boundary for thread t when partitioning CSR rows by nonzero count:
 /// the first row whose prefix nnz reaches t/team of the total. Depends
 /// only on (row_ptr, t, team) — deterministic and balanced for skewed
-/// shards where equal row counts would not be.
+/// shards where equal row counts would not be. `rp` may carry a shard
+/// view's absolute offsets (rp.front() != 0); the target is relative to
+/// that base, so a view and a copied shard partition identically.
 std::size_t nnz_boundary(std::span<const std::int64_t> rp, std::int64_t nnz,
                          int t, int team) {
   const std::int64_t target =
+      rp.front() +
       nnz * static_cast<std::int64_t>(t) / static_cast<std::int64_t>(team);
   const auto it = std::lower_bound(rp.begin(), rp.end(), target);
   return static_cast<std::size_t>(it - rp.begin());
 }
 
-/// Wide-output spmm_tn: gather over the matrix's cached transposed (CSC)
-/// view — every output row is computed independently from its column's
-/// entries in ascending sample order. No per-thread dense partials at
-/// all, so reduction work scales with nnz instead of team × cols × n,
-/// and the summation order per output element is fixed — the result is
-/// bit-identical for ANY thread count. The CSC view is built once per
-/// matrix (CsrMatrix::transposed()) and amortizes across the CG
-/// iterations that call this kernel with the same shard.
-void spmm_tn_transpose(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+/// Wide-output spmm_tn: gather over the parent matrix's cached transposed
+/// (CSC) view — every output row is computed independently from its
+/// column's entries in ascending sample order. No per-thread dense
+/// partials at all, so reduction work scales with nnz instead of
+/// team × cols × n, and the summation order per output element is fixed —
+/// the result is bit-identical for ANY thread count. The CSC view is
+/// built once per parent matrix (CsrMatrix::transposed()) and is shared
+/// by every shard view of it, so the build amortizes across all ranks'
+/// CG iterations.
+void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
                        double beta, DenseMatrix& c,
                        [[maybe_unused]] bool parallel) {
   const std::size_t m = a.cols(), n = b.cols();
-  const CsrTransposed& tv = a.transposed();
+  const CsrTransposed& tv = a.parent()->transposed();
   const std::int64_t* colptr = tv.col_ptr.data();
   const std::int32_t* trows = tv.row_idx.data();
   const double* tvals = tv.values.data();
   const double* pb = b.data().data();
   double* pc = c.data().data();
-  const auto nnz = static_cast<std::int64_t>(a.nnz());
 
+  if (a.covers_parent()) {
+    const auto nnz = static_cast<std::int64_t>(a.nnz());
+#pragma omp parallel if (parallel)
+    {
+      const int team = team_size();
+      const int t = thread_id();
+      // Independent per-output-row gathers, balanced by entry count; the
+      // boundaries depend only on (col_ptr, team), so the tiling is
+      // deterministic and covers exactly [0, jstar).
+      const std::span<const std::int64_t> cp(colptr, m + 1);
+      const std::size_t j0 = nnz_boundary(cp, nnz, t, team);
+      const std::size_t j1 = nnz_boundary(cp, nnz, t + 1, team);
+      for (std::size_t j = j0; j < j1; ++j) {
+        double* crow = pc + j * n;
+        if (beta == 0.0) {
+          for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+        } else if (beta != 1.0) {
+          for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+        }
+        for (std::int64_t e = colptr[j]; e < colptr[j + 1]; ++e) {
+          const double v = alpha * tvals[e];
+          const double* brow = pb + static_cast<std::size_t>(trows[e]) * n;
+          for (std::size_t q = 0; q < n; ++q) crow[q] += v * brow[q];
+        }
+      }
+      // jstar is the first column at which the prefix reaches nnz;
+      // trailing empty columns still need their beta scaling.
+      const std::size_t jstar = nnz_boundary(cp, nnz, team, team);
+      const Range jz = slice(m - jstar, t, team);
+      for (std::size_t j = jstar + jz.lo; j < jstar + jz.hi; ++j) {
+        double* crow = pc + j * n;
+        if (beta == 0.0) {
+          for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+        } else if (beta != 1.0) {
+          for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+        }
+      }
+    }
+    return;
+  }
+
+  // Shard view: restrict every column of the shared CSC to the view's
+  // parent-row range. Rows ascend within a column, so the range is one
+  // binary-searched subrange per column — the gather then visits exactly
+  // the shard's entries in the same ascending order a copied shard's own
+  // CSC would, so the result is bit-identical to the copy (and to any
+  // thread count; columns are statically sliced, every output row is
+  // written by exactly one thread).
+  const auto lo_row = static_cast<std::int32_t>(a.row_begin());
+  const auto hi_row = static_cast<std::int32_t>(a.row_begin() + a.rows());
 #pragma omp parallel if (parallel)
   {
     const int team = team_size();
     const int t = thread_id();
-    // Independent per-output-row gathers, balanced by entry count; the
-    // boundaries depend only on (col_ptr, team), so the tiling is
-    // deterministic and covers exactly [0, jstar).
-    const std::span<const std::int64_t> cp(colptr, m + 1);
-    const std::size_t j0 = nnz_boundary(cp, nnz, t, team);
-    const std::size_t j1 = nnz_boundary(cp, nnz, t + 1, team);
-    for (std::size_t j = j0; j < j1; ++j) {
+    const Range jr = slice(m, t, team);
+    for (std::size_t j = jr.lo; j < jr.hi; ++j) {
       double* crow = pc + j * n;
       if (beta == 0.0) {
         for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
       } else if (beta != 1.0) {
         for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
       }
-      for (std::int64_t e = colptr[j]; e < colptr[j + 1]; ++e) {
+      const std::int32_t* cb = trows + colptr[j];
+      const std::int32_t* ce = trows + colptr[j + 1];
+      const auto e0 = colptr[j] + (std::lower_bound(cb, ce, lo_row) - cb);
+      const auto e1 = colptr[j] + (std::lower_bound(cb, ce, hi_row) - cb);
+      for (std::int64_t e = e0; e < e1; ++e) {
         const double v = alpha * tvals[e];
-        const double* brow = pb + static_cast<std::size_t>(trows[e]) * n;
+        const double* brow =
+            pb + static_cast<std::size_t>(trows[e] - lo_row) * n;
         for (std::size_t q = 0; q < n; ++q) crow[q] += v * brow[q];
-      }
-    }
-    // jstar is the first column at which the prefix reaches nnz;
-    // trailing empty columns still need their beta scaling.
-    const std::size_t jstar = nnz_boundary(cp, nnz, team, team);
-    const Range jz = slice(m - jstar, t, team);
-    for (std::size_t j = jstar + jz.lo; j < jstar + jz.hi; ++j) {
-      double* crow = pc + j * n;
-      if (beta == 0.0) {
-        for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
-      } else if (beta != 1.0) {
-        for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
       }
     }
   }
@@ -360,7 +401,7 @@ double softmax_row(const double* s, double* p, std::size_t c,
 // Engine kernels
 // ===========================================================================
 
-void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   NADMM_CHECK(a.cols() == b.rows(), "gemm_nn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
@@ -388,7 +429,7 @@ void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   }
 }
 
-void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   NADMM_CHECK(a.rows() == b.rows(), "gemm_tn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
@@ -424,7 +465,7 @@ void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
   }
 }
 
-void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
             double beta, std::span<double> y) {
   NADMM_CHECK(a.rows() == x.size(), "gemv_t: x size mismatch");
   NADMM_CHECK(a.cols() == y.size(), "gemv_t: y size mismatch");
@@ -453,7 +494,7 @@ void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
   }
 }
 
-void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),

@@ -43,28 +43,38 @@ inline constexpr std::size_t kParallelFlops = 1 << 17;
 /// sweeps (softmax forward/gradient/Hessian loops).
 inline constexpr std::size_t kParallelRows = 1 << 14;
 
+/// The A operand of every engine product is a non-owning row-range view
+/// (la::DenseView / la::CsrView); whole matrices convert implicitly, and
+/// a rank's shard runs in place on the parent's storage. For a contiguous
+/// shard view the engine is bit-identical to running on a copied shard at
+/// the same thread count (the CSR gather path is bit-identical for any
+/// thread count) — the shard-native data plane and its tests rely on
+/// both.
+
 /// C = alpha·A·B + beta·C (A: m×k, B: k×n, C: m×n). Register-blocked
 /// microkernel over a packed B panel; deterministic for any thread count
 /// (each C row is produced by exactly one thread in fixed k order).
-void gemm_nn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// C = alpha·Aᵀ·B + beta·C (A: k×m, B: k×n, C: m×n). Two-phase lock-free
 /// reduction; deterministic for a fixed thread count.
-void gemm_tn(double alpha, const DenseMatrix& a, const DenseMatrix& b,
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// y = alpha·Aᵀ·x + beta·y (A: k×m). Two-phase lock-free reduction.
-void gemv_t(double alpha, const DenseMatrix& a, std::span<const double> x,
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
             double beta, std::span<double> y);
 
 /// C = alpha·Aᵀ·B + beta·C (A: k×m CSR). Hybrid lock-free strategy:
 /// narrow outputs use the two-phase reduction with CSR rows partitioned
 /// by nonzero count (boundaries depend only on (row_ptr, T)); wide
 /// outputs — T·m·n larger than nnz, the E18 regime — gather over the
-/// matrix's cached transposed (CSC) view instead, which has no dense
-/// partials at all and is bit-identical for any thread count.
-void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+/// parent matrix's cached transposed (CSC) view instead (restricted to
+/// the view's row range by per-column binary search for shard views),
+/// which has no dense partials at all and is bit-identical for any
+/// thread count.
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// Fused softmax forward over a score panel (n × (C−1), class C implicit

@@ -17,7 +17,7 @@ constexpr std::size_t kParallelFlops = kernels::kParallelFlops;
 // Compulsory CSR traffic: each nonzero is a value (8B) plus a column
 // index (8B), the row pointers are streamed once, dense operands are
 // read once, and the output is written once (read too when beta != 0).
-std::uint64_t csr_bytes(const CsrMatrix& a) {
+std::uint64_t csr_bytes(const CsrView& a) {
   return 16 * a.nnz() + 8 * (a.rows() + 1);
 }
 }  // namespace
@@ -90,6 +90,15 @@ CsrMatrix CsrMatrix::row_slice(std::size_t begin, std::size_t end) const {
                    std::move(vals));
 }
 
+CsrView::CsrView(const CsrMatrix& m, std::size_t begin, std::size_t end)
+    : parent_(&m), row_begin_(begin), rows_(end - begin) {
+  NADMM_CHECK(begin <= end && end <= m.rows(), "CsrView: bad row range");
+}
+
+CsrView CsrMatrix::view(std::size_t begin, std::size_t end) const {
+  return {*this, begin, end};
+}
+
 const CsrTransposed& CsrMatrix::transposed() const {
   std::call_once(*transpose_once_, [this] {
     NADMM_CHECK(rows_ <= 0x7fffffffULL,
@@ -126,7 +135,7 @@ DenseMatrix CsrMatrix::to_dense() const {
   return d;
 }
 
-void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+void spmm_nn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   NADMM_CHECK(a.cols() == b.rows(), "spmm_nn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
@@ -157,7 +166,7 @@ void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
                    8 * (a.cols() * n + flops::output_passes(beta) * a.rows() * n));
 }
 
-void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
   kernels::spmm_tn(alpha, a, b, beta, c);
   const std::size_t n = b.cols();
@@ -166,7 +175,7 @@ void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
                    8 * (a.rows() * n + flops::output_passes(beta) * a.cols() * n));
 }
 
-void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+void spmv(double alpha, const CsrView& a, std::span<const double> x,
           double beta, std::span<double> y) {
   NADMM_CHECK(a.cols() == x.size(), "spmv: x size mismatch");
   NADMM_CHECK(a.rows() == y.size(), "spmv: y size mismatch");

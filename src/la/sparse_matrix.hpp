@@ -33,6 +33,8 @@ struct CsrTransposed {
   std::vector<double> values;         // nnz values
 };
 
+class CsrView;
+
 /// Immutable CSR matrix of doubles.
 class CsrMatrix {
  public:
@@ -61,6 +63,11 @@ class CsrMatrix {
   /// Extract a contiguous row range [begin, end) as a new CSR matrix with
   /// the same column dimension. Used by the data partitioner.
   [[nodiscard]] CsrMatrix row_slice(std::size_t begin, std::size_t end) const;
+
+  /// Non-owning view of the contiguous row range [begin, end) — O(1)
+  /// metadata sharing this matrix's arrays (and its cached transposed
+  /// view). The matrix must outlive the view.
+  [[nodiscard]] CsrView view(std::size_t begin, std::size_t end) const;
 
   /// Densify (tests and small problems only).
   [[nodiscard]] DenseMatrix to_dense() const;
@@ -99,16 +106,66 @@ class CsrMatrix {
       std::make_shared<CsrTransposed>();
 };
 
+/// Non-owning, read-only row-range view of a CsrMatrix. A whole matrix
+/// converts implicitly, so the product kernels below accept either; a
+/// rank's CSR shard is O(1) metadata instead of copied index/value
+/// arrays. `row_ptr()` keeps the parent's *absolute* offsets (entries of
+/// view row r live at [row_ptr()[r], row_ptr()[r+1]) in the shared
+/// col_idx()/values() arrays) — exactly the indexing every CSR kernel
+/// already uses, so row_ptr()[0] is generally nonzero here. The parent
+/// matrix must outlive the view.
+class CsrView {
+ public:
+  CsrView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate adapter.
+  CsrView(const CsrMatrix& m) : parent_(&m), row_begin_(0), rows_(m.rows()) {}
+  CsrView(const CsrMatrix& m, std::size_t begin, std::size_t end);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return parent_ ? parent_->cols() : 0; }
+  [[nodiscard]] std::size_t nnz() const {
+    const auto rp = row_ptr();
+    return rp.empty() ? 0
+                      : static_cast<std::size_t>(rp[rows_] - rp[0]);
+  }
+
+  /// Absolute row offsets (rows()+1 entries) into the shared arrays.
+  [[nodiscard]] std::span<const std::int64_t> row_ptr() const {
+    return parent_ == nullptr
+               ? std::span<const std::int64_t>{}
+               : parent_->row_ptr().subspan(row_begin_, rows_ + 1);
+  }
+  [[nodiscard]] std::span<const std::int64_t> col_idx() const {
+    return parent_ ? parent_->col_idx() : std::span<const std::int64_t>{};
+  }
+  [[nodiscard]] std::span<const double> values() const {
+    return parent_ ? parent_->values() : std::span<const double>{};
+  }
+
+  /// First parent row covered by this view (offset into the parent's
+  /// cached transposed view, used by the wide-output gather kernel).
+  [[nodiscard]] std::size_t row_begin() const { return row_begin_; }
+  [[nodiscard]] bool covers_parent() const {
+    return parent_ != nullptr && row_begin_ == 0 && rows_ == parent_->rows();
+  }
+  [[nodiscard]] const CsrMatrix* parent() const { return parent_; }
+
+ private:
+  const CsrMatrix* parent_ = nullptr;
+  std::size_t row_begin_ = 0;
+  std::size_t rows_ = 0;
+};
+
 /// C = alpha * A * B + beta * C.  A: m×k CSR, B: k×n dense, C: m×n dense.
-void spmm_nn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+void spmm_nn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// C = alpha * A^T * B + beta * C.  A: k×m CSR, B: k×n dense, C: m×n dense.
-void spmm_tn(double alpha, const CsrMatrix& a, const DenseMatrix& b,
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c);
 
 /// y = alpha * A * x + beta * y.
-void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+void spmv(double alpha, const CsrView& a, std::span<const double> x,
           double beta, std::span<double> y);
 
 }  // namespace nadmm::la

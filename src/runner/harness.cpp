@@ -89,6 +89,25 @@ comm::SimCluster make_cluster(const ExperimentConfig& config) {
                           config.omp_threads);
 }
 
+data::ShardPlan shard_plan(const ExperimentConfig& config) {
+  data::ShardPlan plan;
+  plan.mode = data::partition_mode_from_string(config.partition);
+  plan.parts = config.workers;
+  if (plan.mode == data::PartitionMode::kWeighted) {
+    // Effective per-rank speed (straggler slowdown included): a 4x-slowed
+    // rank gets a quarter of an equal rank's rows.
+    for (const la::DeviceModel& d : cluster_devices(config)) {
+      plan.weights.push_back(d.gflops);
+    }
+  }
+  return plan;
+}
+
+data::ShardedDataset make_sharded_data(const ExperimentConfig& config,
+                                       const data::TrainTest& tt) {
+  return data::make_sharded(tt.train, &tt.test, shard_plan(config));
+}
+
 core::NewtonAdmmOptions admm_options(const ExperimentConfig& config) {
   core::NewtonAdmmOptions o;
   o.max_iterations = config.iterations;
@@ -165,6 +184,13 @@ core::RunResult run_solver(const std::string& solver,
                            const data::Dataset* test,
                            const ExperimentConfig& config) {
   return SolverRegistry::instance().run(solver, cluster, train, test, config);
+}
+
+core::RunResult run_solver(const std::string& solver,
+                           comm::SimCluster& cluster,
+                           const data::ShardedDataset& data,
+                           const ExperimentConfig& config) {
+  return SolverRegistry::instance().run(solver, cluster, data, config);
 }
 
 void write_trace_csv(const core::RunResult& result, const std::string& path) {

@@ -39,6 +39,11 @@ struct ExperimentConfig {
   /// rank's flop rate and bandwidth by `slowdown` (e.g. "1:4" makes rank
   /// 1 four times slower).
   std::string straggler = "none";
+  /// Shard planning across ranks: contiguous (zero-copy views, the
+  /// paper's pre-sharded setup), strided (label balance; gather copies),
+  /// or weighted (contiguous views sized by each rank's DeviceModel
+  /// gflops — fast ranks of a heterogeneous cluster get more rows).
+  std::string partition = "contiguous";
   double lambda = 1e-5;           ///< paper default
   std::string penalty = "sps";    ///< ADMM rule: fixed|rb|sps
   double rho0 = 1.0;              ///< initial ADMM penalty ρ₀
@@ -73,6 +78,17 @@ data::TrainTest make_data(const ExperimentConfig& config);
 /// slowdown applied. Throws InvalidArgument on malformed specs.
 std::vector<la::DeviceModel> cluster_devices(const ExperimentConfig& config);
 
+/// The shard plan the config names: `partition` mode over `workers`
+/// ranks; weighted mode takes each rank's effective gflops (straggler
+/// slowdown included) from cluster_devices as its weight.
+data::ShardPlan shard_plan(const ExperimentConfig& config);
+
+/// Shard a materialized train/test pair under the config's plan — one
+/// RankData {train_view, test_view} per rank, zero-copy for
+/// contiguous/weighted plans.
+data::ShardedDataset make_sharded_data(const ExperimentConfig& config,
+                                       const data::TrainTest& tt);
+
 /// Construct the simulated cluster named by the config.
 comm::SimCluster make_cluster(const ExperimentConfig& config);
 
@@ -87,11 +103,19 @@ baselines::DiscoOptions disco_options(const ExperimentConfig& config);
 
 /// Dispatch by solver name through the SolverRegistry (see
 /// runner/registry.hpp for the full name list, including the
-/// single-node solvers).
+/// single-node solvers). Shards `train`/`test` under the config's
+/// partition plan first.
 core::RunResult run_solver(const std::string& solver,
                            comm::SimCluster& cluster,
                            const data::Dataset& train,
                            const data::Dataset* test,
+                           const ExperimentConfig& config);
+
+/// Pre-sharded dispatch: run on data the caller already planned (e.g.
+/// streamed per-rank libsvm shards from DatasetProvider::get_sharded).
+core::RunResult run_solver(const std::string& solver,
+                           comm::SimCluster& cluster,
+                           const data::ShardedDataset& data,
                            const ExperimentConfig& config);
 
 /// Write the full per-iteration trace as CSV (columns match

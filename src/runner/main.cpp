@@ -81,7 +81,12 @@ int cmd_list() {
       "networks:   ib100 | eth10 | eth1 | wan | ideal\n"
       "penalties:  fixed | rb | sps\n"
       "stragglers: none | <rank>:<slowdown> (e.g. 1:4 — rank 1 is 4x "
-      "slower)\n");
+      "slower)\n"
+      "partitions: contiguous (zero-copy views) | strided (label balance) "
+      "| weighted\n"
+      "            (shard sizes follow per-rank device gflops; "
+      "libsvm: sources\n"
+      "            stream straight into the per-rank shards)\n");
   return 0;
 }
 
@@ -102,6 +107,9 @@ void add_scenario_options(CliParser& cli) {
   cli.add_double("lambda", 1e-5, "l2 regularization");
   cli.add_string("straggler", "none",
                  "inject a straggler: <rank>:<slowdown> (none disables)");
+  cli.add_string("partition", "contiguous",
+                 "shard plan across ranks: contiguous|strided|weighted "
+                 "(weighted sizes shards by per-rank device gflops)");
   cli.add_int("iterations", 100, "outer iterations (epochs)");
   cli.add_int("cg-iterations", 10, "CG budget per Newton step");
   cli.add_double("cg-tol", 1e-4, "CG relative tolerance");
@@ -127,6 +135,7 @@ runner::ExperimentConfig config_from_cli(const CliParser& cli) {
   c.penalty = cli.get_string("penalty");
   c.lambda = cli.get_double("lambda");
   c.straggler = cli.get_string("straggler");
+  c.partition = cli.get_string("partition");
   c.iterations = static_cast<int>(cli.get_int("iterations"));
   c.cg_iterations = static_cast<int>(cli.get_int("cg-iterations"));
   c.cg_tol = cli.get_double("cg-tol");
@@ -185,6 +194,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_string("penalties", "", "e.g. sps,fixed");
   cli.add_string("lambdas", "", "e.g. 1e-5,1e-4");
   cli.add_string("stragglers", "", "e.g. none,1:4");
+  cli.add_string("partitions", "", "e.g. contiguous,strided,weighted");
   cli.add_int("n-train", -1, "training samples (-1: keep spec/default)");
   cli.add_int("n-test", -1, "test samples (-1: keep spec/default)");
   cli.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
@@ -209,8 +219,9 @@ int cmd_sweep(int argc, const char* const* argv) {
   const std::string spec_path = cli.get_string("spec");
   if (!spec_path.empty()) spec = runner::parse_sweep_file(spec_path);
 
-  for (const char* axis : {"solvers", "datasets", "workers", "devices",
-                           "networks", "penalties", "lambdas", "stragglers"}) {
+  for (const char* axis :
+       {"solvers", "datasets", "workers", "devices", "networks", "penalties",
+        "lambdas", "stragglers", "partitions"}) {
     const std::string value = cli.get_string(axis);
     if (!value.empty()) runner::apply_sweep_assignment(spec, axis, value);
   }

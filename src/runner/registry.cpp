@@ -24,9 +24,15 @@ namespace {
 /// the run executed on the calling thread under the configured device
 /// rating, so sweep results stay machine-independent and deterministic.
 core::RunResult run_single_node(const std::string& name,
-                                const data::Dataset& train,
-                                const data::Dataset* test,
+                                const data::ShardedDataset& data,
                                 const ExperimentConfig& config) {
+  NADMM_CHECK(data.has_full(),
+              "single-node solver '" + name +
+                  "' needs the materialized dataset; streamed libsvm shards "
+                  "have no full matrix (run it through the harness, which "
+                  "materializes for single-node solvers)");
+  const data::Dataset& train = data.full_train;
+  const data::Dataset* test = data.full_test.empty() ? nullptr : &data.full_test;
   // Honour the same per-rank thread pin the cluster applies: the sweep
   // scheduler relies on it for byte-stable reports and to keep
   // jobs × cores from oversubscribing the host.
@@ -99,10 +105,9 @@ core::RunResult run_single_node(const std::string& name,
 
 SolverFactory single_node_factory(std::string name) {
   return [name = std::move(name)](comm::SimCluster& /*cluster*/,
-                                  const data::Dataset& train,
-                                  const data::Dataset* test,
+                                  const data::ShardedDataset& data,
                                   const ExperimentConfig& config) {
-    return run_single_node(name, train, test, config);
+    return run_single_node(name, data, config);
   };
 }
 
@@ -181,81 +186,94 @@ std::vector<std::string> SolverRegistry::names() const {
 
 core::RunResult SolverRegistry::run(const std::string& name,
                                     comm::SimCluster& cluster,
+                                    const data::ShardedDataset& data,
+                                    const ExperimentConfig& config) const {
+  static_cast<void>(info(name));  // throws with the known names when unknown
+  return solvers_.at(name).second(cluster, data, config);
+}
+
+core::RunResult SolverRegistry::run(const std::string& name,
+                                    comm::SimCluster& cluster,
                                     const data::Dataset& train,
                                     const data::Dataset* test,
                                     const ExperimentConfig& config) const {
-  static_cast<void>(info(name));  // throws with the known names when unknown
-  return solvers_.at(name).second(cluster, train, test, config);
+  const SolverInfo& solver_info = info(name);
+  data::ShardPlan plan = shard_plan(config);
+  // Single-node solvers run on the full splits; a one-part plan keeps
+  // the uniform factory signature without re-slicing anything.
+  if (solver_info.kind == SolverKind::kSingleNode) {
+    plan = data::ShardPlan{};
+  }
+  return run(name, cluster, data::make_sharded(train, test, plan), config);
 }
 
 void SolverRegistry::register_builtins() {
   // Every distributed solver runs on a cluster built by make_cluster, so
   // the heterogeneity knobs apply to all of them.
-  const std::string cluster_knobs = "devices,straggler";
+  const std::string cluster_knobs = "devices,straggler,partition";
   const std::string newton_knobs =
       "penalty,rho0,cg-iterations,cg-tol,line-search,objective-target," +
       cluster_knobs;
   add({"newton-admm", SolverKind::kDistributed,
        "distributed Newton-CG with ADMM consensus (the paper's method)",
        CommClass::kSynchronous, newton_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return core::newton_admm(cluster, train, test, admm_options(config));
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return core::newton_admm(cluster, data, admm_options(config));
       });
   add({"async-admm", SolverKind::kDistributed,
        "stale-consensus Newton-ADMM: coordinator merges updates on arrival",
        CommClass::kAsynchronous, newton_knobs + ",staleness"},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return solvers::async_admm(cluster, train, test,
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return solvers::async_admm(cluster, data,
                                    async_options(config, /*stale_sync=*/false));
       });
   add({"stale-sync-admm", SolverKind::kDistributed,
        "semi-synchronous Newton-ADMM: barrier every --sync-every rounds",
        CommClass::kAsynchronous, newton_knobs + ",sync-every"},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return solvers::async_admm(cluster, train, test,
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return solvers::async_admm(cluster, data,
                                    async_options(config, /*stale_sync=*/true));
       });
   add({"giant", SolverKind::kDistributed,
        "globally improved approximate Newton (Wang et al.)",
        CommClass::kSynchronous,
        "cg-iterations,cg-tol,line-search,objective-target," + cluster_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return baselines::giant(cluster, train, test, giant_options(config));
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return baselines::giant(cluster, data, giant_options(config));
       });
   add({"sync-sgd", SolverKind::kDistributed,
        "synchronous minibatch SGD (allreduced mean gradient)",
        CommClass::kSynchronous, "sgd-batch,sgd-step," + cluster_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return baselines::sync_sgd(cluster, train, test, sgd_options(config));
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return baselines::sync_sgd(cluster, data, sgd_options(config));
       });
   add({"inexact-dane", SolverKind::kDistributed,
        "InexactDANE with SVRG inner solves (Reddi et al.)",
        CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return baselines::inexact_dane(cluster, train, test,
-                                       dane_options(config));
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return baselines::inexact_dane(cluster, data, dane_options(config));
       });
   add({"aide", SolverKind::kDistributed,
        "accelerated InexactDANE (catalyst smoothing)",
        CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
         auto o = dane_options(config);
         o.accelerate = true;
-        return baselines::inexact_dane(cluster, train, test, o);
+        return baselines::inexact_dane(cluster, data, o);
       });
   add({"disco", SolverKind::kDistributed,
        "distributed self-concordant optimization (Zhang & Xiao)",
        CommClass::kSynchronous, "cg-iterations,cg-tol," + cluster_knobs},
-      [](comm::SimCluster& cluster, const data::Dataset& train,
-         const data::Dataset* test, const ExperimentConfig& config) {
-        return baselines::disco(cluster, train, test, disco_options(config));
+      [](comm::SimCluster& cluster, const data::ShardedDataset& data,
+         const ExperimentConfig& config) {
+        return baselines::disco(cluster, data, disco_options(config));
       });
 
   add({"newton-cg", SolverKind::kSingleNode,

@@ -43,12 +43,13 @@ struct SolverInfo {
   std::string knobs;
 };
 
-/// Factory signature shared by both families. Single-node solvers ignore
-/// the cluster (they run on the calling thread) but keep the uniform
+/// Factory signature shared by both families: every solver receives the
+/// pre-sharded experiment data (one RankData per rank, planned by the
+/// harness — no solver re-shards). Single-node solvers ignore the
+/// cluster and run on the materialized full splits, but keep the uniform
 /// signature so callers need no special cases.
 using SolverFactory = std::function<core::RunResult(
-    comm::SimCluster&, const data::Dataset& train, const data::Dataset* test,
-    const ExperimentConfig&)>;
+    comm::SimCluster&, const data::ShardedDataset&, const ExperimentConfig&)>;
 
 class SolverRegistry {
  public:
@@ -68,7 +69,14 @@ class SolverRegistry {
   [[nodiscard]] std::vector<SolverInfo> list() const;
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Resolve `name` and run it. Throws InvalidArgument for unknown names.
+  /// Resolve `name` and run it on pre-sharded data. Throws
+  /// InvalidArgument for unknown names.
+  core::RunResult run(const std::string& name, comm::SimCluster& cluster,
+                      const data::ShardedDataset& data,
+                      const ExperimentConfig& config) const;
+
+  /// Convenience overload: shards `train` / `test` under the config's
+  /// partition plan (runner::shard_plan) before running.
   core::RunResult run(const std::string& name, comm::SimCluster& cluster,
                       const data::Dataset& train, const data::Dataset* test,
                       const ExperimentConfig& config) const;

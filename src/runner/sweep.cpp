@@ -190,12 +190,16 @@ bool json_get_int(const std::string& line, const std::string& key,
 }
 
 constexpr const char* kJournalKind = "nadmm-sweep-journal";
+// v2: partition axis in the expansion/tag and the peak_dataset_bytes
+// column. v1 journals (pre-shard-plan) are rejected on --resume — their
+// fingerprints no longer match either.
+constexpr std::int64_t kJournalVersion = 2;
 
 std::string journal_header_line(const std::string& fingerprint,
                                 std::size_t scenarios) {
   std::ostringstream os;
-  os << "{\"kind\": \"" << kJournalKind << "\", \"version\": 1"
-     << ", \"fingerprint\": \"" << fingerprint << "\""
+  os << "{\"kind\": \"" << kJournalKind << "\", \"version\": "
+     << kJournalVersion << ", \"fingerprint\": \"" << fingerprint << "\""
      << ", \"scenarios\": " << scenarios << '}';
   return os.str();
 }
@@ -216,7 +220,8 @@ std::string journal_outcome_line(const ScenarioOutcome& o) {
        << ", \"total_comm_sim_seconds\": " << fmt_double(o.comm_sim_seconds)
        << ", \"max_wait_seconds\": " << fmt_double(o.max_wait_seconds)  //
        << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
-       << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist) << "\"";
+       << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist) << "\""
+       << ", \"peak_dataset_bytes\": " << o.peak_dataset_bytes;
   } else {
     os << ", \"error\": \"" << json_escape(o.error) << "\"";
   }
@@ -269,14 +274,18 @@ bool restore_outcome_line(const std::string& line,
                          o.comm_sim_seconds)) {
       return false;
     }
-    // The async columns entered the journal with this PR; their absence
-    // is impossible in practice because the fingerprint serialization
-    // changed at the same time (older journals are rejected up front).
+    // The async and data-plane columns entered the journal in later
+    // versions; their absence is impossible in practice because the
+    // version and fingerprint serialization changed at the same time
+    // (older journals are rejected up front).
+    std::int64_t peak_bytes = 0;
     if (!json_get_double(line, "max_wait_seconds", o.max_wait_seconds) ||
         !json_get_string(line, "rank_wait_seconds", o.rank_waits) ||
-        !json_get_string(line, "staleness_hist", o.staleness_hist)) {
+        !json_get_string(line, "staleness_hist", o.staleness_hist) ||
+        !json_get_int(line, "peak_dataset_bytes", peak_bytes)) {
       return false;
     }
+    o.peak_dataset_bytes = static_cast<std::uint64_t>(peak_bytes);
     o.ok = true;
     o.result.solver = scenarios[i].solver;
     o.result.iterations = static_cast<int>(iterations);
@@ -324,6 +333,11 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     }
   } else if (key == "stragglers") {
     spec.stragglers = list();
+  } else if (key == "partitions") {
+    spec.partitions = list();
+    for (const auto& item : spec.partitions) {
+      static_cast<void>(data::partition_mode_from_string(item));  // validate
+    }
   } else if (key == "n_train") {
     spec.base.n_train = static_cast<std::size_t>(parse_int(key, value));
   } else if (key == "n_test") {
@@ -350,9 +364,9 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     throw InvalidArgument(
         "unknown sweep key '" + key +
         "' (grid axes: solvers|datasets|workers|devices|networks|penalties|"
-        "lambdas|stragglers; scalars: n_train|n_test|e18_features|seed|"
-        "iterations|cg_iterations|cg_tol|line_search_iterations|staleness|"
-        "sync_every|objective_target)");
+        "lambdas|stragglers|partitions; scalars: n_train|n_test|e18_features|"
+        "seed|iterations|cg_iterations|cg_tol|line_search_iterations|"
+        "staleness|sync_every|objective_target)");
   }
 }
 
@@ -398,11 +412,12 @@ std::string fs_safe(std::string s) {
 std::string Scenario::tag() const {
   // The index prefix keeps tags unique even after sanitization.
   char buf[512];
-  std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s_st%s", index,
-                solver.c_str(), fs_safe(config.dataset).c_str(), config.workers,
-                fs_safe(config.device).c_str(), config.network.c_str(),
-                config.penalty.c_str(), fmt_compact(config.lambda).c_str(),
-                fs_safe(config.straggler).c_str());
+  std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s_st%s_%s",
+                index, solver.c_str(), fs_safe(config.dataset).c_str(),
+                config.workers, fs_safe(config.device).c_str(),
+                config.network.c_str(), config.penalty.c_str(),
+                fmt_compact(config.lambda).c_str(),
+                fs_safe(config.straggler).c_str(), config.partition.c_str());
   return buf;
 }
 
@@ -416,6 +431,8 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
   NADMM_CHECK(!spec.lambdas.empty(), "sweep needs at least one lambda");
   NADMM_CHECK(!spec.stragglers.empty(),
               "sweep needs at least one straggler entry ('none' disables)");
+  NADMM_CHECK(!spec.partitions.empty(),
+              "sweep needs at least one partition mode");
 
   std::vector<Scenario> scenarios;
   int index = 0;
@@ -427,18 +444,21 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
             for (const auto& penalty : spec.penalties) {
               for (const double lambda : spec.lambdas) {
                 for (const auto& straggler : spec.stragglers) {
-                  Scenario s;
-                  s.index = index++;
-                  s.solver = solver;
-                  s.config = spec.base;
-                  s.config.dataset = dataset;
-                  s.config.workers = workers;
-                  s.config.device = device;
-                  s.config.network = network;
-                  s.config.penalty = penalty;
-                  s.config.lambda = lambda;
-                  s.config.straggler = straggler;
-                  scenarios.push_back(std::move(s));
+                  for (const auto& partition : spec.partitions) {
+                    Scenario s;
+                    s.index = index++;
+                    s.solver = solver;
+                    s.config = spec.base;
+                    s.config.dataset = dataset;
+                    s.config.workers = workers;
+                    s.config.device = device;
+                    s.config.network = network;
+                    s.config.penalty = penalty;
+                    s.config.lambda = lambda;
+                    s.config.straggler = straggler;
+                    s.config.partition = partition;
+                    scenarios.push_back(std::move(s));
+                  }
                 }
               }
             }
@@ -471,6 +491,7 @@ std::string spec_fingerprint(const SweepSpec& spec) {
   join("penalties", spec.penalties, str);
   join("lambdas", spec.lambdas, fmt_double);
   join("stragglers", spec.stragglers, str);
+  join("partitions", spec.partitions, str);
   // Every base knob that survives scenario expansion (the per-axis fields
   // are overwritten per scenario and already covered above).
   const auto& b = spec.base;
@@ -512,9 +533,10 @@ std::vector<std::string> SweepReport::csv_rows() const {
   rows.reserve(outcomes.size() + 1);
   rows.emplace_back(
       "scenario,solver,dataset,n_train,n_test,workers,device,network,penalty,"
-      "lambda,straggler,status,iterations,final_objective,final_test_accuracy,"
-      "total_sim_seconds,avg_epoch_sim_seconds,total_comm_sim_seconds,"
-      "max_wait_seconds,staleness_hist");
+      "lambda,straggler,partition,status,iterations,final_objective,"
+      "final_test_accuracy,total_sim_seconds,avg_epoch_sim_seconds,"
+      "total_comm_sim_seconds,max_wait_seconds,staleness_hist,"
+      "peak_dataset_bytes");
   for (const auto& o : outcomes) {
     const auto& c = o.scenario.config;
     const auto& r = o.result;
@@ -523,15 +545,15 @@ std::vector<std::string> SweepReport::csv_rows() const {
     row << o.scenario.index << ',' << o.scenario.solver << ',' << c.dataset
         << ',' << c.n_train << ',' << c.n_test << ',' << c.workers << ','
         << c.device << ',' << c.network << ',' << c.penalty << ','
-        << fmt_double(c.lambda) << ',' << c.straggler << ','
-        << (o.ok ? "ok" : "error") << ','
+        << fmt_double(c.lambda) << ',' << c.straggler << ',' << c.partition
+        << ',' << (o.ok ? "ok" : "error") << ','
         << (o.ok ? r.iterations : 0) << ','
         << fmt_double(o.ok ? r.final_objective : 0.0) << ','
         << fmt_double(o.ok ? r.final_test_accuracy : 0.0) << ','
         << fmt_double(o.ok ? r.total_sim_seconds : 0.0) << ','
         << fmt_double(o.ok ? r.avg_epoch_sim_seconds : 0.0) << ','
         << fmt_double(comm) << ',' << fmt_double(o.max_wait_seconds) << ','
-        << o.staleness_hist;
+        << o.staleness_hist << ',' << o.peak_dataset_bytes;
     rows.push_back(row.str());
   }
   return rows;
@@ -564,6 +586,7 @@ void SweepReport::write_json(const std::string& path) const {
         << ", \"penalty\": \"" << json_escape(c.penalty) << "\""        //
         << ", \"lambda\": " << fmt_json_number(c.lambda)                //
         << ", \"straggler\": \"" << json_escape(c.straggler) << "\""    //
+        << ", \"partition\": \"" << json_escape(c.partition) << "\""    //
         << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
     if (o.ok) {
       out << ", \"iterations\": " << r.iterations                        //
@@ -578,7 +601,7 @@ void SweepReport::write_json(const std::string& path) const {
           << ", \"max_wait_seconds\": " << fmt_json_number(o.max_wait_seconds)
           << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
           << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist)
-          << "\"";
+          << "\", \"peak_dataset_bytes\": " << o.peak_dataset_bytes;
     } else {
       out << ", \"error\": \"" << json_escape(o.error) << "\"";
     }
@@ -634,10 +657,12 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
                       json_get_int(line, "version", journal_version),
                   "sweep journal " + options.journal_path +
                       " has a malformed header");
-      NADMM_CHECK(journal_version == 1,
+      NADMM_CHECK(journal_version == kJournalVersion,
                   "sweep journal " + options.journal_path +
                       " has unsupported version " +
-                      std::to_string(journal_version));
+                      std::to_string(journal_version) +
+                      " (expected " + std::to_string(kJournalVersion) +
+                      ") — rerun without --resume to start fresh");
       NADMM_CHECK(journal_fp == fingerprint &&
                       journal_fp_scenarios ==
                           static_cast<std::int64_t>(scenarios.size()),
@@ -687,17 +712,38 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     try {
       ExperimentConfig config = scenario.config;
       if (options.deterministic) config.omp_threads = 1;
-      std::shared_ptr<const data::TrainTest> shared;
-      data::TrainTest owned;
-      if (use_cache) {
-        shared = provider->get(dataset_key(config));
+      const SolverInfo& info =
+          SolverRegistry::instance().info(scenario.solver);
+      const data::DatasetKey key = dataset_key(config);
+      // Distributed solvers run on pre-sharded data: zero-copy views of
+      // the cached full dataset, or — for `libsvm:` sources — per-rank
+      // shards streamed straight from the file so the full matrix never
+      // materializes. Single-node solvers need the full splits, so they
+      // keep the materialized path (a one-part plan).
+      std::shared_ptr<const data::ShardedDataset> shared;
+      data::ShardedDataset owned;
+      if (info.kind == SolverKind::kSingleNode) {
+        // Materialize (streamed shards carry no full matrix) and wrap in
+        // a one-part plan to keep the uniform registry signature.
+        std::shared_ptr<const data::TrainTest> full;
+        data::TrainTest full_owned;
+        if (use_cache) {
+          full = provider->get(key);
+        } else {
+          full_owned = data::generate_dataset(key);
+        }
+        const data::TrainTest& tt = use_cache ? *full : full_owned;
+        owned = data::make_sharded(tt.train, &tt.test, data::ShardPlan{});
+      } else if (use_cache) {
+        shared = provider->get_sharded(key, shard_plan(config));
       } else {
-        owned = make_data(config);
+        owned = data::generate_sharded_dataset(key, shard_plan(config));
       }
-      const data::TrainTest& tt = use_cache ? *shared : owned;
+      const data::ShardedDataset& sharded = shared ? *shared : owned;
+      outcome.peak_dataset_bytes = sharded.resident_bytes;
       comm::SimCluster cluster = make_cluster(config);
-      outcome.result = SolverRegistry::instance().run(
-          scenario.solver, cluster, tt.train, &tt.test, config);
+      outcome.result = SolverRegistry::instance().run(scenario.solver, cluster,
+                                                      sharded, config);
       if (!options.trace_dir.empty()) {
         write_trace_csv(outcome.result,
                         options.trace_dir + "/" + scenario.tag() + ".csv");

@@ -48,6 +48,9 @@ struct SweepSpec {
   std::vector<double> lambdas{1e-5};
   /// Straggler axis: "none" or "<rank>:<slowdown>" entries.
   std::vector<std::string> stragglers{"none"};
+  /// Shard-plan axis: contiguous | strided | weighted (see
+  /// data/partition.hpp).
+  std::vector<std::string> partitions{"contiguous"};
   ExperimentConfig base;
 };
 
@@ -74,7 +77,8 @@ struct Scenario {
 };
 
 /// Expand the grid in fixed axis order (solver, dataset, workers,
-/// device, network, penalty, lambda, straggler — rightmost fastest).
+/// device, network, penalty, lambda, straggler, partition — rightmost
+/// fastest).
 std::vector<Scenario> expand_scenarios(const SweepSpec& spec);
 
 /// 64-bit FNV-1a hash (hex) over the canonical serialization of every
@@ -94,6 +98,11 @@ struct ScenarioOutcome {
   double max_wait_seconds = 0.0;
   std::string rank_waits;
   std::string staleness_hist;
+  /// Resident dataset bytes the scenario held while training: the full
+  /// splits plus whatever the shards own. Zero-copy view plans report
+  /// just the full storage; streamed `libsvm:` scenarios report the
+  /// summed per-rank shards (the full matrix never exists).
+  std::uint64_t peak_dataset_bytes = 0;
   std::string error;             ///< non-empty when !ok
 };
 

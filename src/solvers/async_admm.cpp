@@ -27,18 +27,18 @@ enum : int {
 }  // namespace
 
 core::RunResult async_admm(comm::SimCluster& cluster,
-                           const data::Dataset& train,
-                           const data::Dataset* test,
+                           const data::ShardedDataset& data,
                            const AsyncAdmmOptions& options) {
   const core::NewtonAdmmOptions& admm = options.admm;
   NADMM_CHECK(admm.max_iterations >= 1, "async_admm: need >= 1 iteration");
   NADMM_CHECK(admm.lambda >= 0.0, "async_admm: lambda must be >= 0");
   NADMM_CHECK(options.staleness >= 0, "async_admm: staleness must be >= 0");
   NADMM_CHECK(options.sync_every >= 0, "async_admm: sync_every must be >= 0");
+  NADMM_CHECK(data.parts() == cluster.size(),
+              "async_admm: shard plan does not match the cluster size");
 
   const int n = cluster.size();
-  const std::size_t dim =
-      train.num_features() * (static_cast<std::size_t>(train.num_classes()) - 1);
+  const std::size_t dim = data.dim();
   // In stale-sync mode the barrier is the only brake on fast workers.
   const int staleness =
       options.sync_every > 0 ? INT_MAX : options.staleness;
@@ -51,11 +51,47 @@ core::RunResult async_admm(comm::SimCluster& cluster,
   workers.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     workers.push_back(std::make_unique<core::AdmmWorker>(
-        data::shard_contiguous(train, n, r), admm, dim));
+        data.ranks[static_cast<std::size_t>(r)].train, admm, dim));
   }
-  model::SoftmaxObjective global(train, /*l2_lambda=*/0.0);
-  const bool eval_accuracy =
-      test != nullptr && admm.evaluate_accuracy && test->num_samples() > 0;
+  const bool eval_accuracy = admm.evaluate_accuracy && data.test_samples > 0;
+
+  // Coordinator diagnostics. Materialized plans evaluate the full splits
+  // (identical numerics to the pre-shard-plan solver); streamed sources
+  // have no full matrix, so the objective is the per-shard sum (rank
+  // order) and accuracy is the summed per-shard hit count — the same
+  // value up to float association, and exactly the same hit count.
+  std::unique_ptr<model::SoftmaxObjective> global;
+  if (data.has_full()) {
+    global = std::make_unique<model::SoftmaxObjective>(data.full_train,
+                                                       /*l2_lambda=*/0.0);
+  }
+  std::vector<std::unique_ptr<model::SoftmaxObjective>> test_evals;
+  if (eval_accuracy && !data.has_full()) {
+    for (int r = 0; r < n; ++r) {
+      const data::Dataset& shard = data.ranks[static_cast<std::size_t>(r)].test;
+      test_evals.push_back(
+          shard.empty() ? nullptr
+                        : std::make_unique<model::SoftmaxObjective>(shard, 0.0));
+    }
+  }
+  const auto diag_objective = [&](std::span<const double> zv) {
+    if (global != nullptr) return global->value(zv);
+    double sum = 0.0;
+    for (auto& w : workers) sum += w->objective().value(zv);
+    return sum;
+  };
+  const auto diag_accuracy = [&](std::span<const double> zv) {
+    if (data.has_full()) return model::accuracy(data.full_test, zv);
+    double hits = 0.0;
+    for (int r = 0; r < n; ++r) {
+      auto& eval = test_evals[static_cast<std::size_t>(r)];
+      if (eval == nullptr) continue;
+      hits += eval->accuracy(zv) *
+              static_cast<double>(
+                  data.ranks[static_cast<std::size_t>(r)].test.num_samples());
+    }
+    return hits / static_cast<double>(data.test_samples);
+  };
 
   // --- coordinator state (the event loop is single-threaded) ---
   core::ConsensusState acc(n, dim, admm.lambda);
@@ -121,12 +157,11 @@ core::RunResult async_admm(comm::SimCluster& cluster,
       // --- epoch diagnostics on the paused clock ---
       ctx.clock().pause();
       ++epochs;
-      double objective = global.value(z);
+      double objective = diag_objective(z);
       if (admm.lambda > 0.0) {
         objective += 0.5 * admm.lambda * la::nrm2_sq(z);
       }
-      const double accuracy =
-          eval_accuracy ? model::accuracy(*test, z) : -1.0;
+      const double accuracy = eval_accuracy ? diag_accuracy(z) : -1.0;
       const double sim_time = ctx.now();
       if (admm.record_trace) {
         core::IterationStats it;
@@ -228,6 +263,15 @@ core::RunResult async_admm(comm::SimCluster& cluster,
         result.total_sim_seconds / result.iterations;
   }
   return result;
+}
+
+core::RunResult async_admm(comm::SimCluster& cluster,
+                           const data::Dataset& train,
+                           const data::Dataset* test,
+                           const AsyncAdmmOptions& options) {
+  data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return async_admm(cluster, data::make_sharded(train, test, plan), options);
 }
 
 }  // namespace nadmm::solvers

@@ -42,8 +42,18 @@ struct AsyncAdmmOptions {
 
 /// Run stale-consensus ADMM on the cluster's rank/device/network spec
 /// (the cluster's threads are not used — the async engine replays the
-/// protocol on virtual time). `result.solver` is "async-admm" when
-/// sync_every == 0 and "stale-sync-admm" otherwise.
+/// protocol on virtual time). Rank r trains on `data.ranks[r].train`.
+/// Coordinator diagnostics use the materialized full splits when the
+/// plan provides them, and fall back to summing per-shard objectives /
+/// hit counts for streamed sources (where no full matrix exists).
+/// `result.solver` is "async-admm" when sync_every == 0 and
+/// "stale-sync-admm" otherwise.
+core::RunResult async_admm(comm::SimCluster& cluster,
+                           const data::ShardedDataset& data,
+                           const AsyncAdmmOptions& options);
+
+/// Convenience overload: shard `train` / `test` as contiguous zero-copy
+/// views across the cluster's ranks, then run.
 core::RunResult async_admm(comm::SimCluster& cluster,
                            const data::Dataset& train,
                            const data::Dataset* test,

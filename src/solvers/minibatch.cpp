@@ -6,12 +6,16 @@ std::vector<data::Dataset> make_batches(const data::Dataset& shard,
                                         std::size_t batch_size) {
   std::vector<data::Dataset> batches;
   const std::size_t n = shard.num_samples();
+  // Zero-copy row-range views: a batch is O(1) metadata over the shard's
+  // shared storage (which it keeps alive), not a copied buffer — the
+  // numerics are bit-identical to the old copying slices because the
+  // kernels run the same code path on views (la/kernels.hpp).
   if (batch_size == 0 || batch_size >= n) {
-    batches.push_back(shard.row_slice(0, n));
+    batches.push_back(shard.view(0, n));
     return batches;
   }
   for (std::size_t at = 0; at < n; at += batch_size) {
-    batches.push_back(shard.row_slice(at, std::min(n, at + batch_size)));
+    batches.push_back(shard.view(at, std::min(n, at + batch_size)));
   }
   return batches;
 }

@@ -1,7 +1,8 @@
 // Minibatch slicing for the stochastic solvers (Synchronous SGD, SVRG).
 //
-// Batches are materialized once per shard and reused across epochs:
-// shuffling permutes the batch visit order, not the rows, which keeps the
+// Batches are zero-copy row-range views of the shard (O(1) metadata, no
+// per-batch buffer), built once and reused across epochs: shuffling
+// permutes the batch visit order, not the rows, which keeps the
 // per-batch objective caches (and their GEMM buffers) warm.
 #pragma once
 

@@ -271,6 +271,150 @@ TEST(Partition, StridedShardsSparse) {
   EXPECT_EQ(total_nnz, tt.train.sparse_features().nnz());
 }
 
+TEST(Partition, WeightedRangesSumToNAndFollowWeights) {
+  const double weights[] = {3.0, 1.0, 1.0, 1.0};
+  const auto r = partition_rows_weighted(120, weights);
+  ASSERT_EQ(r.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& range : r) total += range.size();
+  EXPECT_EQ(total, 120u);
+  EXPECT_EQ(r[0].size(), 60u);  // 3/6 of 120
+  EXPECT_EQ(r[1].size(), 20u);
+  EXPECT_EQ(r[0].begin, 0u);
+  EXPECT_EQ(r[3].end, 120u);
+  // Remainder rows land deterministically and the sizes still sum to n,
+  // whatever the (positive) weights.
+  const double awkward[] = {0.37, 1.9, 2.71};
+  for (const std::size_t n : {0ul, 1ul, 2ul, 7ul, 97ul}) {
+    const auto w = partition_rows_weighted(n, awkward);
+    std::size_t sum = 0;
+    for (const auto& range : w) sum += range.size();
+    EXPECT_EQ(sum, n);
+  }
+  EXPECT_THROW(
+      static_cast<void>(partition_rows_weighted(10, std::vector<double>{})),
+      InvalidArgument);
+  const double bad[] = {1.0, 0.0};
+  EXPECT_THROW(static_cast<void>(partition_rows_weighted(10, bad)),
+               InvalidArgument);
+}
+
+TEST(Partition, ModeNamesRoundTrip) {
+  EXPECT_EQ(partition_mode_from_string("contiguous"),
+            PartitionMode::kContiguous);
+  EXPECT_EQ(partition_mode_from_string("strided"), PartitionMode::kStrided);
+  EXPECT_EQ(partition_mode_from_string("weighted"), PartitionMode::kWeighted);
+  EXPECT_EQ(to_string(PartitionMode::kWeighted), "weighted");
+  EXPECT_THROW(static_cast<void>(partition_mode_from_string("zigzag")),
+               InvalidArgument);
+}
+
+TEST(Partition, ShardDatasetViewMatchesCopyOracle) {
+  // The zero-copy view shard must agree with the copying oracle
+  // element-for-element, dense and sparse.
+  auto dense_tt = make_blobs(101, 10, 6, 3, 3.0, 1.0, 5);
+  auto sparse_tt = make_e18_like(60, 10, 128, 5);
+  ShardPlan plan;
+  plan.parts = 4;
+  for (const Dataset* full : {&dense_tt.train, &sparse_tt.train}) {
+    for (int r = 0; r < 4; ++r) {
+      const Dataset view = shard_dataset(*full, plan, r);
+      const Dataset copy = shard_contiguous(*full, 4, r);
+      ASSERT_EQ(view.num_samples(), copy.num_samples());
+      EXPECT_TRUE(view.is_view());
+      EXPECT_EQ(view.approx_bytes(), 0u) << "views own no storage";
+      ASSERT_TRUE(std::equal(view.labels().begin(), view.labels().end(),
+                             copy.labels().begin()));
+      if (full->is_sparse()) {
+        EXPECT_EQ(view.csr_view().nnz(), copy.sparse_features().nnz());
+      } else {
+        const auto v = view.dense_view();
+        const auto& c = copy.dense_features();
+        for (std::size_t i = 0; i < v.rows(); ++i) {
+          for (std::size_t j = 0; j < v.cols(); ++j) {
+            ASSERT_EQ(v.at(i, j), c.at(i, j));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, MoreRanksThanRowsYieldsEmptyShards) {
+  auto tt = make_blobs(3, 2, 4, 2, 3.0, 1.0, 9);
+  ShardPlan plan;
+  plan.parts = 8;
+  std::size_t total = 0, empties = 0;
+  for (int r = 0; r < 8; ++r) {
+    const Dataset s = shard_dataset(tt.train, plan, r);
+    total += s.num_samples();
+    empties += s.empty() ? 1 : 0;
+    // Empty shards keep the global shape so objectives still construct.
+    EXPECT_EQ(s.num_features(), tt.train.num_features());
+    EXPECT_EQ(s.num_classes(), tt.train.num_classes());
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(empties, 5u);
+  // Strided and weighted plans cover the rows too.
+  plan.mode = PartitionMode::kStrided;
+  total = 0;
+  for (int r = 0; r < 8; ++r) {
+    total += shard_dataset(tt.train, plan, r).num_samples();
+  }
+  EXPECT_EQ(total, 3u);
+  plan.mode = PartitionMode::kWeighted;
+  plan.weights.assign(8, 1.0);
+  plan.weights[0] = 5.0;
+  total = 0;
+  for (int r = 0; r < 8; ++r) {
+    total += shard_dataset(tt.train, plan, r).num_samples();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition, MakeShardedAccountsResidentBytes) {
+  auto tt = make_blobs(64, 16, 6, 3, 3.0, 1.0, 5);
+  ShardPlan plan;
+  plan.parts = 4;
+  const auto sharded = make_sharded(tt.train, &tt.test, plan);
+  EXPECT_EQ(sharded.parts(), 4);
+  EXPECT_TRUE(sharded.has_full());
+  EXPECT_EQ(sharded.train_samples, 64u);
+  EXPECT_EQ(sharded.test_samples, 16u);
+  EXPECT_EQ(sharded.dim(), 6u * 2u);
+  // Zero-copy views: resident bytes are exactly the full splits.
+  EXPECT_EQ(sharded.resident_bytes, tt.approx_bytes());
+  // Strided shards are gather copies, so the copies add on top.
+  ShardPlan strided = plan;
+  strided.mode = PartitionMode::kStrided;
+  const auto sharded_strided = make_sharded(tt.train, &tt.test, strided);
+  EXPECT_GT(sharded_strided.resident_bytes, tt.approx_bytes());
+}
+
+TEST(Dataset, ViewsComposeAndShareStorage) {
+  auto tt = make_blobs(30, 0, 4, 3, 3.0, 1.0, 11);
+  Dataset view;
+  {
+    // The parent dataset dies; the view must keep the storage alive.
+    const Dataset parent = tt.train.view(5, 25);
+    view = parent.view(10, 20);  // rows 15..25 of the original
+  }
+  EXPECT_EQ(view.num_samples(), 10u);
+  EXPECT_TRUE(view.is_view());
+  const Dataset copy = tt.train.row_slice(15, 25);
+  ASSERT_TRUE(std::equal(view.labels().begin(), view.labels().end(),
+                         copy.labels().begin()));
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_EQ(view.dense_view().at(i, j), copy.dense_features().at(i, j));
+    }
+  }
+  // dense_features() refuses on proper sub-views (would lie about rows).
+  EXPECT_THROW(static_cast<void>(view.dense_features()), InvalidArgument);
+  // A full-range view still grants whole-matrix access.
+  EXPECT_NO_THROW(static_cast<void>(tt.train.view(0, 30).dense_features()));
+}
+
 // ------------------------------------------------------------ standardize
 
 TEST(Standardize, DenseZeroMeanUnitVariance) {
@@ -561,6 +705,86 @@ TEST(Io, LoadLibsvmTrainTestSplitsConsistently) {
   // Asking for more rows than the file has is an error, not a clamp.
   EXPECT_THROW(static_cast<void>(load_libsvm_train_test(path, 18, 5)),
                InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, LoadLibsvmShardedMatchesMaterializedPath) {
+  const std::string path = testing::TempDir() + "/nadmm_sharded.libsvm";
+  {
+    std::ofstream out(path);
+    // 37 rows, 3 labels, irregular sparsity; values exercise the
+    // max-abs standardize scale.
+    for (int i = 0; i < 37; ++i) {
+      out << (i % 3) << ' ' << (i % 7 + 1) << ':' << (0.25 * (i + 1)) << ' '
+          << (i % 5 + 8) << ':' << (-1.5 * (i % 4 + 1)) << '\n';
+    }
+  }
+  for (const bool standardize : {false, true}) {
+    const TrainTest full = [&] {
+      TrainTest tt = load_libsvm_train_test(path, 30, 7);
+      if (standardize) {
+        Standardizer sc;
+        sc.fit(tt.train);
+        tt.train = sc.transform(tt.train);
+        tt.test = sc.transform(tt.test);
+      }
+      return tt;
+    }();
+    for (const PartitionMode mode :
+         {PartitionMode::kContiguous, PartitionMode::kStrided,
+          PartitionMode::kWeighted}) {
+      ShardPlan plan;
+      plan.mode = mode;
+      plan.parts = 4;
+      if (mode == PartitionMode::kWeighted) {
+        plan.weights = {2.0, 1.0, 1.0, 1.0};
+      }
+      const ShardedDataset streamed =
+          load_libsvm_sharded(path, 30, 7, plan, standardize);
+      ASSERT_EQ(streamed.parts(), 4);
+      EXPECT_FALSE(streamed.has_full());
+      EXPECT_EQ(streamed.train_samples, 30u);
+      EXPECT_EQ(streamed.test_samples, 7u);
+      EXPECT_EQ(streamed.num_features, full.train.num_features());
+      EXPECT_EQ(streamed.num_classes, full.train.num_classes());
+      std::size_t rows = 0;
+      for (int r = 0; r < 4; ++r) {
+        // Each streamed shard must be bit-identical to sharding the
+        // materialized (and standardized) matrix the same way.
+        const Dataset want = shard_dataset(full.train, plan, r);
+        const Dataset& got = streamed.ranks[static_cast<std::size_t>(r)].train;
+        ASSERT_EQ(got.num_samples(), want.num_samples());
+        rows += got.num_samples();
+        ASSERT_TRUE(std::equal(got.labels().begin(), got.labels().end(),
+                               want.labels().begin()));
+        const auto gv = got.csr_view();
+        const auto wv = want.csr_view();
+        ASSERT_EQ(gv.nnz(), wv.nnz());
+        const auto gb = gv.row_ptr().front();
+        const auto wb = wv.row_ptr().front();
+        for (std::size_t e = 0; e < gv.nnz(); ++e) {
+          ASSERT_EQ(gv.values()[static_cast<std::size_t>(gb) + e],
+                    wv.values()[static_cast<std::size_t>(wb) + e])
+              << "mode " << to_string(mode) << " standardize " << standardize;
+          ASSERT_EQ(gv.col_idx()[static_cast<std::size_t>(gb) + e],
+                    wv.col_idx()[static_cast<std::size_t>(wb) + e]);
+        }
+        const Dataset want_test = shard_dataset(full.test, plan, r);
+        const Dataset& got_test =
+            streamed.ranks[static_cast<std::size_t>(r)].test;
+        ASSERT_EQ(got_test.num_samples(), want_test.num_samples());
+      }
+      EXPECT_EQ(rows, 30u);
+      // Peak accounting: the streamed path holds only the shards — less
+      // than the materialized path's full matrix + shard copies.
+      std::size_t copy_path = full.approx_bytes();
+      for (int r = 0; r < 4; ++r) {
+        copy_path += shard_contiguous(full.train, 4, r).approx_bytes();
+        copy_path += shard_contiguous(full.test, 4, r).approx_bytes();
+      }
+      EXPECT_LT(streamed.resident_bytes, copy_path);
+    }
+  }
   std::filesystem::remove(path);
 }
 

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "core/reference.hpp"
+#include "data/io.hpp"
 #include "runner/harness.hpp"
 #include "support/check.hpp"
 
@@ -186,6 +187,99 @@ TEST(Integration, SparsePipelineEndToEnd) {
   EXPECT_GT(admm.final_test_accuracy, 0.10);
   EXPECT_GT(gnt.final_test_accuracy, 0.10);
   EXPECT_LT(admm.final_objective, admm.trace.front().objective);
+}
+
+TEST(Integration, StreamedLibsvmShardsTrainIdenticallyToMaterialized) {
+  // Build a libsvm file, then run the same scenario two ways: zero-copy
+  // views over the materialized matrix, and per-rank shards streamed
+  // straight from disk. The shards are bit-identical, so training is too.
+  const std::string path = testing::TempDir() + "/nadmm_stream_equiv.libsvm";
+  {
+    const auto tt = data::make_e18_like(300, 60, 96, 21);
+    std::ofstream probe(path);  // save_libsvm opens itself; just reserve
+    probe.close();
+    data::save_libsvm(tt.train, path);
+    std::ofstream app(path, std::ios::app);
+    // Append the test rows so one file carries both splits.
+    const std::string tmp = path + ".test";
+    data::save_libsvm(tt.test, tmp);
+    std::ifstream in(tmp);
+    app << in.rdbuf();
+    in.close();
+    std::filesystem::remove(tmp);
+  }
+  ExperimentConfig c = small_config();
+  c.dataset = "libsvm:" + path;
+  c.n_train = 300;
+  c.n_test = 60;
+  c.workers = 4;
+  c.iterations = 6;
+  c.omp_threads = 1;
+
+  const data::DatasetKey key = dataset_key(c);
+  const data::ShardPlan plan = shard_plan(c);
+  const data::TrainTest full = data::generate_dataset(key);
+  const data::ShardedDataset views = data::make_sharded(full.train, &full.test, plan);
+  const data::ShardedDataset streamed = data::generate_sharded_dataset(key, plan);
+  ASSERT_FALSE(streamed.has_full());
+  ASSERT_TRUE(views.has_full());
+
+  for (const char* solver : {"newton-admm", "async-admm"}) {
+    auto cluster_a = make_cluster(c);
+    auto cluster_b = make_cluster(c);
+    const auto a = run_solver(solver, cluster_a, views, c);
+    const auto b = run_solver(solver, cluster_b, streamed, c);
+    EXPECT_EQ(a.iterations, b.iterations) << solver;
+    // Hit counts are integers, so accuracy matches exactly; the
+    // objective matches exactly for newton-admm (per-shard allreduce in
+    // both paths) and to float-association noise for async-admm (whose
+    // coordinator sums per-shard values only when no full matrix
+    // exists).
+    EXPECT_EQ(a.final_test_accuracy, b.final_test_accuracy) << solver;
+    if (std::string(solver) == "newton-admm") {
+      EXPECT_EQ(a.final_objective, b.final_objective) << solver;
+      ASSERT_EQ(a.x.size(), b.x.size());
+      for (std::size_t j = 0; j < a.x.size(); ++j) {
+        ASSERT_EQ(a.x[j], b.x[j]) << solver << " coeff " << j;
+      }
+    } else {
+      EXPECT_NEAR(a.final_objective, b.final_objective,
+                  1e-9 * (1.0 + std::abs(a.final_objective)))
+          << solver;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, WeightedPartitionFollowsDeviceSpeed) {
+  // On a heterogeneous cluster the weighted plan gives the fast rank
+  // proportionally more rows, which narrows the per-epoch straggler gap
+  // versus an equal contiguous split.
+  ExperimentConfig c = small_config();
+  c.iterations = 4;
+  c.workers = 4;
+  c.device = "p100";
+  c.straggler = "1:4";  // rank 1 runs at quarter speed
+  ExperimentConfig weighted_cfg = c;
+  weighted_cfg.partition = "weighted";
+  const data::ShardPlan plan = shard_plan(weighted_cfg);
+  ASSERT_EQ(plan.weights.size(), 4u);
+  EXPECT_LT(plan.weights[1], plan.weights[0]);
+  const auto ranges = plan.ranges(c.n_train);
+  EXPECT_LT(ranges[1].size(), ranges[0].size());
+  // End to end: weighted sharding beats contiguous on simulated epoch
+  // time under the straggler (the slow rank has 4x less work).
+  const auto tt = make_data(c);
+  ExperimentConfig contiguous = c;
+  ExperimentConfig weighted = c;
+  weighted.partition = "weighted";
+  auto cluster_a = make_cluster(contiguous);
+  auto cluster_b = make_cluster(weighted);
+  const auto even = run_solver("newton-admm", cluster_a, tt.train, &tt.test,
+                               contiguous);
+  const auto prop = run_solver("newton-admm", cluster_b, tt.train, &tt.test,
+                               weighted);
+  EXPECT_LT(prop.total_sim_seconds, even.total_sim_seconds);
 }
 
 TEST(Integration, StrongScalingReducesEpochTime) {

@@ -19,6 +19,7 @@
 #include "la/flops.hpp"
 #include "la/kernels.hpp"
 #include "la/sparse_matrix.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace nadmm::la {
@@ -402,6 +403,156 @@ TEST(KernelEngine, FlopsScopeTracksBytes) {
   EXPECT_EQ(scope.elapsed(), 7u);
   flops::reset();
   EXPECT_EQ(flops::read_bytes(), 0u);
+}
+
+// --------------------------------------------------- row-range shard views
+//
+// The shard-native data plane runs every rank on a zero-copy row-range
+// view of the parent matrix. These tests pin the contract the solvers
+// rely on: a view's products are BIT-identical to running on a copied
+// shard, at every thread count the engine supports.
+
+TEST(ShardViews, DenseViewProductsMatchCopiedShardBitwise) {
+  Rng rng(41);
+  const std::size_t k = 300, m = 17, n = 5;  // samples × features × classes
+  const auto full = random_matrix(k, m, rng);
+  const auto b = random_matrix(k, n, rng);
+  const auto bx = random_matrix(m, n, rng);
+  const auto x = random_vec(k, rng);
+  // An interior shard with awkward boundaries.
+  const std::size_t lo = 37, hi = 221;
+  DenseMatrix copy(hi - lo, m);
+  for (std::size_t r = lo; r < hi; ++r) {
+    const auto row = full.row(r);
+    std::copy(row.begin(), row.end(), copy.row(r - lo).begin());
+  }
+  DenseMatrix b_sub(hi - lo, n);
+  for (std::size_t r = lo; r < hi; ++r) {
+    const auto row = b.row(r);
+    std::copy(row.begin(), row.end(), b_sub.row(r - lo).begin());
+  }
+  const std::vector<double> x_sub(x.begin() + lo, x.begin() + hi);
+
+  for (const int threads : {1, 2, 3, 4, 8}) {
+    ThreadGuard guard(threads);
+    // gemm_tn: view of A against the same panel as the copy.
+    DenseMatrix g_view(m, n), g_copy(m, n);
+    kernels::gemm_tn(1.0, full.view(lo, hi), b_sub, 0.0, g_view);
+    kernels::gemm_tn(1.0, copy, b_sub, 0.0, g_copy);
+    for (std::size_t e = 0; e < g_view.size(); ++e) {
+      ASSERT_EQ(g_view.data()[e], g_copy.data()[e]) << "gemm_tn t=" << threads;
+    }
+    // gemm_nn (scores shape).
+    DenseMatrix s_view(hi - lo, n), s_copy(hi - lo, n);
+    kernels::gemm_nn(1.0, full.view(lo, hi), bx, 0.0, s_view);
+    kernels::gemm_nn(1.0, copy, bx, 0.0, s_copy);
+    for (std::size_t e = 0; e < s_view.size(); ++e) {
+      ASSERT_EQ(s_view.data()[e], s_copy.data()[e]) << "gemm_nn t=" << threads;
+    }
+    // gemv_t.
+    std::vector<double> y_view(m, 0.0), y_copy(m, 0.0);
+    kernels::gemv_t(1.0, full.view(lo, hi), x_sub, 0.0, y_view);
+    kernels::gemv_t(1.0, copy, x_sub, 0.0, y_copy);
+    for (std::size_t j = 0; j < m; ++j) {
+      ASSERT_EQ(y_view[j], y_copy[j]) << "gemv_t t=" << threads;
+    }
+  }
+}
+
+TEST(ShardViews, CsrViewProductsMatchCopiedShardBitwise) {
+  Rng rng(43);
+  // Narrow regime (two-phase reduction) and wide regime (CSC gather).
+  const struct {
+    std::size_t rows, cols, n;
+    double density;
+  } cases[] = {{240, 12, 4, 0.3}, {120, 600, 9, 0.02}};
+  for (const auto& tc : cases) {
+    const auto full = random_csr(tc.rows, tc.cols, tc.density, rng);
+    const auto b = random_matrix(tc.rows, tc.n, rng);
+    const std::size_t lo = tc.rows / 5, hi = (4 * tc.rows) / 5 + 1;
+    const auto copy = full.row_slice(lo, hi);
+    DenseMatrix b_sub(hi - lo, tc.n);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto row = b.row(r);
+      std::copy(row.begin(), row.end(), b_sub.row(r - lo).begin());
+    }
+    const auto xb = random_matrix(tc.cols, tc.n, rng);
+    for (const int threads : {1, 2, 4, 8}) {
+      ThreadGuard guard(threads);
+      DenseMatrix g_view(tc.cols, tc.n), g_copy(tc.cols, tc.n);
+      kernels::spmm_tn(1.0, full.view(lo, hi), b_sub, 0.0, g_view);
+      kernels::spmm_tn(1.0, copy, b_sub, 0.0, g_copy);
+      for (std::size_t e = 0; e < g_view.size(); ++e) {
+        ASSERT_EQ(g_view.data()[e], g_copy.data()[e])
+            << "spmm_tn rows=" << tc.rows << " t=" << threads;
+      }
+      DenseMatrix s_view(hi - lo, tc.n), s_copy(hi - lo, tc.n);
+      spmm_nn(1.0, full.view(lo, hi), xb, 0.0, s_view);
+      spmm_nn(1.0, copy, xb, 0.0, s_copy);
+      for (std::size_t e = 0; e < s_view.size(); ++e) {
+        ASSERT_EQ(s_view.data()[e], s_copy.data()[e])
+            << "spmm_nn rows=" << tc.rows << " t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardViews, CsrWideGatherIsThreadCountInvariantOnViews) {
+  Rng rng(47);
+  // Wide output forces the CSC gather; a shard view must give the same
+  // bits at EVERY thread count (the full-matrix guarantee extends to
+  // views via the per-column subrange restriction).
+  const auto full = random_csr(90, 800, 0.015, rng);
+  const auto b = random_matrix(40, 7, rng);
+  DenseMatrix base(800, 7);
+  {
+    ThreadGuard guard(1);
+    kernels::spmm_tn(1.0, full.view(25, 65), b, 0.0, base);
+  }
+  for (const int threads : {2, 3, 8}) {
+    ThreadGuard guard(threads);
+    DenseMatrix c(800, 7);
+    kernels::spmm_tn(1.0, full.view(25, 65), b, 0.0, c);
+    for (std::size_t e = 0; e < c.size(); ++e) {
+      ASSERT_EQ(c.data()[e], base.data()[e]) << "t=" << threads;
+    }
+  }
+}
+
+TEST(ShardViews, DefaultConstructedMatricesStayWellDefinedNoOps) {
+  // A default CsrMatrix carries the canonical one-element row_ptr {0},
+  // so its implicit CsrView (and every product on it) is a well-defined
+  // no-op — pinned here because the view conversion now sits on every
+  // kernel call path.
+  const CsrMatrix empty;
+  const CsrView view(empty);
+  EXPECT_EQ(view.rows(), 0u);
+  EXPECT_EQ(view.nnz(), 0u);
+  EXPECT_TRUE(view.covers_parent());
+  std::vector<double> x, y;
+  EXPECT_NO_THROW(spmv(1.0, empty, x, 0.0, y));
+  DenseMatrix b(0, 3), c(0, 3);
+  EXPECT_NO_THROW(spmm_nn(1.0, empty, b, 0.0, c));
+  DenseMatrix ct(0, 3);
+  EXPECT_NO_THROW(kernels::spmm_tn(1.0, empty, b, 0.0, ct));
+  const CsrView unbound;  // no parent at all
+  EXPECT_EQ(unbound.rows(), 0u);
+  EXPECT_EQ(unbound.nnz(), 0u);
+  EXPECT_FALSE(unbound.covers_parent());
+}
+
+TEST(ShardViews, EmptyAndFullRangeViewsBehave) {
+  Rng rng(53);
+  const auto full = random_csr(30, 20, 0.2, rng);
+  EXPECT_EQ(full.view(0, 30).nnz(), full.nnz());
+  EXPECT_TRUE(full.view(0, 30).covers_parent());
+  EXPECT_EQ(full.view(10, 10).nnz(), 0u);
+  EXPECT_EQ(full.view(10, 10).rows(), 0u);
+  const auto dense = random_matrix(8, 3, rng);
+  EXPECT_EQ(dense.view(8, 8).rows(), 0u);
+  EXPECT_EQ(dense.view(0, 8).data().size(), dense.size());
+  EXPECT_THROW(static_cast<void>(dense.view(3, 2)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(full.view(0, 31)), InvalidArgument);
 }
 
 }  // namespace

@@ -193,5 +193,108 @@ TEST(DatasetProvider, StandardizedKeyIsADistinctEntry) {
   EXPECT_EQ(provider.stats().generations, 2u);
 }
 
+// ------------------------------------------------------------ sharded
+
+TEST(DatasetProvider, ShardedInMemorySourceSharesTheFullEntry) {
+  DatasetProvider provider;
+  ShardPlan plan;
+  plan.parts = 4;
+  const auto sharded = provider.get_sharded(blobs_key(), plan);
+  ASSERT_EQ(sharded->parts(), 4);
+  EXPECT_TRUE(sharded->has_full());
+  // Shards are zero-copy views of the cached full dataset: only the full
+  // entry is generated and only its bytes are resident.
+  EXPECT_EQ(provider.stats().generations, 1u);
+  EXPECT_EQ(provider.bytes_in_use(), sharded->resident_bytes);
+  for (const auto& rd : sharded->ranks) {
+    EXPECT_EQ(rd.train.approx_bytes(), 0u);
+  }
+  // A second plan over the same key re-slices the same cached entry.
+  ShardPlan other = plan;
+  other.parts = 2;
+  const auto resliced = provider.get_sharded(blobs_key(), other);
+  EXPECT_EQ(resliced->parts(), 2);
+  EXPECT_EQ(provider.stats().generations, 1u);
+  EXPECT_GE(provider.stats().hits, 1u);
+  // Strided shards are real gather copies: they get their own cached
+  // entry (re-sliced from the cached full dataset) whose bytes join the
+  // budget, and a repeat request shares it instead of re-gathering.
+  ShardPlan strided = plan;
+  strided.mode = PartitionMode::kStrided;
+  const auto gathered = provider.get_sharded(blobs_key(), strided);
+  EXPECT_EQ(provider.stats().generations, 2u);
+  EXPECT_GT(provider.bytes_in_use(), gathered->resident_bytes -
+                                         gathered->full_train.approx_bytes());
+  const auto again = provider.get_sharded(blobs_key(), strided);
+  EXPECT_EQ(gathered.get(), again.get());
+  EXPECT_EQ(provider.stats().generations, 2u);
+}
+
+TEST(DatasetProvider, ShardedLibsvmStreamsIntoCachedPerRankShards) {
+  const std::string path = testing::TempDir() + "/nadmm_sharded_cache.libsvm";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 40; ++i) {
+      out << (i % 2) << ' ' << (i % 6 + 1) << ":2.0 9:" << (i + 1) << ".5\n";
+    }
+  }
+  DatasetProvider provider;
+  DatasetKey key;
+  key.source = "libsvm:" + path;
+  key.n_train = 32;
+  key.n_test = 8;
+  ShardPlan plan;
+  plan.parts = 4;
+  const auto a = provider.get_sharded(key, plan);
+  EXPECT_FALSE(a->has_full());
+  EXPECT_EQ(a->train_samples, 32u);
+  EXPECT_EQ(a->test_samples, 8u);
+  EXPECT_EQ(provider.stats().generations, 1u);
+  EXPECT_EQ(provider.bytes_in_use(), a->resident_bytes);
+  // Same (key, plan) is a cache hit returning the same shards.
+  const auto b = provider.get_sharded(key, plan);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(provider.stats().generations, 1u);
+  // A different plan is a distinct streamed entry (no full matrix exists
+  // to re-slice), accounted separately.
+  ShardPlan strided = plan;
+  strided.mode = PartitionMode::kStrided;
+  const auto c = provider.get_sharded(key, strided);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(provider.stats().generations, 2u);
+  EXPECT_EQ(provider.bytes_in_use(),
+            a->resident_bytes + c->resident_bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetProvider, StreamedShardsStayBelowMaterializedPathPeak) {
+  const std::string path = testing::TempDir() + "/nadmm_peak.libsvm";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 200; ++i) {
+      out << (i % 4) << ' ' << (i % 17 + 1) << ":1.25 " << (i % 9 + 20)
+          << ":-0.5 40:" << (i + 1) << ".0\n";
+    }
+  }
+  const int parts = 4;
+  const TrainTest full = load_libsvm_train_test(path, 160, 40);
+  ShardPlan plan;
+  plan.parts = parts;
+  const ShardedDataset streamed = load_libsvm_sharded(path, 160, 40, plan,
+                                                      /*standardize=*/false);
+  // The seed data plane materialized the full matrix AND copied one
+  // shard per rank — its peak was full + Σ copies. Streaming holds only
+  // the shards, comfortably below that.
+  std::size_t copy_path_peak = full.approx_bytes();
+  for (int r = 0; r < parts; ++r) {
+    copy_path_peak += shard_contiguous(full.train, parts, r).approx_bytes();
+    copy_path_peak += shard_contiguous(full.test, parts, r).approx_bytes();
+  }
+  EXPECT_LT(streamed.resident_bytes, copy_path_peak);
+  EXPECT_LT(static_cast<double>(streamed.resident_bytes),
+            0.75 * static_cast<double>(copy_path_peak));
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace nadmm::data

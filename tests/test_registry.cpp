@@ -57,10 +57,13 @@ TEST(SolverRegistry, CommClassAndKnobsComeFromTheRegistry) {
   EXPECT_EQ(to_string(CommClass::kAsynchronous), "async");
   EXPECT_EQ(to_string(CommClass::kNone), "-");
   // Every distributed solver documents its knobs; the async pair names
-  // its staleness/barrier controls so `nadmm list` cannot drift.
+  // its staleness/barrier controls so `nadmm list` cannot drift. The
+  // --partition shard-plan knob applies to every distributed solver (the
+  // harness shards before dispatch), so each one must list it.
   for (const auto& info : registry.list()) {
     if (info.kind == SolverKind::kDistributed) {
       EXPECT_FALSE(info.knobs.empty()) << info.name;
+      EXPECT_NE(info.knobs.find("partition"), std::string::npos) << info.name;
     }
   }
   EXPECT_NE(registry.info("async-admm").knobs.find("staleness"),
@@ -98,8 +101,8 @@ TEST(SolverRegistry, RejectsUnknownNames) {
 
 TEST(SolverRegistry, RejectsDuplicateAndEmptyRegistration) {
   auto& registry = SolverRegistry::instance();
-  const auto factory = [](comm::SimCluster&, const data::Dataset&,
-                          const data::Dataset*, const ExperimentConfig&) {
+  const auto factory = [](comm::SimCluster&, const data::ShardedDataset&,
+                          const ExperimentConfig&) {
     return core::RunResult{};
   };
   EXPECT_THROW(registry.add({"newton-admm", SolverKind::kDistributed, "dup",

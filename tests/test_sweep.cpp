@@ -118,6 +118,27 @@ TEST(SweepExpansion, EmptyAxisThrows) {
   EXPECT_THROW(static_cast<void>(expand_scenarios(spec)), InvalidArgument);
 }
 
+TEST(SweepExpansion, PartitionAxisExpandsAndTags) {
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm"};
+  spec.lambdas = {1e-3};
+  apply_sweep_assignment(spec, "partitions", "contiguous, strided ,weighted");
+  const auto scenarios = expand_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].config.partition, "contiguous");
+  EXPECT_EQ(scenarios[1].config.partition, "strided");
+  EXPECT_EQ(scenarios[2].config.partition, "weighted");
+  EXPECT_NE(scenarios[1].tag().find("strided"), std::string::npos);
+  // Unknown modes are rejected at parse time, not at run time.
+  EXPECT_THROW(apply_sweep_assignment(spec, "partitions", "zigzag"),
+               InvalidArgument);
+  // The partition axis is part of the journal fingerprint.
+  SweepSpec other = tiny_spec();
+  other.solvers = {"newton-admm"};
+  other.lambdas = {1e-3};
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
+}
+
 TEST(SweepExpansion, TagIsFilesystemSafeAndUnique) {
   const auto scenarios = expand_scenarios(tiny_spec());
   std::set<std::string> tags;
@@ -131,6 +152,32 @@ TEST(SweepExpansion, TagIsFilesystemSafeAndUnique) {
 }
 
 // ------------------------------------------------------------ execution
+
+TEST(SweepRun, ReportsPeakDatasetBytesAcrossPartitionModes) {
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm"};
+  spec.lambdas = {1e-3};
+  spec.partitions = {"contiguous", "strided", "weighted"};
+  SweepOptions options;
+  const auto report = run_sweep(spec, options);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  ASSERT_EQ(report.failures(), 0u);
+  const auto& contiguous = report.outcomes[0];
+  const auto& strided = report.outcomes[1];
+  const auto& weighted = report.outcomes[2];
+  EXPECT_GT(contiguous.peak_dataset_bytes, 0u);
+  // Zero-copy views (contiguous, weighted) hold just the full splits;
+  // strided gathers per-rank copies on top.
+  EXPECT_EQ(contiguous.peak_dataset_bytes, weighted.peak_dataset_bytes);
+  EXPECT_GT(strided.peak_dataset_bytes, contiguous.peak_dataset_bytes);
+  // All three modes share one cached full dataset; the strided scenario
+  // adds one cached entry for its gather copies (so repeats would not
+  // re-gather), hence two generations total.
+  EXPECT_EQ(report.cache.generations, 2u);
+  const auto rows = report.csv_rows();
+  EXPECT_NE(rows[0].find("partition"), std::string::npos);
+  EXPECT_NE(rows[0].find("peak_dataset_bytes"), std::string::npos);
+}
 
 TEST(SweepRun, FourScenarioSweepIsDeterministicAcrossPoolSizes) {
   const SweepSpec spec = tiny_spec();  // 2 solvers × 2 lambdas = 4 scenarios
