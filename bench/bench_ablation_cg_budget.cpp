@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
       run_cfg.local_newton_steps = steps;
       run_cfg.evaluate_accuracy = false;
       auto cluster = runner::make_cluster(run_cfg);
-      const auto r = runner::run_solver("newton-admm", cluster, tt.train,
-                                        nullptr, run_cfg);
+      const auto r = runner::run_solver("newton-admm", cluster,
+      runner::shard_for_solver("newton-admm", tt.train, nullptr, run_cfg), run_cfg);
       t.add_row({std::to_string(cg), std::to_string(steps),
                  Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3),
                  Table::fmt(r.final_objective, 4),

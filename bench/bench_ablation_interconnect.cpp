@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
       cfg.iterations = static_cast<int>(cli.get_int("epochs"));
       const auto tt = runner::make_data(cfg);
       auto cluster = runner::make_cluster(cfg);
-      const auto r = runner::run_solver(solver, cluster, tt.train, nullptr, cfg);
+      const auto r = runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, nullptr, cfg), cfg);
       row.push_back(Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3));
       if (network == "ib100") first = r.avg_epoch_sim_seconds;
       if (network == "wan") last = r.avg_epoch_sim_seconds;

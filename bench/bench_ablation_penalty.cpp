@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
         run_cfg.rho0 = rho0;
         run_cfg.evaluate_accuracy = false;
         auto cluster = runner::make_cluster(run_cfg);
-        const auto r = runner::run_solver("newton-admm", cluster, tt.train,
-                                          nullptr, run_cfg);
+        const auto r = runner::run_solver("newton-admm", cluster,
+      runner::shard_for_solver("newton-admm", tt.train, nullptr, run_cfg), run_cfg);
         row.push_back(Table::fmt(r.final_objective, 3));
         if (std::string(policy) == "sps") sps_rho = r.trace.back().rho_mean;
       }

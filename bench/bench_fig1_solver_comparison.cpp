@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
   for (const char* solver : {"newton-admm", "giant"}) {
     auto cluster = runner::make_cluster(cfg);
     results.push_back(
-        runner::run_solver(solver, cluster, tt.train, &tt.test, cfg));
+        runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, cfg), cfg));
   }
   for (const char* solver : {"inexact-dane", "aide"}) {
     auto dcfg = cfg;
@@ -46,7 +47,8 @@ int main(int argc, char** argv) {
     dcfg.svrg_outer = static_cast<int>(cli.get_int("svrg-outer"));
     auto cluster = runner::make_cluster(dcfg);
     results.push_back(
-        runner::run_solver(solver, cluster, tt.train, &tt.test, dcfg));
+        runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, dcfg), dcfg));
   }
 
   // The figure's series: objective at cumulative simulated time.

@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
           }
           const auto tt = runner::make_data(cfg);
           auto cluster = runner::make_cluster(cfg);
-          const auto r = runner::run_solver(solver, cluster, tt.train,
-                                            nullptr, cfg);
+          const auto r = runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, nullptr, cfg), cfg);
           if (!weak) {
             row[2] = Table::fmt_int(
                 static_cast<long long>(tt.train.num_samples()));

@@ -57,11 +57,13 @@ int main(int argc, char** argv) {
         cfg.evaluate_accuracy = false;
         auto c1 = runner::make_cluster(cfg);
         const auto admm =
-            runner::run_solver("newton-admm", c1, tt.train, nullptr, cfg);
+            runner::run_solver("newton-admm", c1,
+      runner::shard_for_solver("newton-admm", tt.train, nullptr, cfg), cfg);
 
         auto c2 = runner::make_cluster(cfg);
         const auto gnt =
-            runner::run_solver("giant", c2, tt.train, nullptr, cfg);
+            runner::run_solver("giant", c2,
+      runner::shard_for_solver("giant", tt.train, nullptr, cfg), cfg);
 
         const double t_admm = admm.sim_time_to_objective(target);
         const double t_giant = gnt.sim_time_to_objective(target);

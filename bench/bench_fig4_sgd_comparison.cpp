@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
       acfg.cg_iterations = cg;
       acfg.cg_tol = 1e-10;  // paper: CG tolerance 1e-10 for this figure
       auto cluster = runner::make_cluster(acfg);
-      auto r = runner::run_solver("newton-admm", cluster, tt.train, &tt.test,
-                                  acfg);
+      auto r = runner::run_solver("newton-admm", cluster,
+      runner::shard_for_solver("newton-admm", tt.train, &tt.test, acfg), acfg);
       if (best_admm.trace.empty() ||
           r.final_objective < best_admm.final_objective) {
         best_admm = std::move(r);
@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
       scfg.sgd_batch = 128;
       scfg.sgd_step = step;
       auto cluster = runner::make_cluster(scfg);
-      auto r = runner::run_solver("sync-sgd", cluster, tt.train, &tt.test, scfg);
+      auto r = runner::run_solver("sync-sgd", cluster,
+      runner::shard_for_solver("sync-sgd", tt.train, &tt.test, scfg), scfg);
       if (!std::isfinite(r.final_objective)) continue;  // diverged step
       if (best_sgd.trace.empty() ||
           r.final_objective < best_sgd.final_objective) {

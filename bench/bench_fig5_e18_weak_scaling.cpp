@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     for (const char* solver : {"newton-admm", "giant"}) {
       auto cluster = runner::make_cluster(cfg);
       const auto r =
-          runner::run_solver(solver, cluster, tt.train, &tt.test, cfg);
+          runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, cfg), cfg);
       Table t({"epoch", "sim time (s)", "objective", "test acc"});
       const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 8);
       for (std::size_t i = 0; i < r.trace.size(); i += stride) {

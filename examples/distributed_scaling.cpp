@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       const auto tt = runner::make_data(cfg);
       auto cluster = runner::make_cluster(cfg);
       const auto r =
-          runner::run_solver("newton-admm", cluster, tt.train, nullptr, cfg);
+          runner::run_solver("newton-admm", cluster,
+      runner::shard_for_solver("newton-admm", tt.train, nullptr, cfg), cfg);
       const double comm = r.trace.back().comm_sim_seconds;
       const double total = r.total_sim_seconds;
       t.add_row({std::to_string(workers),

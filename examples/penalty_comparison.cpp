@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
     cfg.rho0 = cli.get_double("rho0");
     auto cluster = runner::make_cluster(cfg);
     const auto r =
-        runner::run_solver("newton-admm", cluster, tt.train, &tt.test, cfg);
+        runner::run_solver("newton-admm", cluster,
+      runner::shard_for_solver("newton-admm", tt.train, &tt.test, cfg), cfg);
     std::printf("\n--- policy: %s ---\n", policy);
     Table t({"iter", "objective", "primal res", "dual res", "mean rho"});
     const std::size_t stride = std::max<std::size_t>(1, r.trace.size() / 8);

@@ -38,8 +38,11 @@ int main(int argc, char** argv) {
   std::printf("cluster: %d ranks, device=%s, network=%s\n\n", cluster.size(),
               config.device.c_str(), config.network.c_str());
 
-  const auto result = nadmm::runner::run_solver("newton-admm", cluster,
-                                                data.train, &data.test, config);
+  const auto result = nadmm::runner::run_solver(
+      "newton-admm", cluster,
+      nadmm::runner::shard_for_solver("newton-admm", data.train, &data.test,
+                                      config),
+      config);
   nadmm::runner::print_trace_summary(result);
 
   std::printf("\nfinal test accuracy: %.2f%%\n",

@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
                              ? 100
                              : static_cast<int>(cli.get_int("fo-iterations"));
     const auto r = runner::SolverRegistry::instance().run(
-        solver, cluster, tt.train, &tt.test, run_cfg);
+        solver, cluster,
+        runner::shard_for_solver(solver, tt.train, &tt.test, run_cfg),
+        run_cfg);
     t.add_row({r.solver, step > 0 ? Table::fmt(step, 4) : "line search",
                Table::fmt_int(r.iterations), Table::fmt(r.final_objective, 4),
                Table::fmt(r.total_sim_seconds, 4),

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   Table t({"solver", "avg epoch (ms)", "final objective", "test accuracy"});
   for (const char* solver : {"newton-admm", "giant"}) {
     auto cluster = runner::make_cluster(cfg);
-    const auto r = runner::run_solver(solver, cluster, tt.train, &tt.test, cfg);
+    const auto r = runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, cfg), cfg);
     t.add_row({r.solver, Table::fmt(r.avg_epoch_sim_seconds * 1e3, 3),
                Table::fmt(r.final_objective, 4),
                Table::fmt(100.0 * r.final_test_accuracy, 2) + "%"});

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   cfg.lambda = cli.get_double("lambda");
   auto cluster = runner::make_cluster(cfg);
   const auto result = runner::run_solver(cli.get_string("solver"), cluster,
-                                         train, &test, cfg);
+      runner::shard_for_solver(cli.get_string("solver"), train, &test, cfg), cfg);
   runner::print_trace_summary(result);
   return 0;
 }

@@ -82,6 +82,8 @@ core::RunResult sync_sgd(comm::SimCluster& cluster,
   return result;
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
                          const data::Dataset* test,
                          const SyncSgdOptions& options) {
@@ -89,5 +91,6 @@ core::RunResult sync_sgd(comm::SimCluster& cluster, const data::Dataset& train,
   plan.parts = cluster.size();
   return sync_sgd(cluster, data::make_sharded(train, test, plan), options);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace nadmm::baselines

@@ -178,13 +178,30 @@ baselines::DiscoOptions disco_options(const ExperimentConfig& config) {
   return o;
 }
 
+data::ShardedDataset shard_for_solver(const std::string& solver,
+                                      const data::Dataset& train,
+                                      const data::Dataset* test,
+                                      const ExperimentConfig& config) {
+  // Single-node solvers run on the full splits; a one-part plan keeps
+  // the uniform factory signature without re-slicing anything.
+  const auto& info = SolverRegistry::instance().info(solver);
+  const data::ShardPlan plan = info.kind == SolverKind::kSingleNode
+                                   ? data::ShardPlan{}
+                                   : shard_plan(config);
+  return data::make_sharded(train, test, plan);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 core::RunResult run_solver(const std::string& solver,
                            comm::SimCluster& cluster,
                            const data::Dataset& train,
                            const data::Dataset* test,
                            const ExperimentConfig& config) {
-  return SolverRegistry::instance().run(solver, cluster, train, test, config);
+  return run_solver(solver, cluster,
+                    shard_for_solver(solver, train, test, config), config);
 }
+#pragma GCC diagnostic pop
 
 core::RunResult run_solver(const std::string& solver,
                            comm::SimCluster& cluster,

@@ -101,10 +101,23 @@ baselines::SyncSgdOptions sgd_options(const ExperimentConfig& config);
 baselines::DaneOptions dane_options(const ExperimentConfig& config);
 baselines::DiscoOptions disco_options(const ExperimentConfig& config);
 
+/// Shard `train`/`test` the way `solver` expects: the config's partition
+/// plan for distributed solvers, a one-part plan (materialized full
+/// splits) for single-node solvers. This is the explicit form of what
+/// the deprecated (train, test) entry points did implicitly.
+data::ShardedDataset shard_for_solver(const std::string& solver,
+                                      const data::Dataset& train,
+                                      const data::Dataset* test,
+                                      const ExperimentConfig& config);
+
 /// Dispatch by solver name through the SolverRegistry (see
 /// runner/registry.hpp for the full name list, including the
 /// single-node solvers). Shards `train`/`test` under the config's
 /// partition plan first.
+[[deprecated(
+    "shard explicitly: run_solver(solver, cluster, shard_for_solver(solver, "
+    "train, test, config), config) — this overload re-plans shards per call "
+    "and hides the data layout")]]
 core::RunResult run_solver(const std::string& solver,
                            comm::SimCluster& cluster,
                            const data::Dataset& train,

@@ -1,13 +1,20 @@
 // The `nadmm` CLI: one binary for the whole experiment surface.
 //
-//   nadmm list                     — solvers / datasets / devices / networks
-//   nadmm run   --solver=… --dataset=… [knobs]
+//   nadmm list [--json]            — solvers / datasets / devices / networks
+//   nadmm run   --solver=… --dataset=… [knobs] [--save-model=FILE]
+//   nadmm serve --model=FILE --arrival=… --batch=… [pool flags]
 //   nadmm sweep --spec=FILE | [grid flags] --jobs=N --out=report.csv
 //
-// `run` executes a single scenario and prints its trace summary; `sweep`
-// expands a declarative grid and executes it on a worker pool (see
+// Every subcommand builds its flag surface from the shared declarative
+// option specs in runner/options.hpp: the spec registers the flags,
+// generates `--help` in declaration order, and validates parsed values
+// up front (rejections name the offending flag). `run` executes a single
+// scenario and prints its trace summary; `serve` replays a synthetic
+// request stream against a saved model; `sweep` expands a declarative
+// grid — training or serving — and executes it on a worker pool (see
 // runner/sweep.hpp — the aggregated report is deterministic across
 // --jobs settings).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
@@ -15,8 +22,11 @@
 #include <vector>
 
 #include "runner/harness.hpp"
+#include "runner/options.hpp"
 #include "runner/registry.hpp"
 #include "runner/sweep.hpp"
+#include "serve/model_io.hpp"
+#include "serve/server.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -25,50 +35,35 @@ namespace {
 
 using namespace nadmm;
 
-/// Parse "0", "1500000", "512m", "2g" (case-insensitive k/m/g suffix).
-std::size_t parse_byte_size(const std::string& value) {
-  NADMM_CHECK(!value.empty(), "--cache-budget must not be empty");
-  // stoull would silently wrap "-1" to 2^64−1.
-  NADMM_CHECK(value.find('-') == std::string::npos,
-              "--cache-budget must be non-negative");
-  std::size_t multiplier = 1;
-  std::string digits = value;
-  switch (digits.back()) {
-    case 'k': case 'K': multiplier = 1ull << 10; digits.pop_back(); break;
-    case 'm': case 'M': multiplier = 1ull << 20; digits.pop_back(); break;
-    case 'g': case 'G': multiplier = 1ull << 30; digits.pop_back(); break;
-    default: break;
-  }
-  try {
-    std::size_t pos = 0;
-    const auto v = std::stoull(digits, &pos);
-    NADMM_CHECK(pos == digits.size(), "trailing characters");
-    NADMM_CHECK(v <= SIZE_MAX / multiplier, "size overflows");
-    return v * multiplier;
-  } catch (const std::exception&) {
-    throw InvalidArgument("--cache-budget: malformed size '" + value +
-                          "' (expected bytes with optional k/m/g suffix)");
-  }
-}
-
 void print_usage() {
   std::printf(
       "usage: nadmm <command> [options]\n"
       "\n"
       "commands:\n"
       "  list    show registered solvers, datasets, devices and networks\n"
+      "          (--json dumps the registry machine-readably)\n"
       "  run     run one scenario (nadmm run --help)\n"
+      "  serve   replay a request stream against a saved model "
+      "(nadmm serve --help)\n"
       "  sweep   run a scenario grid on a worker pool (nadmm sweep --help)\n");
 }
 
-int cmd_list() {
+int cmd_list(int argc, const char* const* argv) {
+  CliParser cli("nadmm list — registered solvers and the shared axes");
+  cli.add_flag("json", "dump the registry as JSON (knobs carry "
+                       "type/default/description)");
+  if (!cli.parse(argc, argv)) return 0;
+  if (cli.get_flag("json")) {
+    std::printf("%s", runner::registry_json().c_str());
+    return 0;
+  }
   std::printf("solvers:\n");
   // The class and knobs columns come straight from the registry, so this
   // listing cannot drift from what the factories actually read.
   Table solvers({"name", "kind", "class", "knobs", "description"});
   for (const auto& info : runner::SolverRegistry::instance().list()) {
     solvers.add_row({info.name, runner::to_string(info.kind),
-                     runner::to_string(info.comm_class), info.knobs,
+                     runner::to_string(info.comm_class), info.knobs_csv(),
                      info.description});
   }
   solvers.print();
@@ -86,39 +81,11 @@ int cmd_list() {
       "| weighted\n"
       "            (shard sizes follow per-rank device gflops; "
       "libsvm: sources\n"
-      "            stream straight into the per-rank shards)\n");
+      "            stream straight into the per-rank shards)\n"
+      "arrivals:   poisson[:<rate>] | diurnal[:<mean>[:<amp>[:<period>]]]\n"
+      "            | bursty[:<base>[:<burst>[:<period>[:<duty>]]]]\n"
+      "batching:   immediate | size:<B> | deadline:<B>:<seconds>\n");
   return 0;
-}
-
-void add_scenario_options(CliParser& cli) {
-  cli.add_string("dataset", "blobs", "higgs|mnist|cifar|e18|blobs|libsvm:<path>");
-  cli.add_int("n-train", 8000, "training samples");
-  cli.add_int("n-test", 2000, "test samples");
-  cli.add_int("e18-features", 1400, "feature dim for e18/blobs");
-  cli.add_int("seed", 42, "dataset generator seed");
-  cli.add_int("workers", 8, "simulated cluster size");
-  cli.add_string("device", "p100",
-                 "device model (p100|cpu|<gflops>[:<gbytes_per_s>]); a "
-                 "','/'+'-separated list rates ranks individually");
-  cli.add_string("devices", "",
-                 "alias for --device (matches the sweep axis name)");
-  cli.add_string("network", "ib100", "network model (ib100|eth10|eth1|wan|ideal)");
-  cli.add_string("penalty", "sps", "ADMM penalty rule (fixed|rb|sps)");
-  cli.add_double("lambda", 1e-5, "l2 regularization");
-  cli.add_string("straggler", "none",
-                 "inject a straggler: <rank>:<slowdown> (none disables)");
-  cli.add_string("partition", "contiguous",
-                 "shard plan across ranks: contiguous|strided|weighted "
-                 "(weighted sizes shards by per-rank device gflops)");
-  cli.add_int("iterations", 100, "outer iterations (epochs)");
-  cli.add_int("cg-iterations", 10, "CG budget per Newton step");
-  cli.add_double("cg-tol", 1e-4, "CG relative tolerance");
-  cli.add_int("line-search", 10, "line-search iteration budget");
-  cli.add_double("objective-target", 0.0,
-                 "stop once F(z) <= target (<= 0 disables)");
-  cli.add_int("staleness", 4, "async-admm bounded-staleness (rounds)");
-  cli.add_int("sync-every", 4, "stale-sync-admm barrier period (rounds)");
-  cli.add_int("omp-threads", 0, "OpenMP threads per rank (0 = auto)");
 }
 
 runner::ExperimentConfig config_from_cli(const CliParser& cli) {
@@ -134,6 +101,7 @@ runner::ExperimentConfig config_from_cli(const CliParser& cli) {
   c.network = cli.get_string("network");
   c.penalty = cli.get_string("penalty");
   c.lambda = cli.get_double("lambda");
+  c.rho0 = cli.get_double("rho0");
   c.straggler = cli.get_string("straggler");
   c.partition = cli.get_string("partition");
   c.iterations = static_cast<int>(cli.get_int("iterations"));
@@ -143,16 +111,28 @@ runner::ExperimentConfig config_from_cli(const CliParser& cli) {
   c.objective_target = cli.get_double("objective-target");
   c.staleness = static_cast<int>(cli.get_int("staleness"));
   c.sync_every = static_cast<int>(cli.get_int("sync-every"));
+  c.sgd_batch = static_cast<std::size_t>(cli.get_int("sgd-batch"));
+  c.sgd_step = cli.get_double("sgd-step");
+  c.dane_epochs = static_cast<int>(cli.get_int("dane-epochs"));
+  c.svrg_outer = static_cast<int>(cli.get_int("svrg-outer"));
+  c.fo_step = cli.get_double("fo-step");
+  c.gradient_tol = cli.get_double("gradient-tol");
   c.omp_threads = static_cast<int>(cli.get_int("omp-threads"));
   return c;
 }
 
 int cmd_run(int argc, const char* const* argv) {
   CliParser cli("nadmm run — execute one scenario and print its trace");
-  cli.add_string("solver", "newton-admm", "solver name (see `nadmm list`)");
-  add_scenario_options(cli);
-  cli.add_string("trace-csv", "", "if set, write the full trace CSV here");
+  runner::OptionSet opts;
+  opts.add_string("solver", "newton-admm", "solver name (see `nadmm list`)",
+                  runner::v_solver());
+  opts.extend(runner::scenario_options());
+  opts.add_string("trace-csv", "", "if set, write the full trace CSV here");
+  opts.add_string("save-model", "",
+                  "if set, save the trained model here (for `nadmm serve`)");
+  opts.register_into(cli);
   if (!cli.parse(argc, argv)) return 0;
+  opts.validate(cli);
 
   const std::string solver = cli.get_string("solver");
   const auto config = config_from_cli(cli);
@@ -168,8 +148,9 @@ int cmd_run(int argc, const char* const* argv) {
               config.penalty.c_str(), config.lambda);
 
   auto cluster = runner::make_cluster(config);
-  const auto result =
-      runner::run_solver(solver, cluster, tt.train, &tt.test, config);
+  const auto result = runner::run_solver(
+      solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, config), config);
   runner::print_trace_summary(result);
 
   const std::string trace_csv = cli.get_string("trace-csv");
@@ -177,6 +158,92 @@ int cmd_run(int argc, const char* const* argv) {
     runner::write_trace_csv(result, trace_csv);
     std::printf("\ntrace written to %s\n", trace_csv.c_str());
   }
+  const std::string model_path = cli.get_string("save-model");
+  if (!model_path.empty()) {
+    serve::SavedModel model;
+    model.objective = "softmax";
+    model.solver = solver;
+    model.dataset = config.dataset;
+    model.num_features = tt.train.num_features();
+    model.num_classes = tt.train.num_classes();
+    model.lambda = config.lambda;
+    model.x = result.x;
+    serve::save_model(model, model_path);
+    std::printf("\nmodel written to %s\n", model_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  CliParser cli(
+      "nadmm serve — replay a deterministic synthetic request stream "
+      "against a saved model.\nThe request pool is the test split of "
+      "--dataset; throughput and latency percentiles come from the "
+      "virtual clock, so results are machine-independent.");
+  runner::OptionSet opts;
+  opts.add_string("model", "",
+                  "trained model file (from `nadmm run --save-model`)");
+  for (const char* shared :
+       {"dataset", "n-train", "n-test", "e18-features", "seed", "device",
+        "network", "omp-threads"}) {
+    opts.add(*runner::scenario_options().find(shared));
+  }
+  opts.extend(runner::serving_options());
+  opts.register_into(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  opts.validate(cli);
+  NADMM_CHECK(!cli.get_string("model").empty(),
+              "--model is required (train one with `nadmm run "
+              "--save-model=model.txt`)");
+
+  const auto model = serve::load_model(cli.get_string("model"));
+  runner::ExperimentConfig data_config;
+  data_config.dataset = cli.get_string("dataset");
+  data_config.n_train = static_cast<std::size_t>(cli.get_int("n-train"));
+  data_config.n_test = static_cast<std::size_t>(cli.get_int("n-test"));
+  data_config.e18_features =
+      static_cast<std::size_t>(cli.get_int("e18-features"));
+  data_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto tt = runner::make_data(data_config);
+  NADMM_CHECK(!tt.test.empty(),
+              "serving needs a non-empty test split (--n-test > 0)");
+
+  serve::ServeConfig config;
+  config.arrival = cli.get_string("arrival");
+  config.batch = cli.get_string("batch");
+  config.requests = static_cast<std::size_t>(cli.get_int("requests"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.device = cli.get_string("device");
+  config.network = cli.get_string("network");
+  config.dispatch_overhead_s = cli.get_double("dispatch-overhead");
+  config.omp_threads = static_cast<int>(cli.get_int("omp-threads"));
+
+  std::printf("serving: model=%s (%s via %s) pool=%s rows=%zu p=%zu "
+              "device=%s network=%s\n",
+              cli.get_string("model").c_str(), model.objective.c_str(),
+              model.solver.empty() ? "-" : model.solver.c_str(),
+              data_config.dataset.c_str(), tt.test.num_samples(),
+              tt.test.num_features(), config.device.c_str(),
+              config.network.c_str());
+
+  const auto r = serve::simulate(model, tt.test, config);
+  std::printf(
+      "\narrival=%s batch=%s\n"
+      "requests:        %llu in %.6f sim-seconds (%zu batches, mean %.2f, "
+      "max %llu, %llu deadline flushes)\n"
+      "throughput:      %.1f req/s\n"
+      "latency:         mean %.6fs  p50 %.6fs  p99 %.6fs  p999 %.6fs  "
+      "max %.6fs\n"
+      "served accuracy: %.4f\n"
+      "server busy:     %.6fs compute, %.6fs idle\n",
+      r.arrival.c_str(), r.batch.c_str(),
+      static_cast<unsigned long long>(r.requests), r.total_sim_seconds,
+      static_cast<std::size_t>(r.batches), r.mean_batch,
+      static_cast<unsigned long long>(r.max_batch_seen),
+      static_cast<unsigned long long>(r.deadline_flushes), r.throughput_rps,
+      r.mean_latency_s, r.p50_latency_s, r.p99_latency_s, r.p999_latency_s,
+      r.max_latency_s, r.accuracy, r.server_compute_seconds,
+      r.server_wait_seconds);
   return 0;
 }
 
@@ -184,46 +251,95 @@ int cmd_sweep(int argc, const char* const* argv) {
   CliParser cli(
       "nadmm sweep — expand a scenario grid and run it on a worker pool.\n"
       "Grid axes take comma-separated lists; --spec FILE loads `key = value`\n"
-      "lines first and inline flags override it.");
-  cli.add_string("spec", "", "sweep spec file (key = value lines)");
-  cli.add_string("solvers", "", "e.g. newton-admm,giant,sync-sgd");
-  cli.add_string("datasets", "", "e.g. blobs,higgs");
-  cli.add_string("workers", "", "e.g. 4,8,16");
-  cli.add_string("devices", "", "e.g. p100,cpu");
-  cli.add_string("networks", "", "e.g. ib100,eth10");
-  cli.add_string("penalties", "", "e.g. sps,fixed");
-  cli.add_string("lambdas", "", "e.g. 1e-5,1e-4");
-  cli.add_string("stragglers", "", "e.g. none,1:4");
-  cli.add_string("partitions", "", "e.g. contiguous,strided,weighted");
-  cli.add_int("n-train", -1, "training samples (-1: keep spec/default)");
-  cli.add_int("n-test", -1, "test samples (-1: keep spec/default)");
-  cli.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
-  cli.add_int("seed", -1, "generator seed (-1: keep)");
-  cli.add_int("iterations", -1, "outer iterations (-1: keep)");
-  cli.add_int("staleness", -1, "async-admm staleness bound (-1: keep)");
-  cli.add_int("sync-every", -1, "stale-sync barrier period (-1: keep)");
-  cli.add_double("objective-target", -1.0,
-                 "early-stop objective target (-1: keep)");
-  cli.add_int("jobs", 1, "concurrent scenarios");
-  cli.add_string("out", "sweep.csv", "aggregated CSV report path");
-  cli.add_string("json", "", "if set, also write a JSON report here");
-  cli.add_string("trace-dir", "", "if set, write per-scenario trace CSVs here");
-  cli.add_flag("resume", "skip scenarios recorded in <out>.journal.jsonl");
-  cli.add_string("cache-budget", "2g",
-                 "dataset cache byte budget (k/m/g suffixes; 0 disables)");
-  cli.add_int("limit", 0, "stop after N scenarios (0 = all; for CI/testing)");
-  cli.add_flag("quiet", "suppress per-scenario progress lines");
+      "lines first and inline flags override it. `--mode serving` swaps the\n"
+      "train axes for arrival × batch-policy serving scenarios.");
+  runner::OptionSet opts;
+  opts.add_string("spec", "", "sweep spec file (key = value lines)");
+  opts.add_string("mode", "", "grid mode: train|serving (default: train)",
+                  [](const std::string& flag, const std::string& value) {
+                    if (!value.empty() && value != "train" &&
+                        value != "serving") {
+                      throw InvalidArgument("--" + flag +
+                                            ": invalid value '" + value +
+                                            "' (expected train|serving)");
+                    }
+                  });
+  opts.add_string("solvers", "", "e.g. newton-admm,giant,sync-sgd",
+                  runner::v_each(',', runner::v_solver()));
+  opts.add_string("datasets", "", "e.g. blobs,higgs",
+                  runner::v_each(',', runner::v_dataset()));
+  opts.add_string("workers", "", "e.g. 4,8,16",
+                  runner::v_each(',', runner::v_int_min(1)));
+  opts.add_string("devices", "", "e.g. p100,cpu", runner::v_device_list());
+  opts.add_string("networks", "", "e.g. ib100,eth10",
+                  runner::v_each(',', runner::v_network()));
+  opts.add_string("penalties", "", "e.g. sps,fixed",
+                  runner::v_each(',', runner::v_one_of({"fixed", "rb",
+                                                        "sps"})));
+  opts.add_string("lambdas", "", "e.g. 1e-5,1e-4");
+  opts.add_string("stragglers", "", "e.g. none,1:4",
+                  runner::v_each(',', runner::v_straggler()));
+  opts.add_string("partitions", "", "e.g. contiguous,strided,weighted",
+                  runner::v_each(',', runner::v_partition()));
+  opts.add_string("arrivals", "",
+                  "serving-mode arrival axis, e.g. poisson:1000,bursty",
+                  runner::v_each(',', runner::v_arrival()));
+  opts.add_string("batch-policies", "",
+                  "serving-mode batch axis, e.g. immediate,deadline:16:0.005",
+                  runner::v_each(',', runner::v_batch_policy()));
+  opts.add_int("serve-requests", -1, "serving requests per scenario (-1: keep)");
+  opts.add_string("serve-model", "",
+                  "serve a pre-trained model file instead of training");
+  opts.add_double("dispatch-overhead", -1.0,
+                  "serving per-dispatch cost in seconds (-1: keep)");
+  opts.add_int("n-train", -1, "training samples (-1: keep spec/default)");
+  opts.add_int("n-test", -1, "test samples (-1: keep spec/default)");
+  opts.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
+  opts.add_int("seed", -1, "generator seed (-1: keep)");
+  opts.add_int("iterations", -1, "outer iterations (-1: keep)");
+  opts.add_int("staleness", -1, "async-admm staleness bound (-1: keep)");
+  opts.add_int("sync-every", -1, "stale-sync barrier period (-1: keep)");
+  opts.add_double("objective-target", -1.0,
+                  "early-stop objective target (-1: keep)");
+  opts.add_int("jobs", 1, "concurrent scenarios", runner::v_int_min(1));
+  opts.add_string("out", "sweep.csv", "aggregated CSV report path");
+  opts.add_string("json", "", "if set, also write a JSON report here");
+  opts.add_string("trace-dir", "",
+                  "if set, write per-scenario trace CSVs here");
+  opts.add_flag("resume", "skip scenarios recorded in <out>.journal.jsonl");
+  opts.add_string("cache-budget", "2g",
+                  "dataset cache byte budget (k/m/g suffixes; 0 disables)",
+                  runner::v_byte_size());
+  opts.add_int("limit", 0, "stop after N scenarios (0 = all; for CI/testing)",
+               runner::v_int_min(0));
+  opts.add_flag("quiet", "suppress per-scenario progress lines");
+  opts.register_into(cli);
   if (!cli.parse(argc, argv)) return 0;
+  opts.validate(cli);
 
   runner::SweepSpec spec;
   const std::string spec_path = cli.get_string("spec");
   if (!spec_path.empty()) spec = runner::parse_sweep_file(spec_path);
 
-  for (const char* axis :
-       {"solvers", "datasets", "workers", "devices", "networks", "penalties",
-        "lambdas", "stragglers", "partitions"}) {
-    const std::string value = cli.get_string(axis);
-    if (!value.empty()) runner::apply_sweep_assignment(spec, axis, value);
+  if (!cli.get_string("mode").empty()) {
+    runner::apply_sweep_assignment(spec, "mode", cli.get_string("mode"));
+  }
+  struct AxisFlag {
+    const char* flag;
+    const char* key;
+  };
+  for (const auto& [flag, key] :
+       {AxisFlag{"solvers", "solvers"}, AxisFlag{"datasets", "datasets"},
+        AxisFlag{"workers", "workers"}, AxisFlag{"devices", "devices"},
+        AxisFlag{"networks", "networks"},
+        AxisFlag{"penalties", "penalties"}, AxisFlag{"lambdas", "lambdas"},
+        AxisFlag{"stragglers", "stragglers"},
+        AxisFlag{"partitions", "partitions"},
+        AxisFlag{"arrivals", "arrivals"},
+        AxisFlag{"batch-policies", "batch_policies"},
+        AxisFlag{"serve-model", "serve_model"}}) {
+    const std::string value = cli.get_string(flag);
+    if (!value.empty()) runner::apply_sweep_assignment(spec, key, value);
   }
   struct ScalarFlag {
     const char* flag;
@@ -234,7 +350,8 @@ int cmd_sweep(int argc, const char* const* argv) {
         ScalarFlag{"e18-features", "e18_features"}, ScalarFlag{"seed", "seed"},
         ScalarFlag{"iterations", "iterations"},
         ScalarFlag{"staleness", "staleness"},
-        ScalarFlag{"sync-every", "sync_every"}}) {
+        ScalarFlag{"sync-every", "sync_every"},
+        ScalarFlag{"serve-requests", "serve_requests"}}) {
     const std::int64_t value = cli.get_int(flag);
     if (value >= 0) {
       runner::apply_sweep_assignment(spec, key, std::to_string(value));
@@ -245,6 +362,11 @@ int cmd_sweep(int argc, const char* const* argv) {
         spec, "objective_target",
         std::to_string(cli.get_double("objective-target")));
   }
+  if (cli.get_double("dispatch-overhead") >= 0.0) {
+    runner::apply_sweep_assignment(
+        spec, "dispatch_overhead",
+        std::to_string(cli.get_double("dispatch-overhead")));
+  }
 
   const std::string out = cli.get_string("out");
   runner::SweepOptions options;
@@ -252,21 +374,26 @@ int cmd_sweep(int argc, const char* const* argv) {
   options.trace_dir = cli.get_string("trace-dir");
   options.journal_path = out + ".journal.jsonl";
   options.resume = cli.get_flag("resume");
-  options.cache_budget = parse_byte_size(cli.get_string("cache-budget"));
+  options.cache_budget =
+      runner::parse_byte_size("cache-budget", cli.get_string("cache-budget"));
   options.max_scenarios =
       static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("limit")));
   const bool quiet = cli.get_flag("quiet");
   if (!quiet) {
     options.on_scenario_done = [](const runner::ScenarioOutcome& o,
                                   std::size_t done, std::size_t total) {
-      if (o.ok) {
+      if (!o.ok) {
+        std::printf("[%zu/%zu] %s: FAILED — %s\n", done, total,
+                    o.scenario.tag().c_str(), o.error.c_str());
+      } else if (o.scenario.serving) {
+        std::printf("[%zu/%zu] %s: %.1f req/s p99=%.6fs acc=%.4f\n", done,
+                    total, o.scenario.tag().c_str(), o.throughput_rps,
+                    o.p99_latency_s, o.result.final_test_accuracy);
+      } else {
         std::printf("[%zu/%zu] %s: objective=%.6g acc=%.4f sim=%.3fs\n", done,
                     total, o.scenario.tag().c_str(),
                     o.result.final_objective, o.result.final_test_accuracy,
                     o.result.total_sim_seconds);
-      } else {
-        std::printf("[%zu/%zu] %s: FAILED — %s\n", done, total,
-                    o.scenario.tag().c_str(), o.error.c_str());
       }
       std::fflush(stdout);
     };
@@ -313,8 +440,9 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    if (command == "list") return cmd_list();
+    if (command == "list") return cmd_list(argc - 1, argv + 1);
     if (command == "run") return cmd_run(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "--help" || command == "-h" || command == "help") {
       print_usage();

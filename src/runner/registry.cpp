@@ -113,6 +113,22 @@ SolverFactory single_node_factory(std::string name) {
 
 }  // namespace
 
+std::vector<KnobInfo> SolverInfo::knobs() const {
+  std::vector<KnobInfo> out;
+  out.reserve(knob_names.size());
+  for (const auto& knob : knob_names) out.push_back(describe_knob(knob));
+  return out;
+}
+
+std::string SolverInfo::knobs_csv() const {
+  std::string out;
+  for (const auto& knob : knob_names) {
+    if (!out.empty()) out += ',';
+    out += knob;
+  }
+  return out;
+}
+
 std::string to_string(SolverKind kind) {
   return kind == SolverKind::kDistributed ? "distributed" : "single-node";
 }
@@ -192,28 +208,71 @@ core::RunResult SolverRegistry::run(const std::string& name,
   return solvers_.at(name).second(cluster, data, config);
 }
 
+// The overload itself is deprecated; its definition (and the migration
+// helper it delegates to) must still compile warning-free under
+// NADMM_WERROR.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 core::RunResult SolverRegistry::run(const std::string& name,
                                     comm::SimCluster& cluster,
                                     const data::Dataset& train,
                                     const data::Dataset* test,
                                     const ExperimentConfig& config) const {
-  const SolverInfo& solver_info = info(name);
-  data::ShardPlan plan = shard_plan(config);
-  // Single-node solvers run on the full splits; a one-part plan keeps
-  // the uniform factory signature without re-slicing anything.
-  if (solver_info.kind == SolverKind::kSingleNode) {
-    plan = data::ShardPlan{};
+  return run(name, cluster, shard_for_solver(name, train, test, config),
+             config);
+}
+#pragma GCC diagnostic pop
+
+std::string registry_json() {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += ch; break;
+      }
+    }
+    return out;
+  };
+  std::string json = "{\n  \"solvers\": [\n";
+  const auto solvers = SolverRegistry::instance().list();
+  for (std::size_t i = 0; i < solvers.size(); ++i) {
+    const auto& s = solvers[i];
+    json += "    {\"name\": \"" + escape(s.name) + "\", \"kind\": \"" +
+            to_string(s.kind) + "\", \"class\": \"" +
+            to_string(s.comm_class) + "\", \"description\": \"" +
+            escape(s.description) + "\", \"knobs\": [";
+    const auto knobs = s.knobs();
+    for (std::size_t k = 0; k < knobs.size(); ++k) {
+      json += std::string(k == 0 ? "" : ", ") + "{\"name\": \"" +
+              escape(knobs[k].name) + "\", \"type\": \"" + knobs[k].type +
+              "\", \"default\": \"" + escape(knobs[k].default_value) +
+              "\", \"description\": \"" + escape(knobs[k].description) +
+              "\"}";
+    }
+    json += std::string("]}") + (i + 1 < solvers.size() ? "," : "") + "\n";
   }
-  return run(name, cluster, data::make_sharded(train, test, plan), config);
+  json += "  ]\n}\n";
+  return json;
 }
 
 void SolverRegistry::register_builtins() {
+  using Knobs = std::vector<std::string>;
+  const auto with = [](Knobs base, const Knobs& extra) {
+    base.insert(base.end(), extra.begin(), extra.end());
+    return base;
+  };
   // Every distributed solver runs on a cluster built by make_cluster, so
   // the heterogeneity knobs apply to all of them.
-  const std::string cluster_knobs = "devices,straggler,partition";
-  const std::string newton_knobs =
-      "penalty,rho0,cg-iterations,cg-tol,line-search,objective-target," +
-      cluster_knobs;
+  const Knobs cluster_knobs = {"devices", "straggler", "partition"};
+  const Knobs newton_knobs =
+      with({"penalty", "rho0", "cg-iterations", "cg-tol", "line-search",
+            "objective-target"},
+           cluster_knobs);
   add({"newton-admm", SolverKind::kDistributed,
        "distributed Newton-CG with ADMM consensus (the paper's method)",
        CommClass::kSynchronous, newton_knobs},
@@ -223,7 +282,7 @@ void SolverRegistry::register_builtins() {
       });
   add({"async-admm", SolverKind::kDistributed,
        "stale-consensus Newton-ADMM: coordinator merges updates on arrival",
-       CommClass::kAsynchronous, newton_knobs + ",staleness"},
+       CommClass::kAsynchronous, with(newton_knobs, {"staleness"})},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return solvers::async_admm(cluster, data,
@@ -231,7 +290,7 @@ void SolverRegistry::register_builtins() {
       });
   add({"stale-sync-admm", SolverKind::kDistributed,
        "semi-synchronous Newton-ADMM: barrier every --sync-every rounds",
-       CommClass::kAsynchronous, newton_knobs + ",sync-every"},
+       CommClass::kAsynchronous, with(newton_knobs, {"sync-every"})},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return solvers::async_admm(cluster, data,
@@ -240,28 +299,33 @@ void SolverRegistry::register_builtins() {
   add({"giant", SolverKind::kDistributed,
        "globally improved approximate Newton (Wang et al.)",
        CommClass::kSynchronous,
-       "cg-iterations,cg-tol,line-search,objective-target," + cluster_knobs},
+       with({"cg-iterations", "cg-tol", "line-search",
+             "objective-target"},
+            cluster_knobs)},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return baselines::giant(cluster, data, giant_options(config));
       });
   add({"sync-sgd", SolverKind::kDistributed,
        "synchronous minibatch SGD (allreduced mean gradient)",
-       CommClass::kSynchronous, "sgd-batch,sgd-step," + cluster_knobs},
+       CommClass::kSynchronous,
+       with({"sgd-batch", "sgd-step"}, cluster_knobs)},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return baselines::sync_sgd(cluster, data, sgd_options(config));
       });
   add({"inexact-dane", SolverKind::kDistributed,
        "InexactDANE with SVRG inner solves (Reddi et al.)",
-       CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
+       CommClass::kSynchronous,
+       with({"dane-epochs", "svrg-outer"}, cluster_knobs)},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return baselines::inexact_dane(cluster, data, dane_options(config));
       });
   add({"aide", SolverKind::kDistributed,
        "accelerated InexactDANE (catalyst smoothing)",
-       CommClass::kSynchronous, "dane-epochs,svrg-outer," + cluster_knobs},
+       CommClass::kSynchronous,
+       with({"dane-epochs", "svrg-outer"}, cluster_knobs)},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         auto o = dane_options(config);
@@ -270,7 +334,8 @@ void SolverRegistry::register_builtins() {
       });
   add({"disco", SolverKind::kDistributed,
        "distributed self-concordant optimization (Zhang & Xiao)",
-       CommClass::kSynchronous, "cg-iterations,cg-tol," + cluster_knobs},
+       CommClass::kSynchronous,
+       with({"cg-iterations", "cg-tol"}, cluster_knobs)},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return baselines::disco(cluster, data, disco_options(config));
@@ -278,20 +343,20 @@ void SolverRegistry::register_builtins() {
 
   add({"newton-cg", SolverKind::kSingleNode,
        "single-node inexact Newton-CG (paper Algorithm 1)", CommClass::kNone,
-       "cg-iterations,cg-tol,line-search,gradient-tol"},
+       {"cg-iterations", "cg-tol", "line-search", "gradient-tol"}},
       single_node_factory("newton-cg"));
   add({"gd", SolverKind::kSingleNode, "single-node full-batch gradient descent",
-       CommClass::kNone, "fo-step,gradient-tol"},
+       CommClass::kNone, {"fo-step", "gradient-tol"}},
       single_node_factory("gd"));
   add({"momentum", SolverKind::kSingleNode,
        "single-node heavy-ball momentum", CommClass::kNone,
-       "fo-step,gradient-tol"},
+       {"fo-step", "gradient-tol"}},
       single_node_factory("momentum"));
   add({"adagrad", SolverKind::kSingleNode, "single-node Adagrad",
-       CommClass::kNone, "fo-step,gradient-tol"},
+       CommClass::kNone, {"fo-step", "gradient-tol"}},
       single_node_factory("adagrad"));
   add({"adam", SolverKind::kSingleNode, "single-node Adam", CommClass::kNone,
-       "fo-step,gradient-tol"},
+       {"fo-step", "gradient-tol"}},
       single_node_factory("adam"));
 }
 

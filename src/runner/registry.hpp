@@ -18,6 +18,7 @@
 
 #include "core/trace.hpp"
 #include "runner/harness.hpp"
+#include "runner/options.hpp"
 
 namespace nadmm::runner {
 
@@ -37,10 +38,18 @@ struct SolverInfo {
   SolverKind kind = SolverKind::kDistributed;
   std::string description;
   CommClass comm_class = CommClass::kNone;
-  /// Comma-separated CLI knobs this solver actually reads (beyond the
-  /// shared dataset/cluster flags) — `nadmm list` prints it so the help
-  /// text cannot drift from the registry.
-  std::string knobs;
+  /// CLI knobs this solver actually reads (beyond the shared
+  /// dataset/cluster flags). Names, not copies of the metadata: each
+  /// must resolve through runner::describe_knob against the shared
+  /// option tables, so the registry cannot drift from the flags.
+  std::vector<std::string> knob_names;
+
+  /// The knobs resolved to typed entries (type/default/description from
+  /// the option specs). Throws InvalidArgument when a knob name is not
+  /// a registered CLI option.
+  [[nodiscard]] std::vector<KnobInfo> knobs() const;
+  /// Comma-joined knob names, for compact table display.
+  [[nodiscard]] std::string knobs_csv() const;
 };
 
 /// Factory signature shared by both families: every solver receives the
@@ -77,6 +86,10 @@ class SolverRegistry {
 
   /// Convenience overload: shards `train` / `test` under the config's
   /// partition plan (runner::shard_plan) before running.
+  [[deprecated(
+      "shard explicitly: run(name, cluster, shard_for_solver(name, train, "
+      "test, config), config) — the (train, test) overload re-plans shards "
+      "per call and hides the data layout")]]
   core::RunResult run(const std::string& name, comm::SimCluster& cluster,
                       const data::Dataset& train, const data::Dataset* test,
                       const ExperimentConfig& config) const;
@@ -87,5 +100,9 @@ class SolverRegistry {
 
   std::map<std::string, std::pair<SolverInfo, SolverFactory>> solvers_;
 };
+
+/// Machine-readable registry dump (`nadmm list --json`): every solver
+/// with kind/class/description and its fully resolved knob entries.
+std::string registry_json();
 
 }  // namespace nadmm::runner

@@ -6,11 +6,16 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "runner/registry.hpp"
+#include "serve/arrival.hpp"
+#include "serve/batching.hpp"
+#include "serve/server.hpp"
 #include "support/check.hpp"
 
 namespace nadmm::runner {
@@ -191,9 +196,10 @@ bool json_get_int(const std::string& line, const std::string& key,
 
 constexpr const char* kJournalKind = "nadmm-sweep-journal";
 // v2: partition axis in the expansion/tag and the peak_dataset_bytes
-// column. v1 journals (pre-shard-plan) are rejected on --resume — their
+// column. v3: serving-mode columns (requests/batches/throughput/latency
+// percentiles). Older journals are rejected on --resume — their
 // fingerprints no longer match either.
-constexpr std::int64_t kJournalVersion = 2;
+constexpr std::int64_t kJournalVersion = 3;
 
 std::string journal_header_line(const std::string& fingerprint,
                                 std::size_t scenarios) {
@@ -221,7 +227,14 @@ std::string journal_outcome_line(const ScenarioOutcome& o) {
        << ", \"max_wait_seconds\": " << fmt_double(o.max_wait_seconds)  //
        << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
        << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist) << "\""
-       << ", \"peak_dataset_bytes\": " << o.peak_dataset_bytes;
+       << ", \"peak_dataset_bytes\": " << o.peak_dataset_bytes
+       << ", \"requests\": " << o.serve_requests                //
+       << ", \"batches\": " << o.serve_batches                  //
+       << ", \"throughput_rps\": " << fmt_double(o.throughput_rps)
+       << ", \"mean_batch\": " << fmt_double(o.mean_batch)      //
+       << ", \"p50_latency_s\": " << fmt_double(o.p50_latency_s)
+       << ", \"p99_latency_s\": " << fmt_double(o.p99_latency_s)
+       << ", \"p999_latency_s\": " << fmt_double(o.p999_latency_s);
   } else {
     os << ", \"error\": \"" << json_escape(o.error) << "\"";
   }
@@ -278,14 +291,23 @@ bool restore_outcome_line(const std::string& line,
     // versions; their absence is impossible in practice because the
     // version and fingerprint serialization changed at the same time
     // (older journals are rejected up front).
-    std::int64_t peak_bytes = 0;
+    std::int64_t peak_bytes = 0, requests = 0, batches = 0;
     if (!json_get_double(line, "max_wait_seconds", o.max_wait_seconds) ||
         !json_get_string(line, "rank_wait_seconds", o.rank_waits) ||
         !json_get_string(line, "staleness_hist", o.staleness_hist) ||
-        !json_get_int(line, "peak_dataset_bytes", peak_bytes)) {
+        !json_get_int(line, "peak_dataset_bytes", peak_bytes) ||
+        !json_get_int(line, "requests", requests) ||
+        !json_get_int(line, "batches", batches) ||
+        !json_get_double(line, "throughput_rps", o.throughput_rps) ||
+        !json_get_double(line, "mean_batch", o.mean_batch) ||
+        !json_get_double(line, "p50_latency_s", o.p50_latency_s) ||
+        !json_get_double(line, "p99_latency_s", o.p99_latency_s) ||
+        !json_get_double(line, "p999_latency_s", o.p999_latency_s)) {
       return false;
     }
     o.peak_dataset_bytes = static_cast<std::uint64_t>(peak_bytes);
+    o.serve_requests = static_cast<std::uint64_t>(requests);
+    o.serve_batches = static_cast<std::uint64_t>(batches);
     o.ok = true;
     o.result.solver = scenarios[i].solver;
     o.result.iterations = static_cast<int>(iterations);
@@ -360,13 +382,37 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     spec.base.sync_every = static_cast<int>(parse_int(key, value));
   } else if (key == "objective_target") {
     spec.base.objective_target = parse_double(key, value);
+  } else if (key == "mode") {
+    NADMM_CHECK(value == "train" || value == "serving",
+                "sweep key 'mode': expected train|serving, got '" + value +
+                    "'");
+    spec.mode = value;
+  } else if (key == "arrivals") {
+    spec.arrivals = list();
+    for (const auto& item : spec.arrivals) {
+      static_cast<void>(serve::make_arrival(item));  // validate
+    }
+  } else if (key == "batch_policies") {
+    spec.batch_policies = list();
+    for (const auto& item : spec.batch_policies) {
+      static_cast<void>(serve::make_batch_policy(item));  // validate
+    }
+  } else if (key == "serve_requests") {
+    spec.serve_requests = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "serve_model") {
+    spec.serve_model = value;
+  } else if (key == "dispatch_overhead") {
+    spec.dispatch_overhead_s = parse_double(key, value);
+    NADMM_CHECK(spec.dispatch_overhead_s >= 0.0,
+                "sweep key 'dispatch_overhead': must be >= 0 seconds");
   } else {
     throw InvalidArgument(
         "unknown sweep key '" + key +
         "' (grid axes: solvers|datasets|workers|devices|networks|penalties|"
-        "lambdas|stragglers|partitions; scalars: n_train|n_test|e18_features|"
-        "seed|iterations|cg_iterations|cg_tol|line_search_iterations|"
-        "staleness|sync_every|objective_target)");
+        "lambdas|stragglers|partitions|arrivals|batch_policies; scalars: "
+        "n_train|n_test|e18_features|seed|iterations|cg_iterations|cg_tol|"
+        "line_search_iterations|staleness|sync_every|objective_target|mode|"
+        "serve_requests|serve_model|dispatch_overhead)");
   }
 }
 
@@ -412,6 +458,14 @@ std::string fs_safe(std::string s) {
 std::string Scenario::tag() const {
   // The index prefix keeps tags unique even after sanitization.
   char buf[512];
+  if (serving) {
+    std::snprintf(buf, sizeof buf, "%03d_serve_%s_%s_w%d_%s_%s_%s_%s", index,
+                  solver.c_str(), fs_safe(config.dataset).c_str(),
+                  config.workers, fs_safe(config.device).c_str(),
+                  config.network.c_str(), fs_safe(arrival).c_str(),
+                  fs_safe(batch).c_str());
+    return buf;
+  }
   std::snprintf(buf, sizeof buf, "%03d_%s_%s_w%d_%s_%s_%s_lam%s_st%s_%s",
                 index, solver.c_str(), fs_safe(config.dataset).c_str(),
                 config.workers, fs_safe(config.device).c_str(),
@@ -424,6 +478,42 @@ std::string Scenario::tag() const {
 std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
   NADMM_CHECK(!spec.solvers.empty(), "sweep needs at least one solver");
   NADMM_CHECK(!spec.datasets.empty(), "sweep needs at least one dataset");
+  if (spec.mode == "serving") {
+    NADMM_CHECK(!spec.devices.empty(), "sweep needs at least one device");
+    NADMM_CHECK(!spec.networks.empty(), "sweep needs at least one network");
+    NADMM_CHECK(!spec.arrivals.empty(),
+                "serving sweep needs at least one arrival model");
+    NADMM_CHECK(!spec.batch_policies.empty(),
+                "serving sweep needs at least one batch policy");
+    // Fixed axis order (solver, dataset, device, network, arrival,
+    // batch — rightmost fastest); the train-only axes stay at base.
+    std::vector<Scenario> scenarios;
+    int index = 0;
+    for (const auto& solver : spec.solvers) {
+      for (const auto& dataset : spec.datasets) {
+        for (const auto& device : spec.devices) {
+          for (const auto& network : spec.networks) {
+            for (const auto& arrival : spec.arrivals) {
+              for (const auto& batch : spec.batch_policies) {
+                Scenario s;
+                s.index = index++;
+                s.solver = solver;
+                s.config = spec.base;
+                s.config.dataset = dataset;
+                s.config.device = device;
+                s.config.network = network;
+                s.serving = true;
+                s.arrival = arrival;
+                s.batch = batch;
+                scenarios.push_back(std::move(s));
+              }
+            }
+          }
+        }
+      }
+    }
+    return scenarios;
+  }
   NADMM_CHECK(!spec.workers.empty(), "sweep needs at least one worker count");
   NADMM_CHECK(!spec.devices.empty(), "sweep needs at least one device");
   NADMM_CHECK(!spec.networks.empty(), "sweep needs at least one network");
@@ -510,6 +600,12 @@ std::string spec_fingerprint(const SweepSpec& spec) {
      << ";gradient_tol=" << fmt_double(b.gradient_tol)
      << ";omp_threads=" << b.omp_threads
      << ";staleness=" << b.staleness << ";sync_every=" << b.sync_every << ';';
+  os << "mode=" << spec.mode << ';';
+  join("arrivals", spec.arrivals, str);
+  join("batch_policies", spec.batch_policies, str);
+  os << "serve_requests=" << spec.serve_requests
+     << ";serve_model=" << spec.serve_model
+     << ";dispatch_overhead=" << fmt_double(spec.dispatch_overhead_s) << ';';
   const std::string canonical = os.str();
   std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
   for (const char c : canonical) {
@@ -536,7 +632,8 @@ std::vector<std::string> SweepReport::csv_rows() const {
       "lambda,straggler,partition,status,iterations,final_objective,"
       "final_test_accuracy,total_sim_seconds,avg_epoch_sim_seconds,"
       "total_comm_sim_seconds,max_wait_seconds,staleness_hist,"
-      "peak_dataset_bytes");
+      "peak_dataset_bytes,arrival,batch_policy,requests,batches,"
+      "throughput_rps,mean_batch,p50_latency_s,p99_latency_s,p999_latency_s");
   for (const auto& o : outcomes) {
     const auto& c = o.scenario.config;
     const auto& r = o.result;
@@ -553,7 +650,12 @@ std::vector<std::string> SweepReport::csv_rows() const {
         << fmt_double(o.ok ? r.total_sim_seconds : 0.0) << ','
         << fmt_double(o.ok ? r.avg_epoch_sim_seconds : 0.0) << ','
         << fmt_double(comm) << ',' << fmt_double(o.max_wait_seconds) << ','
-        << o.staleness_hist << ',' << o.peak_dataset_bytes;
+        << o.staleness_hist << ',' << o.peak_dataset_bytes << ','
+        << o.scenario.arrival << ',' << o.scenario.batch << ','
+        << o.serve_requests << ',' << o.serve_batches << ','
+        << fmt_double(o.throughput_rps) << ',' << fmt_double(o.mean_batch)
+        << ',' << fmt_double(o.p50_latency_s) << ','
+        << fmt_double(o.p99_latency_s) << ',' << fmt_double(o.p999_latency_s);
     rows.push_back(row.str());
   }
   return rows;
@@ -587,6 +689,8 @@ void SweepReport::write_json(const std::string& path) const {
         << ", \"lambda\": " << fmt_json_number(c.lambda)                //
         << ", \"straggler\": \"" << json_escape(c.straggler) << "\""    //
         << ", \"partition\": \"" << json_escape(c.partition) << "\""    //
+        << ", \"arrival\": \"" << json_escape(o.scenario.arrival) << "\""
+        << ", \"batch_policy\": \"" << json_escape(o.scenario.batch) << "\""
         << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
     if (o.ok) {
       out << ", \"iterations\": " << r.iterations                        //
@@ -601,7 +705,14 @@ void SweepReport::write_json(const std::string& path) const {
           << ", \"max_wait_seconds\": " << fmt_json_number(o.max_wait_seconds)
           << ", \"rank_wait_seconds\": \"" << json_escape(o.rank_waits) << "\""
           << ", \"staleness_hist\": \"" << json_escape(o.staleness_hist)
-          << "\", \"peak_dataset_bytes\": " << o.peak_dataset_bytes;
+          << "\", \"peak_dataset_bytes\": " << o.peak_dataset_bytes
+          << ", \"requests\": " << o.serve_requests                      //
+          << ", \"batches\": " << o.serve_batches                        //
+          << ", \"throughput_rps\": " << fmt_json_number(o.throughput_rps)
+          << ", \"mean_batch\": " << fmt_json_number(o.mean_batch)       //
+          << ", \"p50_latency_s\": " << fmt_json_number(o.p50_latency_s)
+          << ", \"p99_latency_s\": " << fmt_json_number(o.p99_latency_s)
+          << ", \"p999_latency_s\": " << fmt_json_number(o.p999_latency_s);
     } else {
       out << ", \"error\": \"" << json_escape(o.error) << "\"";
     }
@@ -706,12 +817,99 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   std::mutex progress_mutex;
   const std::size_t to_execute = scenarios.size() - report.resumed;
 
+  // Serving scenarios share one trained model per (solver, dataset):
+  // training runs under the base cluster config, so the grid's
+  // device/network axes rate only the serving plane, never the model.
+  std::mutex model_mutex;
+  std::map<std::string, std::shared_ptr<const serve::SavedModel>> model_cache;
+
+  auto serve_model_for = [&](const Scenario& scenario,
+                             const ExperimentConfig& config) {
+    const std::string key = spec.serve_model.empty()
+                                ? scenario.solver + "|" + config.dataset
+                                : "@" + spec.serve_model;
+    const std::scoped_lock lock(model_mutex);
+    const auto it = model_cache.find(key);
+    if (it != model_cache.end()) return it->second;
+    std::shared_ptr<const serve::SavedModel> model;
+    if (!spec.serve_model.empty()) {
+      model = std::make_shared<serve::SavedModel>(
+          serve::load_model(spec.serve_model));
+    } else {
+      ExperimentConfig train_config = config;
+      train_config.device = spec.base.device;
+      train_config.network = spec.base.network;
+      const data::DatasetKey dkey = dataset_key(train_config);
+      std::shared_ptr<const data::TrainTest> full;
+      data::TrainTest full_owned;
+      if (use_cache) {
+        full = provider->get(dkey);
+      } else {
+        full_owned = data::generate_dataset(dkey);
+      }
+      const data::TrainTest& tt = use_cache ? *full : full_owned;
+      comm::SimCluster cluster = make_cluster(train_config);
+      const core::RunResult trained = SolverRegistry::instance().run(
+          scenario.solver, cluster,
+          shard_for_solver(scenario.solver, tt.train, &tt.test, train_config),
+          train_config);
+      auto m = std::make_shared<serve::SavedModel>();
+      m->objective = "softmax";
+      m->solver = scenario.solver;
+      m->dataset = train_config.dataset;
+      m->num_features = tt.train.num_features();
+      m->num_classes = tt.train.num_classes();
+      m->lambda = train_config.lambda;
+      m->x = trained.x;
+      model = m;
+    }
+    model_cache.emplace(key, model);
+    return model;
+  };
+
   auto run_one = [&](const Scenario& scenario) {
     ScenarioOutcome outcome;
     outcome.scenario = scenario;
     try {
       ExperimentConfig config = scenario.config;
       if (options.deterministic) config.omp_threads = 1;
+      if (scenario.serving) {
+        const auto model = serve_model_for(scenario, config);
+        // The request pool is the test split of the scenario's dataset.
+        const data::DatasetKey dkey = dataset_key(config);
+        std::shared_ptr<const data::TrainTest> full;
+        data::TrainTest full_owned;
+        if (use_cache) {
+          full = provider->get(dkey);
+        } else {
+          full_owned = data::generate_dataset(dkey);
+        }
+        const data::TrainTest& tt = use_cache ? *full : full_owned;
+        NADMM_CHECK(!tt.test.empty(),
+                    "serving needs a non-empty test split (n_test > 0)");
+        serve::ServeConfig sc;
+        sc.arrival = scenario.arrival;
+        sc.batch = scenario.batch;
+        sc.requests = spec.serve_requests;
+        sc.seed = config.seed;
+        sc.device = config.device;
+        sc.network = config.network;
+        sc.dispatch_overhead_s = spec.dispatch_overhead_s;
+        sc.omp_threads = config.omp_threads;
+        const serve::ServeResult sr = serve::simulate(*model, tt.test, sc);
+        outcome.serve_requests = sr.requests;
+        outcome.serve_batches = sr.batches;
+        outcome.throughput_rps = sr.throughput_rps;
+        outcome.mean_batch = sr.mean_batch;
+        outcome.p50_latency_s = sr.p50_latency_s;
+        outcome.p99_latency_s = sr.p99_latency_s;
+        outcome.p999_latency_s = sr.p999_latency_s;
+        outcome.result.solver = scenario.solver;
+        outcome.result.final_test_accuracy = sr.accuracy;
+        outcome.result.total_sim_seconds = sr.total_sim_seconds;
+        outcome.ok = true;
+        return outcome;
+      }
       const SolverInfo& info =
           SolverRegistry::instance().info(scenario.solver);
       const data::DatasetKey key = dataset_key(config);

@@ -51,6 +51,26 @@ struct SweepSpec {
   /// Shard-plan axis: contiguous | strided | weighted (see
   /// data/partition.hpp).
   std::vector<std::string> partitions{"contiguous"};
+
+  /// Grid mode: "train" (the default; the axes above) or "serving" —
+  /// each scenario trains (or loads) a model once per (solver, dataset)
+  /// and replays a synthetic request stream against it, expanding
+  /// solver × dataset × device × network × arrival × batch_policy
+  /// (workers/penalty/lambda/straggler/partition stay at their base
+  /// values for the training step).
+  std::string mode{"train"};
+  /// Serving-mode arrival axis (serve/arrival.hpp specs).
+  std::vector<std::string> arrivals{"poisson:1000"};
+  /// Serving-mode batch-policy axis (serve/batching.hpp specs).
+  std::vector<std::string> batch_policies{"immediate"};
+  /// Requests per serving scenario.
+  std::size_t serve_requests = 10'000;
+  /// Pre-trained model path; empty trains in-process per
+  /// (solver, dataset) with the base config's cluster.
+  std::string serve_model;
+  /// Fixed per-dispatch cost (see serve::ServeConfig).
+  double dispatch_overhead_s = 1e-4;
+
   ExperimentConfig base;
 };
 
@@ -70,6 +90,11 @@ struct Scenario {
   int index = 0;         ///< position in deterministic expansion order
   std::string solver;
   ExperimentConfig config;
+  /// Serving-mode fields: set (and appended to the tag) only when the
+  /// grid's mode is "serving".
+  bool serving = false;
+  std::string arrival;
+  std::string batch;
 
   /// Stable file-system-safe identifier, e.g.
   /// "003_giant_blobs_w4_p100_ib100_sps_lam1e-05".
@@ -103,6 +128,16 @@ struct ScenarioOutcome {
   /// just the full storage; streamed `libsvm:` scenarios report the
   /// summed per-rank shards (the full matrix never exists).
   std::uint64_t peak_dataset_bytes = 0;
+  // Serving-mode columns (zero for train scenarios). Latencies are the
+  // quantile-sketch readouts; final_test_accuracy carries the served
+  // prediction accuracy.
+  std::uint64_t serve_requests = 0;
+  std::uint64_t serve_batches = 0;
+  double throughput_rps = 0.0;
+  double mean_batch = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
   std::string error;             ///< non-empty when !ok
 };
 

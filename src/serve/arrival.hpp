@@ -1,0 +1,106 @@
+// Synthetic request-arrival models for the serving plane.
+//
+// A pluggable intensity-function hierarchy drives the request generator:
+// steady Poisson traffic, a diurnal curve (sinusoidal intensity, the
+// day/night swing of a user-facing service), and bursty imbalance
+// (alternating quiet/burst regimes). Schedules are drawn by thinning a
+// peak-rate Poisson process through nadmm::Rng, so for a given
+// (spec, seed, count, pool) the event schedule is bit-identical on every
+// machine and at any sweep --jobs level — the serving determinism
+// contract starts here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nadmm::serve {
+
+/// One synthetic inference request.
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;  ///< virtual seconds since stream start
+  std::size_t row = 0;     ///< index into the request pool (test rows)
+};
+
+/// Time-varying arrival intensity λ(t) in requests/second.
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  /// Canonical spec string ("poisson:1000", ...), echoed in reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Instantaneous intensity at time t (>= 0 for all t).
+  [[nodiscard]] virtual double rate_at(double t) const = 0;
+  /// Upper bound on rate_at over all t — the thinning envelope.
+  [[nodiscard]] virtual double peak_rate() const = 0;
+  /// Long-run mean intensity (reporting only).
+  [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Homogeneous Poisson stream: λ(t) = rate.
+class PoissonArrival final : public ArrivalModel {
+ public:
+  explicit PoissonArrival(double rate);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate_at(double /*t*/) const override { return rate_; }
+  [[nodiscard]] double peak_rate() const override { return rate_; }
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Diurnal curve: λ(t) = mean·(1 + amplitude·sin(2πt / period)).
+class DiurnalArrival final : public ArrivalModel {
+ public:
+  DiurnalArrival(double mean, double amplitude, double period);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] double peak_rate() const override {
+    return mean_ * (1.0 + amplitude_);
+  }
+  [[nodiscard]] double mean_rate() const override { return mean_; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_;
+};
+
+/// Bursty imbalance: λ(t) = burst for the first duty·period seconds of
+/// every period, base otherwise.
+class BurstyArrival final : public ArrivalModel {
+ public:
+  BurstyArrival(double base, double burst, double period, double duty);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] double peak_rate() const override { return burst_; }
+  [[nodiscard]] double mean_rate() const override {
+    return duty_ * burst_ + (1.0 - duty_) * base_;
+  }
+
+ private:
+  double base_;
+  double burst_;
+  double period_;
+  double duty_;
+};
+
+/// Build a model from its spec string:
+///   poisson[:<rate>]                        (default rate 1000)
+///   diurnal[:<mean>[:<amplitude>[:<period>]]]   (1000, 0.8, 1.0)
+///   bursty[:<base>[:<burst>[:<period>[:<duty>]]]] (400, 4000, 0.5, 0.2)
+/// Throws InvalidArgument (naming the spec) on malformed input.
+std::unique_ptr<ArrivalModel> make_arrival(const std::string& spec);
+
+/// Deterministic schedule of `count` requests: non-decreasing arrival
+/// times drawn by thinning a peak-rate exponential stream, rows uniform
+/// over [0, pool_size). Bit-identical for a given (model, count,
+/// pool_size, seed).
+std::vector<Request> make_request_stream(const ArrivalModel& model,
+                                         std::size_t count,
+                                         std::size_t pool_size,
+                                         std::uint64_t seed);
+
+}  // namespace nadmm::serve

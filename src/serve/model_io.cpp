@@ -1,0 +1,138 @@
+#include "serve/model_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace nadmm::serve {
+
+namespace {
+
+constexpr const char* kMagic = "nadmm-model v1";
+constexpr std::size_t kCoefPerLine = 16;
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void fail(const std::string& path, int line,
+                       const std::string& what) {
+  throw InvalidArgument("model file " + path + ":" + std::to_string(line) +
+                        ": " + what);
+}
+
+}  // namespace
+
+std::size_t SavedModel::coef_cols() const {
+  NADMM_CHECK(num_classes >= 2, "saved model: needs >= 2 classes");
+  return objective == "softmax"
+             ? static_cast<std::size_t>(num_classes) - 1
+             : static_cast<std::size_t>(num_classes);
+}
+
+void save_model(const SavedModel& model, const std::string& path) {
+  NADMM_CHECK(model.objective == "softmax" ||
+                  model.objective == "least-squares",
+              "saved model: unknown objective '" + model.objective + "'");
+  NADMM_CHECK(model.num_features > 0, "saved model: needs >= 1 feature");
+  NADMM_CHECK(model.x.size() == model.num_features * model.coef_cols(),
+              "saved model: coefficient count does not match features × "
+              "classes");
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open model file for writing: " + path);
+  out << kMagic << '\n'
+      << "objective " << model.objective << '\n'
+      << "solver " << (model.solver.empty() ? "-" : model.solver) << '\n'
+      << "dataset " << (model.dataset.empty() ? "-" : model.dataset) << '\n'
+      << "features " << model.num_features << '\n'
+      << "classes " << model.num_classes << '\n'
+      << "lambda " << fmt_exact(model.lambda) << '\n'
+      << "coefficients " << model.x.size() << '\n';
+  for (std::size_t i = 0; i < model.x.size(); ++i) {
+    out << fmt_exact(model.x[i])
+        << ((i % kCoefPerLine == kCoefPerLine - 1 || i + 1 == model.x.size())
+                ? '\n'
+                : ' ');
+  }
+  out << "end\n";
+  out.flush();
+  if (!out) throw RuntimeError("failed writing model file: " + path);
+}
+
+SavedModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open model file: " + path);
+  int line_no = 0;
+  std::string line;
+  const auto next_line = [&]() -> std::string& {
+    if (!std::getline(in, line)) fail(path, line_no + 1, "unexpected EOF");
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  const auto field = [&](const std::string& key) {
+    next_line();
+    if (line.rfind(key + ' ', 0) != 0) {
+      fail(path, line_no, "expected '" + key + " <value>', got '" + line + "'");
+    }
+    return line.substr(key.size() + 1);
+  };
+
+  if (next_line() != kMagic) {
+    fail(path, line_no, std::string("expected header '") + kMagic + "'");
+  }
+  SavedModel m;
+  m.objective = field("objective");
+  if (m.objective != "softmax" && m.objective != "least-squares") {
+    fail(path, line_no, "unknown objective '" + m.objective + "'");
+  }
+  m.solver = field("solver");
+  if (m.solver == "-") m.solver.clear();
+  m.dataset = field("dataset");
+  if (m.dataset == "-") m.dataset.clear();
+  try {
+    m.num_features = std::stoull(field("features"));
+    m.num_classes = std::stoi(field("classes"));
+    m.lambda = std::stod(field("lambda"));
+  } catch (const std::exception&) {
+    fail(path, line_no, "malformed numeric field");
+  }
+  if (m.num_features == 0) fail(path, line_no, "features must be positive");
+  if (m.num_classes < 2) fail(path, line_no, "classes must be >= 2");
+
+  std::size_t count = 0;
+  try {
+    count = std::stoull(field("coefficients"));
+  } catch (const std::exception&) {
+    fail(path, line_no, "malformed coefficient count");
+  }
+  if (count != m.num_features * m.coef_cols()) {
+    fail(path, line_no,
+         "coefficient count does not match features × classes");
+  }
+  m.x.reserve(count);
+  while (m.x.size() < count) {
+    std::istringstream row(next_line());
+    std::string token;
+    while (row >> token) {
+      if (m.x.size() == count) {
+        fail(path, line_no, "more coefficients than declared");
+      }
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        fail(path, line_no, "malformed coefficient '" + token + "'");
+      }
+      m.x.push_back(v);
+    }
+  }
+  if (next_line() != "end") fail(path, line_no, "missing 'end' marker");
+  return m;
+}
+
+}  // namespace nadmm::serve

@@ -12,6 +12,11 @@ CliParser::CliParser(std::string program_summary)
   add_flag("help", "print this help message and exit");
 }
 
+void CliParser::insert(const std::string& name, Option opt) {
+  if (options_.find(name) == options_.end()) order_.push_back(name);
+  options_[name] = std::move(opt);
+}
+
 CliParser& CliParser::add_int(const std::string& name, std::int64_t default_value,
                               const std::string& help) {
   Option opt;
@@ -19,7 +24,7 @@ CliParser& CliParser::add_int(const std::string& name, std::int64_t default_valu
   opt.default_value = std::to_string(default_value);
   opt.value = opt.default_value;
   opt.help = help;
-  options_[name] = std::move(opt);
+  insert(name, std::move(opt));
   return *this;
 }
 
@@ -32,7 +37,7 @@ CliParser& CliParser::add_double(const std::string& name, double default_value,
   opt.default_value = buf;
   opt.value = opt.default_value;
   opt.help = help;
-  options_[name] = std::move(opt);
+  insert(name, std::move(opt));
   return *this;
 }
 
@@ -44,7 +49,7 @@ CliParser& CliParser::add_string(const std::string& name,
   opt.default_value = default_value;
   opt.value = default_value;
   opt.help = help;
-  options_[name] = std::move(opt);
+  insert(name, std::move(opt));
   return *this;
 }
 
@@ -54,7 +59,7 @@ CliParser& CliParser::add_flag(const std::string& name, const std::string& help)
   opt.default_value = "false";
   opt.value = "false";
   opt.help = help;
-  options_[name] = std::move(opt);
+  insert(name, std::move(opt));
   return *this;
 }
 
@@ -99,7 +104,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
 void CliParser::print_help(const std::string& program) const {
   std::printf("%s\n\nusage: %s [options]\n\noptions:\n", summary_.c_str(),
               program.c_str());
-  for (const auto& [name, opt] : options_) {
+  // Registration order, so spec-generated surfaces print in the order
+  // their OptionSet declared them (not alphabetically).
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
     std::printf("  --%-22s %s (default: %s)\n", name.c_str(), opt.help.c_str(),
                 opt.default_value.c_str());
   }

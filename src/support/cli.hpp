@@ -52,11 +52,13 @@ class CliParser {
   };
 
   void print_help(const std::string& program) const;
+  void insert(const std::string& name, Option opt);
   Option& find(const std::string& name, Kind kind);
   const Option& find(const std::string& name, Kind kind) const;
 
   std::string summary_;
   std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order, for --help
   std::vector<std::string> positional_;
 };
 

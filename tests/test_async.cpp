@@ -136,8 +136,9 @@ core::RunResult run_registry(const std::string& solver,
                              const runner::ExperimentConfig& config) {
   const auto tt = runner::make_data(config);
   auto cluster = runner::make_cluster(config);
-  return runner::SolverRegistry::instance().run(solver, cluster, tt.train,
-                                                &tt.test, config);
+  return runner::SolverRegistry::instance().run(
+      solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, config), config);
 }
 
 /// Deterministic fields of a trace, serialized for byte comparison

@@ -17,6 +17,16 @@
 namespace nadmm::baselines {
 namespace {
 
+/// Contiguous zero-copy shards sized to the cluster — the explicit form
+/// of what the deprecated (train, test) solver overloads did implicitly.
+nadmm::data::ShardedDataset shards(const nadmm::comm::SimCluster& cluster,
+                                   const nadmm::data::Dataset& train,
+                                   const nadmm::data::Dataset* test) {
+  nadmm::data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return nadmm::data::make_sharded(train, test, plan);
+}
+
 comm::SimCluster test_cluster(int n) {
   return comm::SimCluster(n, la::DeviceModel{"test", 100.0},
                           comm::infiniband_100g());
@@ -38,7 +48,7 @@ TEST_P(GiantRanks, ConvergesToReferenceOptimum) {
   GiantOptions opts;
   opts.max_iterations = 60;
   opts.lambda = lambda;
-  const auto r = giant(cluster, tt.train, &tt.test, opts);
+  const auto r = giant(cluster, shards(cluster, tt.train, &tt.test), opts);
   const double theta =
       (r.final_objective - ref.objective) / std::abs(ref.objective);
   EXPECT_LT(theta, 0.05) << "ranks=" << GetParam();
@@ -53,7 +63,7 @@ TEST(Giant, ObjectiveDecreasesMonotonically) {
   GiantOptions opts;
   opts.max_iterations = 25;
   opts.lambda = 1e-3;
-  const auto r = giant(cluster, tt.train, nullptr, opts);
+  const auto r = giant(cluster, shards(cluster, tt.train, nullptr), opts);
   for (std::size_t i = 1; i < r.trace.size(); ++i) {
     EXPECT_LE(r.trace[i].objective, r.trace[i - 1].objective + 1e-9);
   }
@@ -64,7 +74,7 @@ TEST(Giant, TraceAndAccuracyPopulated) {
   auto cluster = test_cluster(4);
   GiantOptions opts;
   opts.max_iterations = 10;
-  const auto r = giant(cluster, tt.train, &tt.test, opts);
+  const auto r = giant(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_EQ(r.trace.size(), 10u);
   EXPECT_GT(r.final_test_accuracy, 0.4);
   EXPECT_GT(r.trace.back().comm_sim_seconds, 0.0);
@@ -76,7 +86,7 @@ TEST(Giant, ValidatesOptions) {
   auto cluster = test_cluster(2);
   GiantOptions bad;
   bad.max_iterations = 0;
-  EXPECT_THROW(giant(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(giant(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
 }
 
 // ------------------------------------------------------------ SGD
@@ -89,7 +99,7 @@ TEST(SyncSgd, DecreasesObjectiveAndImprovesAccuracy) {
   opts.batch_size = 32;
   opts.step_size = 0.5;
   opts.lambda = 1e-3;
-  const auto r = sync_sgd(cluster, tt.train, &tt.test, opts);
+  const auto r = sync_sgd(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_EQ(r.trace.size(), 30u);
   EXPECT_LT(r.final_objective, r.trace.front().objective);
   EXPECT_GT(r.final_test_accuracy, 0.5);
@@ -106,7 +116,7 @@ TEST(SyncSgd, ManyCommRoundsPerEpoch) {
   opts.epochs = 5;
   opts.batch_size = 32;
   opts.step_size = 0.1;
-  const auto r = sync_sgd(cluster, tt.train, nullptr, opts);
+  const auto r = sync_sgd(cluster, shards(cluster, tt.train, nullptr), opts);
   const double per_epoch_comm =
       r.trace.back().comm_sim_seconds / static_cast<double>(r.iterations);
   const double one_round = cluster.network().allreduce(
@@ -119,7 +129,7 @@ TEST(SyncSgd, ValidatesOptions) {
   auto cluster = test_cluster(2);
   SyncSgdOptions bad;
   bad.step_size = 0.0;
-  EXPECT_THROW(sync_sgd(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(sync_sgd(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
 }
 
 // ------------------------------------------------------------ DANE / AIDE
@@ -132,7 +142,7 @@ TEST(InexactDane, DecreasesObjective) {
   opts.lambda = 1e-3;
   opts.svrg.max_outer = 3;
   opts.svrg.step_size = 2e-4;
-  const auto r = inexact_dane(cluster, tt.train, &tt.test, opts);
+  const auto r = inexact_dane(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_EQ(r.trace.size(), 4u);
   EXPECT_LT(r.final_objective, r.trace.front().objective * 1.2);
   EXPECT_LT(r.final_objective,
@@ -153,8 +163,8 @@ TEST(InexactDane, EpochsAreFarSlowerThanGiantEpochs) {
   // Half the paper's inner budget (they use 100 SVRG outer iterations);
   // already enough to show the order-of-magnitude epoch gap.
   dopts.svrg.max_outer = 50;
-  const auto g = giant(c1, tt.train, nullptr, gopts);
-  const auto d = inexact_dane(c2, tt.train, nullptr, dopts);
+  const auto g = giant(c1, shards(c1, tt.train, nullptr), gopts);
+  const auto d = inexact_dane(c2, shards(c2, tt.train, nullptr), dopts);
   EXPECT_GT(d.avg_epoch_sim_seconds, 10.0 * g.avg_epoch_sim_seconds);
 }
 
@@ -168,7 +178,7 @@ TEST(Aide, RunsAndDecreasesObjective) {
   opts.lambda = 1e-3;
   opts.svrg.max_outer = 3;
   opts.svrg.step_size = 2e-4;
-  const auto r = inexact_dane(cluster, tt.train, nullptr, opts);
+  const auto r = inexact_dane(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_EQ(r.solver, "aide");
   EXPECT_LT(r.final_objective, 600.0 * std::log(4.0));
 }
@@ -178,11 +188,11 @@ TEST(Dane, ValidatesOptions) {
   auto cluster = test_cluster(2);
   DaneOptions bad;
   bad.max_iterations = 0;
-  EXPECT_THROW(inexact_dane(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(inexact_dane(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
   bad = DaneOptions{};
   bad.accelerate = true;
   bad.tau = 0.0;
-  EXPECT_THROW(inexact_dane(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(inexact_dane(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
 }
 
 // ------------------------------------------------------------ DiSCO
@@ -196,7 +206,7 @@ TEST(Disco, ConvergesToReferenceOptimum) {
   opts.max_iterations = 60;
   opts.lambda = lambda;
   opts.cg.max_iterations = 20;
-  const auto r = disco(cluster, tt.train, nullptr, opts);
+  const auto r = disco(cluster, shards(cluster, tt.train, nullptr), opts);
   const double theta =
       (r.final_objective - ref.objective) / std::abs(ref.objective);
   EXPECT_LT(theta, 0.05);
@@ -216,8 +226,8 @@ TEST(Disco, PaysOneAllreducePerCgIteration) {
   GiantOptions gopts;
   gopts.max_iterations = 5;
   gopts.cg.max_iterations = 10;
-  const auto d = disco(c1, tt.train, nullptr, dopts);
-  const auto g = giant(c2, tt.train, nullptr, gopts);
+  const auto d = disco(c1, shards(c1, tt.train, nullptr), dopts);
+  const auto g = giant(c2, shards(c2, tt.train, nullptr), gopts);
   const double d_comm = d.trace.back().comm_sim_seconds / d.iterations;
   const double g_comm = g.trace.back().comm_sim_seconds / g.iterations;
   EXPECT_GT(d_comm, 1.5 * g_comm);

@@ -19,6 +19,16 @@
 namespace nadmm::core {
 namespace {
 
+/// Contiguous zero-copy shards sized to the cluster — the explicit form
+/// of what the deprecated (train, test) solver overloads did implicitly.
+nadmm::data::ShardedDataset shards(const nadmm::comm::SimCluster& cluster,
+                                   const nadmm::data::Dataset& train,
+                                   const nadmm::data::Dataset* test) {
+  nadmm::data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return nadmm::data::make_sharded(train, test, plan);
+}
+
 comm::SimCluster test_cluster(int n) {
   return comm::SimCluster(n, la::DeviceModel{"test", 100.0},
                           comm::infiniband_100g());
@@ -167,7 +177,7 @@ TEST_P(AdmmSweep, ConvergesToSingleNodeOptimum) {
   opts.max_iterations = 60;
   opts.lambda = lambda;
   opts.penalty.rule = c.rule;
-  const auto result = newton_admm(cluster, tt.train, &tt.test, opts);
+  const auto result = newton_admm(cluster, shards(cluster, tt.train, &tt.test), opts);
 
   // Paper Fig. 3 criterion: relative objective θ < 0.05.
   const double theta =
@@ -193,7 +203,7 @@ TEST(NewtonAdmm, PrimalResidualShrinks) {
   NewtonAdmmOptions opts;
   opts.max_iterations = 50;
   opts.lambda = 1e-3;
-  const auto r = newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   ASSERT_GE(r.trace.size(), 10u);
   const double early = r.trace[2].primal_residual;
   const double late = r.trace.back().primal_residual;
@@ -207,7 +217,7 @@ TEST(NewtonAdmm, ConsensusSatisfiesGlobalStationarity) {
   NewtonAdmmOptions opts;
   opts.max_iterations = 120;
   opts.lambda = 1e-2;
-  const auto r = newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   model::SoftmaxObjective full(tt.train, 1e-2);
   std::vector<double> g(full.dim());
   full.gradient(r.x, g);
@@ -222,7 +232,7 @@ TEST(NewtonAdmm, TraceTimingFieldsAreSane) {
   auto cluster = test_cluster(4);
   NewtonAdmmOptions opts;
   opts.max_iterations = 12;
-  const auto r = newton_admm(cluster, tt.train, &tt.test, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_EQ(r.trace.size(), 12u);
   double prev = 0.0;
   for (const auto& it : r.trace) {
@@ -242,7 +252,7 @@ TEST(NewtonAdmm, NoTestSetReportsMinusOneAccuracy) {
   auto cluster = test_cluster(2);
   NewtonAdmmOptions opts;
   opts.max_iterations = 5;
-  const auto r = newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_DOUBLE_EQ(r.final_test_accuracy, -1.0);
   for (const auto& it : r.trace) EXPECT_DOUBLE_EQ(it.test_accuracy, -1.0);
 }
@@ -255,7 +265,7 @@ TEST(NewtonAdmm, ResidualToleranceStopsEarly) {
   opts.lambda = 1e-2;
   opts.primal_tol = 1e-2;
   opts.dual_tol = 1e-2;
-  const auto r = newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_LT(r.iterations, 200);
   EXPECT_LE(r.trace.back().primal_residual, 1e-2);
 }
@@ -266,7 +276,7 @@ TEST(NewtonAdmm, WorksOnSparseE18LikeData) {
   NewtonAdmmOptions opts;
   opts.max_iterations = 30;
   opts.lambda = 1e-3;
-  const auto r = newton_admm(cluster, tt.train, &tt.test, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_FALSE(r.trace.empty());
   EXPECT_LT(r.final_objective, r.trace.front().objective);
   EXPECT_GT(r.final_test_accuracy, 1.5 / 20.0);  // well above chance
@@ -281,8 +291,8 @@ TEST(NewtonAdmm, MultipleLocalNewtonStepsAccelerateConsensus) {
   three.local_newton_steps = 3;
   auto c1 = test_cluster(4);
   auto c3 = test_cluster(4);
-  const auto r1 = newton_admm(c1, tt.train, nullptr, one);
-  const auto r3 = newton_admm(c3, tt.train, nullptr, three);
+  const auto r1 = newton_admm(c1, shards(c1, tt.train, nullptr), one);
+  const auto r3 = newton_admm(c3, shards(c3, tt.train, nullptr), three);
   EXPECT_LE(r3.final_objective, r1.final_objective * 1.05);
   // More local work must cost more simulated compute per epoch.
   EXPECT_GT(r3.avg_epoch_sim_seconds, r1.avg_epoch_sim_seconds);
@@ -296,7 +306,7 @@ TEST(NewtonAdmm, SingleRankMatchesNewtonTrajectory) {
   NewtonAdmmOptions opts;
   opts.max_iterations = 80;
   opts.lambda = 1e-2;
-  const auto r = newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   const auto ref = solve_reference(tt.train, 1e-2);
   EXPECT_NEAR(r.final_objective, ref.objective,
               0.02 * std::abs(ref.objective));
@@ -307,13 +317,13 @@ TEST(NewtonAdmm, ValidatesOptions) {
   auto cluster = test_cluster(2);
   NewtonAdmmOptions bad;
   bad.max_iterations = 0;
-  EXPECT_THROW(newton_admm(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(newton_admm(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
   bad = NewtonAdmmOptions{};
   bad.lambda = -1.0;
-  EXPECT_THROW(newton_admm(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(newton_admm(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
   bad = NewtonAdmmOptions{};
   bad.local_newton_steps = 0;
-  EXPECT_THROW(newton_admm(cluster, tt.train, nullptr, bad), InvalidArgument);
+  EXPECT_THROW(newton_admm(cluster, shards(cluster, tt.train, nullptr), bad), InvalidArgument);
 }
 
 TEST(NewtonAdmm, ReproducibleAcrossRuns) {
@@ -326,8 +336,8 @@ TEST(NewtonAdmm, ReproducibleAcrossRuns) {
   opts.max_iterations = 10;
   auto c1 = test_cluster(4);
   auto c2 = test_cluster(4);
-  const auto r1 = newton_admm(c1, tt.train, nullptr, opts);
-  const auto r2 = newton_admm(c2, tt.train, nullptr, opts);
+  const auto r1 = newton_admm(c1, shards(c1, tt.train, nullptr), opts);
+  const auto r2 = newton_admm(c2, shards(c2, tt.train, nullptr), opts);
   ASSERT_EQ(r1.x.size(), r2.x.size());
   for (std::size_t i = 0; i < r1.x.size(); ++i) {
     EXPECT_NEAR(r1.x[i], r2.x[i], 1e-7 * (1.0 + std::abs(r2.x[i])));

@@ -16,6 +16,16 @@
 namespace nadmm::runner {
 namespace {
 
+/// Contiguous zero-copy shards sized to the cluster — the explicit form
+/// of what the deprecated (train, test) solver overloads did implicitly.
+nadmm::data::ShardedDataset shards(const nadmm::comm::SimCluster& cluster,
+                                   const nadmm::data::Dataset& train,
+                                   const nadmm::data::Dataset* test) {
+  nadmm::data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return nadmm::data::make_sharded(train, test, plan);
+}
+
 ExperimentConfig small_config() {
   ExperimentConfig c;
   c.dataset = "blobs";
@@ -48,7 +58,8 @@ TEST(Harness, RunSolverDispatchesEverySolver) {
   const auto tt = make_data(c);
   for (const char* solver : {"newton-admm", "giant", "sync-sgd", "disco"}) {
     auto cluster = make_cluster(c);
-    const auto r = run_solver(solver, cluster, tt.train, &tt.test, c);
+    const auto r = run_solver(solver, cluster,
+      shard_for_solver(solver, tt.train, &tt.test, c), c);
     EXPECT_EQ(r.solver, solver);
     EXPECT_EQ(r.iterations, 3) << solver;
     EXPECT_FALSE(r.trace.empty()) << solver;
@@ -56,12 +67,14 @@ TEST(Harness, RunSolverDispatchesEverySolver) {
   // DANE variants run fewer, expensive epochs.
   for (const char* solver : {"inexact-dane", "aide"}) {
     auto cluster = make_cluster(c);
-    const auto r = run_solver(solver, cluster, tt.train, &tt.test, c);
+    const auto r = run_solver(solver, cluster,
+      shard_for_solver(solver, tt.train, &tt.test, c), c);
     EXPECT_EQ(r.solver, solver);
     EXPECT_GE(r.iterations, 1) << solver;
   }
   auto cluster = make_cluster(c);
-  EXPECT_THROW(run_solver("nope", cluster, tt.train, nullptr, c),
+  EXPECT_THROW(run_solver("nope", cluster,
+      shard_for_solver("nope", tt.train, nullptr, c), c),
                InvalidArgument);
 }
 
@@ -70,7 +83,8 @@ TEST(Harness, TraceCsvHasHeaderAndAllRows) {
   c.iterations = 5;
   const auto tt = make_data(c);
   auto cluster = make_cluster(c);
-  const auto r = run_solver("newton-admm", cluster, tt.train, &tt.test, c);
+  const auto r = run_solver("newton-admm", cluster,
+      shard_for_solver("newton-admm", tt.train, &tt.test, c), c);
   const std::string path = testing::TempDir() + "/nadmm_trace.csv";
   write_trace_csv(r, path);
   std::ifstream in(path);
@@ -94,9 +108,12 @@ TEST(Integration, SecondOrderSolversAgreeOnTheOptimum) {
   auto c1 = make_cluster(c);
   auto c2 = make_cluster(c);
   auto c3 = make_cluster(c);
-  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
-  const auto gnt = run_solver("giant", c2, tt.train, nullptr, c);
-  const auto dsc = run_solver("disco", c3, tt.train, nullptr, c);
+  const auto admm = run_solver("newton-admm", c1,
+      shard_for_solver("newton-admm", tt.train, nullptr, c), c);
+  const auto gnt = run_solver("giant", c2,
+      shard_for_solver("giant", tt.train, nullptr, c), c);
+  const auto dsc = run_solver("disco", c3,
+      shard_for_solver("disco", tt.train, nullptr, c), c);
   for (const auto* r : {&admm, &gnt, &dsc}) {
     const double theta =
         (r->final_objective - ref.objective) / std::abs(ref.objective);
@@ -113,8 +130,10 @@ TEST(Integration, AdmmUsesLessCommThanGiantPerEpoch) {
   const auto tt = make_data(c);
   auto c1 = make_cluster(c);
   auto c2 = make_cluster(c);
-  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
-  const auto gnt = run_solver("giant", c2, tt.train, nullptr, c);
+  const auto admm = run_solver("newton-admm", c1,
+      shard_for_solver("newton-admm", tt.train, nullptr, c), c);
+  const auto gnt = run_solver("giant", c2,
+      shard_for_solver("giant", tt.train, nullptr, c), c);
   const double admm_comm =
       admm.trace.back().comm_sim_seconds / admm.iterations;
   const double giant_comm = gnt.trace.back().comm_sim_seconds / gnt.iterations;
@@ -132,7 +151,8 @@ TEST(Integration, SlowNetworkAmplifiesAdmmAdvantage) {
     auto c = cfg;
     c.network = network;
     auto cluster = make_cluster(c);
-    const auto r = run_solver(solver, cluster, tt.train, nullptr, c);
+    const auto r = run_solver(solver, cluster,
+      shard_for_solver(solver, tt.train, nullptr, c), c);
     return r.avg_epoch_sim_seconds;
   };
   const double admm_fast = total_epoch_time("ib100", "newton-admm");
@@ -153,13 +173,14 @@ TEST(Integration, SgdNeedsMoreTimeThanAdmmToGoodObjective) {
   const double target = ref.objective * 1.15;
 
   auto c1 = make_cluster(c);
-  const auto admm = run_solver("newton-admm", c1, tt.train, nullptr, c);
+  const auto admm = run_solver("newton-admm", c1,
+      shard_for_solver("newton-admm", tt.train, nullptr, c), c);
 
   auto sgd_opts = sgd_options(c);
   sgd_opts.step_size = 0.5;  // generous, pre-tuned step
   sgd_opts.batch_size = 32;
   auto c2 = make_cluster(c);
-  const auto sgd = baselines::sync_sgd(c2, tt.train, nullptr, sgd_opts);
+  const auto sgd = baselines::sync_sgd(c2, shards(c2, tt.train, nullptr), sgd_opts);
 
   const double t_admm = admm.sim_time_to_objective(target);
   const double t_sgd = sgd.sim_time_to_objective(target);
@@ -182,8 +203,10 @@ TEST(Integration, SparsePipelineEndToEnd) {
   ASSERT_TRUE(tt.train.is_sparse());
   auto c1 = make_cluster(c);
   auto c2 = make_cluster(c);
-  const auto admm = run_solver("newton-admm", c1, tt.train, &tt.test, c);
-  const auto gnt = run_solver("giant", c2, tt.train, &tt.test, c);
+  const auto admm = run_solver("newton-admm", c1,
+      shard_for_solver("newton-admm", tt.train, &tt.test, c), c);
+  const auto gnt = run_solver("giant", c2,
+      shard_for_solver("giant", tt.train, &tt.test, c), c);
   EXPECT_GT(admm.final_test_accuracy, 0.10);
   EXPECT_GT(gnt.final_test_accuracy, 0.10);
   EXPECT_LT(admm.final_objective, admm.trace.front().objective);
@@ -275,10 +298,10 @@ TEST(Integration, WeightedPartitionFollowsDeviceSpeed) {
   weighted.partition = "weighted";
   auto cluster_a = make_cluster(contiguous);
   auto cluster_b = make_cluster(weighted);
-  const auto even = run_solver("newton-admm", cluster_a, tt.train, &tt.test,
-                               contiguous);
-  const auto prop = run_solver("newton-admm", cluster_b, tt.train, &tt.test,
-                               weighted);
+  const auto even = run_solver("newton-admm", cluster_a,
+      shard_for_solver("newton-admm", tt.train, &tt.test, contiguous), contiguous);
+  const auto prop = run_solver("newton-admm", cluster_b,
+      shard_for_solver("newton-admm", tt.train, &tt.test, weighted), weighted);
   EXPECT_LT(prop.total_sim_seconds, even.total_sim_seconds);
 }
 
@@ -296,7 +319,8 @@ TEST(Integration, StrongScalingReducesEpochTime) {
     auto cc = c;
     cc.workers = workers;
     auto cluster = make_cluster(cc);
-    const auto r = run_solver("newton-admm", cluster, tt.train, nullptr, cc);
+    const auto r = run_solver("newton-admm", cluster,
+      shard_for_solver("newton-admm", tt.train, nullptr, cc), cc);
     EXPECT_LT(r.avg_epoch_sim_seconds, prev) << "workers=" << workers;
     prev = r.avg_epoch_sim_seconds;
   }
@@ -316,7 +340,8 @@ TEST(Integration, WeakScalingKeepsEpochTimeRoughlyConstant) {
     c.n_test = 100;
     const auto tt = make_data(c);
     auto cluster = make_cluster(c);
-    const auto r = run_solver("newton-admm", cluster, tt.train, nullptr, c);
+    const auto r = run_solver("newton-admm", cluster,
+      shard_for_solver("newton-admm", tt.train, nullptr, c), c);
     if (workers == 1) {
       t1 = r.avg_epoch_sim_seconds;
     } else {

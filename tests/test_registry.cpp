@@ -60,16 +60,51 @@ TEST(SolverRegistry, CommClassAndKnobsComeFromTheRegistry) {
   // its staleness/barrier controls so `nadmm list` cannot drift. The
   // --partition shard-plan knob applies to every distributed solver (the
   // harness shards before dispatch), so each one must list it.
+  const auto has = [](const SolverInfo& info, const std::string& knob) {
+    const auto& k = info.knob_names;
+    return std::find(k.begin(), k.end(), knob) != k.end();
+  };
   for (const auto& info : registry.list()) {
     if (info.kind == SolverKind::kDistributed) {
-      EXPECT_FALSE(info.knobs.empty()) << info.name;
-      EXPECT_NE(info.knobs.find("partition"), std::string::npos) << info.name;
+      EXPECT_FALSE(info.knob_names.empty()) << info.name;
+      EXPECT_TRUE(has(info, "partition")) << info.name;
     }
   }
-  EXPECT_NE(registry.info("async-admm").knobs.find("staleness"),
-            std::string::npos);
-  EXPECT_NE(registry.info("stale-sync-admm").knobs.find("sync-every"),
-            std::string::npos);
+  EXPECT_TRUE(has(registry.info("async-admm"), "staleness"));
+  EXPECT_TRUE(has(registry.info("stale-sync-admm"), "sync-every"));
+}
+
+TEST(SolverRegistry, KnobNamesResolveToTypedMetadata) {
+  // Every registered knob name must resolve through the shared option
+  // tables — knobs() throws if the registry references a flag that the
+  // CLI does not actually define.
+  const auto& registry = SolverRegistry::instance();
+  for (const auto& info : registry.list()) {
+    const auto knobs = info.knobs();
+    ASSERT_EQ(knobs.size(), info.knob_names.size()) << info.name;
+    for (const auto& k : knobs) {
+      EXPECT_FALSE(k.type.empty()) << info.name << " --" << k.name;
+      EXPECT_FALSE(k.description.empty()) << info.name << " --" << k.name;
+    }
+  }
+  const auto staleness = describe_knob("staleness");
+  EXPECT_EQ(staleness.type, "int");
+  EXPECT_EQ(staleness.default_value, "4");
+  EXPECT_THROW(static_cast<void>(describe_knob("no-such-knob")),
+               InvalidArgument);
+  EXPECT_EQ(registry.info("sync-sgd").knobs_csv(),
+            "sgd-batch,sgd-step,devices,straggler,partition");
+}
+
+TEST(SolverRegistry, RegistryJsonListsEverySolverWithKnobs) {
+  const std::string json = registry_json();
+  for (const auto& info : SolverRegistry::instance().list()) {
+    EXPECT_NE(json.find("\"name\": \"" + info.name + "\""), std::string::npos)
+        << info.name;
+  }
+  // Typed knob metadata is embedded, not just the names.
+  EXPECT_NE(json.find("\"default\": \"sps\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"double\""), std::string::npos);
 }
 
 TEST(SolverRegistry, ListIsSortedAndMatchesNames) {
@@ -106,11 +141,11 @@ TEST(SolverRegistry, RejectsDuplicateAndEmptyRegistration) {
     return core::RunResult{};
   };
   EXPECT_THROW(registry.add({"newton-admm", SolverKind::kDistributed, "dup",
-                             CommClass::kSynchronous, ""},
+                             CommClass::kSynchronous, {}},
                             factory),
                InvalidArgument);
   EXPECT_THROW(registry.add({"", SolverKind::kDistributed, "unnamed",
-                             CommClass::kSynchronous, ""},
+                             CommClass::kSynchronous, {}},
                             factory),
                InvalidArgument);
 }
@@ -120,7 +155,7 @@ TEST(SolverRegistry, RunsDistributedSolver) {
   const auto tt = make_data(c);
   auto cluster = make_cluster(c);
   const auto r = SolverRegistry::instance().run("newton-admm", cluster,
-                                                tt.train, &tt.test, c);
+      shard_for_solver("newton-admm", tt.train, &tt.test, c), c);
   EXPECT_EQ(r.solver, "newton-admm");
   EXPECT_GT(r.iterations, 0);
   EXPECT_FALSE(r.trace.empty());
@@ -133,8 +168,8 @@ TEST(SolverRegistry, RunsSingleNodeSolverWithFlopDerivedTime) {
   c.iterations = 5;
   const auto tt = make_data(c);
   auto cluster = make_cluster(c);
-  const auto r = SolverRegistry::instance().run("newton-cg", cluster, tt.train,
-                                                &tt.test, c);
+  const auto r = SolverRegistry::instance().run("newton-cg", cluster,
+      shard_for_solver("newton-cg", tt.train, &tt.test, c), c);
   EXPECT_EQ(r.solver, "newton-cg");
   EXPECT_GT(r.iterations, 0);
   ASSERT_FALSE(r.trace.empty());
@@ -148,14 +183,34 @@ TEST(SolverRegistry, RunThrowsOnUnknownName) {
   const auto c = tiny_config();
   const auto tt = make_data(c);
   auto cluster = make_cluster(c);
-  EXPECT_THROW(static_cast<void>(SolverRegistry::instance().run(
-                   "no-such-solver", cluster, tt.train, &tt.test, c)),
+  EXPECT_THROW(static_cast<void>(SolverRegistry::instance().run("no-such-solver", cluster,
+      shard_for_solver("no-such-solver", tt.train, &tt.test, c), c)),
                InvalidArgument);
   // The legacy harness entry point routes through the registry too.
   EXPECT_THROW(static_cast<void>(
-                   run_solver("no-such-solver", cluster, tt.train, &tt.test, c)),
+                   run_solver("no-such-solver", cluster,
+      shard_for_solver("no-such-solver", tt.train, &tt.test, c), c)),
                InvalidArgument);
 }
+
+// The deprecated (train, test) compat overload keeps working while
+// out-of-tree callers migrate; it must match the explicit sharded path
+// bit-for-bit (it is documented as sugar for shard_for_solver).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SolverRegistry, DeprecatedTrainTestOverloadMatchesShardedPath) {
+  const auto c = tiny_config();
+  const auto tt = make_data(c);
+  auto c1 = make_cluster(c);
+  auto c2 = make_cluster(c);
+  const auto legacy = run_solver("newton-admm", c1, tt.train, &tt.test, c);
+  const auto explicit_path = run_solver(
+      "newton-admm", c2,
+      shard_for_solver("newton-admm", tt.train, &tt.test, c), c);
+  EXPECT_EQ(legacy.final_objective, explicit_path.final_objective);
+  EXPECT_EQ(legacy.total_sim_seconds, explicit_path.total_sim_seconds);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace nadmm::runner

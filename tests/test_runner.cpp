@@ -6,10 +6,21 @@
 #include <fstream>
 
 #include "runner/harness.hpp"
+#include "runner/options.hpp"
 #include "support/check.hpp"
 
 namespace nadmm::runner {
 namespace {
+
+/// Contiguous zero-copy shards sized to the cluster — the explicit form
+/// of what the deprecated (train, test) solver overloads did implicitly.
+nadmm::data::ShardedDataset shards(const nadmm::comm::SimCluster& cluster,
+                                   const nadmm::data::Dataset& train,
+                                   const nadmm::data::Dataset* test) {
+  nadmm::data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return nadmm::data::make_sharded(train, test, plan);
+}
 
 TEST(HarnessOptions, AdmmOptionsMirrorConfig) {
   ExperimentConfig c;
@@ -143,7 +154,7 @@ TEST(HarnessEarlyStop, AdmmObjectiveTargetStopsRun) {
   // A loose target the very first iterations can reach.
   opts.objective_target = 300.0 * 1.5;
   auto cluster = make_cluster(c);
-  const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = core::newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_LT(r.iterations, 100);
   EXPECT_LE(r.final_objective, opts.objective_target);
 }
@@ -161,9 +172,89 @@ TEST(HarnessEarlyStop, GiantObjectiveTargetStopsRun) {
   auto opts = giant_options(c);
   opts.objective_target = 300.0 * 1.5;
   auto cluster = make_cluster(c);
-  const auto r = baselines::giant(cluster, tt.train, nullptr, opts);
+  const auto r = baselines::giant(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_LT(r.iterations, 100);
   EXPECT_LE(r.final_objective, opts.objective_target);
+}
+
+
+// ------------------------------------------------- declarative options
+
+TEST(OptionSpecs, RegisterValidateAndRejectWithFlagName) {
+  OptionSet opts;
+  opts.add_int("count", 4, "how many", v_int_min(1));
+  opts.add_string("mode", "fast", "speed", v_one_of({"fast", "slow"}));
+  opts.add_double("rate", 0.5, "per second", v_double_min(0.0, false));
+  CliParser cli("test");
+  opts.register_into(cli);
+  const char* good[] = {"prog", "--count", "2", "--mode=slow", "--rate", "1.5"};
+  ASSERT_TRUE(cli.parse(6, good));
+  opts.validate(cli);  // no throw
+  EXPECT_EQ(cli.get_int("count"), 2);
+  EXPECT_EQ(cli.get_string("mode"), "slow");
+
+  CliParser bad("test");
+  opts.register_into(bad);
+  const char* argv[] = {"prog", "--count", "0"};
+  ASSERT_TRUE(bad.parse(3, argv));
+  try {
+    opts.validate(bad);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos)
+        << "rejection must name the flag: " << e.what();
+  }
+}
+
+TEST(OptionSpecs, DuplicateNamesAreRejected) {
+  OptionSet opts;
+  opts.add_int("n", 1, "first");
+  EXPECT_THROW(opts.add_string("n", "x", "dup"), InvalidArgument);
+  OptionSet other;
+  other.add_int("n", 2, "also n");
+  EXPECT_THROW(opts.extend(other), InvalidArgument);
+}
+
+TEST(OptionSpecs, DomainValidatorsCoverTheSharedAxes) {
+  const auto ok = [](const OptionValidator& v, const std::string& value) {
+    v("--x", value);  // must not throw
+  };
+  const auto rejects = [](const OptionValidator& v, const std::string& value) {
+    EXPECT_THROW(v("--x", value), InvalidArgument) << value;
+  };
+  ok(v_device_list(), "p100+cpu");
+  rejects(v_device_list(), "p100+warp9");
+  ok(v_network(), "ideal");
+  rejects(v_network(), "carrier-pigeon");
+  ok(v_straggler(), "1:4");
+  rejects(v_straggler(), "1:");
+  ok(v_partition(), "weighted");
+  rejects(v_partition(), "sharded");
+  ok(v_solver(), "newton-admm");
+  rejects(v_solver(), "sgd");
+  ok(v_arrival(), "bursty:400:4000:0.5:0.2");
+  rejects(v_arrival(), "bursty:400:100:0.5:0.2");
+  ok(v_batch_policy(), "deadline:16:0.005");
+  rejects(v_batch_policy(), "deadline:16");
+  ok(v_each(',', v_network()), "ideal, eth10,wan");
+  rejects(v_each(',', v_network()), "ideal,nope");
+  EXPECT_EQ(parse_byte_size("--b", "512m"), 512u << 20);
+  EXPECT_EQ(parse_byte_size("--b", "2G"), std::size_t{2} << 30);
+  EXPECT_EQ(parse_byte_size("--b", "0"), 0u);
+  EXPECT_THROW(parse_byte_size("--b", "12q"), InvalidArgument);
+}
+
+TEST(OptionSpecs, SharedTablesStayConsistent) {
+  // run/sweep/serve all build on these tables; the names the registry's
+  // knob catalog uses must keep resolving here.
+  EXPECT_NE(scenario_options().find("penalty"), nullptr);
+  EXPECT_NE(scenario_options().find("sgd-batch"), nullptr);
+  EXPECT_NE(serving_options().find("arrival"), nullptr);
+  EXPECT_EQ(serving_options().find("penalty"), nullptr);
+  const auto knob = describe_knob("cg-iterations");
+  EXPECT_EQ(knob.type, "int");
+  EXPECT_EQ(knob.default_value, "10");
+  EXPECT_FALSE(knob.description.empty());
 }
 
 }  // namespace

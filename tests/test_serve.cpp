@@ -1,0 +1,354 @@
+// Tests for the serving plane (src/serve/*): quantile-sketch accuracy
+// against exact percentiles, arrival-schedule determinism, batch-policy
+// edge cases through the simulator (empty stream, bursts larger than
+// the batch cap, deadline expiry), model save/load round trips, and
+// byte-identical serving sweeps at any --jobs level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runner/harness.hpp"
+#include "runner/sweep.hpp"
+#include "serve/arrival.hpp"
+#include "serve/batching.hpp"
+#include "serve/model_io.hpp"
+#include "serve/quantile.hpp"
+#include "serve/server.hpp"
+#include "support/check.hpp"
+
+namespace nadmm::serve {
+namespace {
+
+// ------------------------------------------------------- quantile sketch
+
+/// Deterministic pseudo-random latencies (no std::rand in tests).
+std::vector<double> synthetic_latencies(std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    // Spread over ~4 decades, [1e-5, 1e-1): latency-shaped.
+    const double u = static_cast<double>(s >> 11) / 9007199254740992.0;
+    v.push_back(1e-5 * std::pow(10.0, 4.0 * u));
+  }
+  return v;
+}
+
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+TEST(QuantileSketch, TracksExactPercentilesWithinRelativeError) {
+  const auto values = synthetic_latencies(20'000);
+  QuantileSketch sketch(0.01);
+  for (const double v : values) sketch.add(v);
+  EXPECT_EQ(sketch.count(), values.size());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = exact_quantile(values, q);
+    const double approx = sketch.quantile(q);
+    // ε = 1% sketch; allow 3% for the exact-index rounding at the tail.
+    EXPECT_NEAR(approx, exact, 0.03 * exact) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(),
+                   *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(sketch.max(),
+                   *std::max_element(values.begin(), values.end()));
+  EXPECT_NEAR(sketch.mean(), sketch.sum() / static_cast<double>(sketch.count()),
+              1e-12);
+}
+
+TEST(QuantileSketch, IsInsertionOrderIndependent) {
+  auto values = synthetic_latencies(5'000);
+  QuantileSketch forward;
+  for (const double v : values) forward.add(v);
+  std::reverse(values.begin(), values.end());
+  QuantileSketch reversed;
+  for (const double v : values) reversed.add(v);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(forward.quantile(q), reversed.quantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketch, EdgesAndErrors) {
+  QuantileSketch sketch;
+  EXPECT_THROW(static_cast<void>(sketch.quantile(0.5)), InvalidArgument);
+  sketch.add(0.0);  // at/below the floor: shares the resolution bucket
+  sketch.add(42.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_LE(sketch.quantile(0.0), 1e-9);  // floor-bucket resolution
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 42.0);
+  EXPECT_THROW(sketch.add(-1.0), InvalidArgument);
+}
+
+// ------------------------------------------------------ arrival streams
+
+TEST(ArrivalStreams, SameSeedIsBitIdenticalAcrossModels) {
+  for (const char* spec :
+       {"poisson:800", "diurnal:1000:0.8:0.5", "bursty:400:4000:0.5:0.2"}) {
+    const auto model = make_arrival(spec);
+    const auto a = make_request_stream(*model, 500, 64, 7);
+    const auto b = make_request_stream(*model, 500, 64, 7);
+    ASSERT_EQ(a.size(), b.size()) << spec;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].row, b[i].row);
+      EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s) << spec << " @" << i;
+    }
+    const auto c = make_request_stream(*model, 500, 64, 8);
+    bool differs = false;
+    for (std::size_t i = 0; i < c.size() && !differs; ++i) {
+      differs = a[i].arrival_s != c[i].arrival_s || a[i].row != c[i].row;
+    }
+    EXPECT_TRUE(differs) << spec << ": seed must matter";
+  }
+}
+
+TEST(ArrivalStreams, SchedulesAreNonDecreasingAndInPool) {
+  const auto model = make_arrival("bursty");
+  const auto stream = make_request_stream(*model, 1'000, 17, 42);
+  ASSERT_EQ(stream.size(), 1'000u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    EXPECT_LT(stream[i].row, 17u);
+    if (i > 0) {
+      EXPECT_GE(stream[i].arrival_s, stream[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(ArrivalStreams, FactoryValidatesSpecs) {
+  EXPECT_EQ(make_arrival("poisson")->name(), "poisson:1000");
+  EXPECT_NEAR(make_arrival("diurnal:100:0.5:2")->mean_rate(), 100.0, 1e-12);
+  for (const char* bad :
+       {"", "bogus", "poisson:0", "poisson:-5", "poisson:abc",
+        "diurnal:1000:1.5", "bursty:400:100:0.5:0.2", "bursty:400:4000:0:0.2",
+        "bursty:400:4000:0.5:1.5"}) {
+    EXPECT_THROW(static_cast<void>(make_arrival(bad)), InvalidArgument) << bad;
+  }
+}
+
+TEST(BatchPolicies, FactoryValidatesSpecs) {
+  EXPECT_EQ(make_batch_policy("immediate")->max_batch(), 1u);
+  EXPECT_EQ(make_batch_policy("size:32")->max_batch(), 32u);
+  const auto deadline = make_batch_policy("deadline:16:0.005");
+  EXPECT_EQ(deadline->max_batch(), 16u);
+  EXPECT_DOUBLE_EQ(deadline->max_delay(), 0.005);
+  EXPECT_FALSE(deadline->ready(15));
+  EXPECT_TRUE(deadline->ready(16));
+  for (const char* bad :
+       {"", "sized:4", "size:0", "size:-2", "deadline:16", "deadline:0:0.01",
+        "deadline:16:-1"}) {
+    EXPECT_THROW(static_cast<void>(make_batch_policy(bad)), InvalidArgument)
+        << bad;
+  }
+}
+
+// ----------------------------------------------------------- simulator
+
+/// Tiny blobs pool + an untrained (zero) softmax model: the simulator
+/// exercises scheduling/batching/latency, not model quality.
+struct Fixture {
+  data::TrainTest tt;
+  SavedModel model;
+};
+
+Fixture tiny_fixture() {
+  runner::ExperimentConfig c;
+  c.dataset = "blobs";
+  c.n_train = 60;
+  c.n_test = 40;
+  c.e18_features = 8;
+  Fixture f{runner::make_data(c), {}};
+  f.model.objective = "softmax";
+  f.model.num_features = f.tt.test.num_features();
+  f.model.num_classes = f.tt.test.num_classes();
+  f.model.x.assign(f.model.num_features * f.model.coef_cols(), 0.01);
+  return f;
+}
+
+ServeConfig tiny_serve() {
+  ServeConfig c;
+  c.requests = 400;
+  c.network = "ideal";
+  c.omp_threads = 1;
+  return c;
+}
+
+TEST(ServeSimulator, EmptyStreamYieldsZeroedReport) {
+  const auto f = tiny_fixture();
+  auto config = tiny_serve();
+  config.requests = 0;
+  const auto r = simulate(f.model, f.tt.test, config);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_EQ(r.batches, 0u);
+  EXPECT_DOUBLE_EQ(r.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(r.p99_latency_s, 0.0);
+}
+
+TEST(ServeSimulator, ImmediateDispatchesEveryRequestAlone) {
+  const auto f = tiny_fixture();
+  auto config = tiny_serve();
+  config.arrival = "poisson:200";
+  config.batch = "immediate";
+  const auto r = simulate(f.model, f.tt.test, config);
+  EXPECT_EQ(r.requests, 400u);
+  EXPECT_EQ(r.batches, 400u);
+  EXPECT_EQ(r.max_batch_seen, 1u);
+  EXPECT_EQ(r.deadline_flushes, 0u);
+  EXPECT_GT(r.throughput_rps, 0.0);
+  EXPECT_GE(r.p99_latency_s, r.p50_latency_s);
+  EXPECT_GE(r.p999_latency_s, r.p99_latency_s);
+  EXPECT_GE(r.max_latency_s, r.p999_latency_s);
+}
+
+TEST(ServeSimulator, BurstLargerThanCapSplitsAtMaxBatch) {
+  const auto f = tiny_fixture();
+  auto config = tiny_serve();
+  // Bursts of ~4000 req/s against an 8-cap: queues exceed the cap, so
+  // the server must split — never gathering more than max_batch rows.
+  config.arrival = "bursty:50:4000:0.25:0.5";
+  config.batch = "size:8";
+  const auto r = simulate(f.model, f.tt.test, config);
+  EXPECT_EQ(r.requests, 400u);
+  EXPECT_LE(r.max_batch_seen, 8u);
+  EXPECT_GE(r.batches, 400u / 8);
+  EXPECT_GT(r.mean_batch, 1.0);
+}
+
+TEST(ServeSimulator, DeadlineExpiryFlushesInFlightRequests) {
+  const auto f = tiny_fixture();
+  auto config = tiny_serve();
+  // Sparse traffic against a large cap: the 64-batch never fills, so
+  // every dispatch is a deadline flush — and none may be lost.
+  config.arrival = "poisson:50";
+  config.batch = "deadline:64:0.002";
+  const auto r = simulate(f.model, f.tt.test, config);
+  EXPECT_EQ(r.requests, 400u);
+  EXPECT_GT(r.deadline_flushes, 0u);
+  // Tail stays near the deadline: queue wait <= 2ms plus service time.
+  EXPECT_LT(r.p99_latency_s, 0.01);
+}
+
+TEST(ServeSimulator, RerunsAreBitIdentical) {
+  const auto f = tiny_fixture();
+  auto config = tiny_serve();
+  config.arrival = "bursty:100:2000:0.5:0.2";
+  config.batch = "deadline:16:0.005";
+  const auto a = simulate(f.model, f.tt.test, config);
+  const auto b = simulate(f.model, f.tt.test, config);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.deadline_flushes, b.deadline_flushes);
+  EXPECT_DOUBLE_EQ(a.total_sim_seconds, b.total_sim_seconds);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_DOUBLE_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_DOUBLE_EQ(a.p999_latency_s, b.p999_latency_s);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(ServeSimulator, RejectsMismatchedPool) {
+  const auto f = tiny_fixture();
+  auto model = f.model;
+  model.num_features += 1;
+  model.x.assign(model.num_features * model.coef_cols(), 0.0);
+  EXPECT_THROW(static_cast<void>(simulate(model, f.tt.test, tiny_serve())),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ model I/O
+
+TEST(ModelIo, RoundTripsExactly) {
+  SavedModel m;
+  m.objective = "softmax";
+  m.solver = "newton-admm";
+  m.dataset = "blobs";
+  m.num_features = 3;
+  m.num_classes = 4;
+  m.lambda = 1e-5;
+  m.x = {0.125, -2.5, 3.0e-17, 1.0 / 3.0, -0.0, 5.0, 6.25, -7.125, 8.0};
+  const std::string path = "test_model_roundtrip.txt";
+  save_model(m, path);
+  const auto loaded = load_model(path);
+  EXPECT_EQ(loaded.objective, m.objective);
+  EXPECT_EQ(loaded.solver, m.solver);
+  EXPECT_EQ(loaded.dataset, m.dataset);
+  EXPECT_EQ(loaded.num_features, m.num_features);
+  EXPECT_EQ(loaded.num_classes, m.num_classes);
+  EXPECT_DOUBLE_EQ(loaded.lambda, m.lambda);
+  ASSERT_EQ(loaded.x.size(), m.x.size());
+  for (std::size_t i = 0; i < m.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.x[i], m.x[i]) << i;  // %.17g: bit-exact
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(static_cast<void>(load_model("no-such-model.txt")),
+               RuntimeError);
+  const std::string path = "test_model_corrupt.txt";
+  {
+    std::ofstream out(path);
+    out << "nadmm-model v1\nobjective softmax\nsolver -\ndataset -\n"
+           "features 2\nclasses 2\nlambda 0\ncoefficients 2\n1.0\n";
+    // truncated: coefficient count promised 2, only 1 present, no `end`
+  }
+  try {
+    static_cast<void>(load_model(path));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "loader errors must name the file";
+  }
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------- serving sweeps
+
+TEST(ServingSweep, ReportIsByteIdenticalAcrossJobs) {
+  runner::SweepSpec spec;
+  spec.mode = "serving";
+  spec.solvers = {"newton-admm"};
+  spec.datasets = {"blobs"};
+  spec.workers = {2};
+  spec.arrivals = {"poisson:500", "bursty:100:2000:0.5:0.2"};
+  spec.batch_policies = {"immediate", "deadline:8:0.01"};
+  spec.serve_requests = 200;
+  spec.base.n_train = 120;
+  spec.base.n_test = 40;
+  spec.base.e18_features = 8;
+  spec.base.iterations = 2;
+  ASSERT_EQ(runner::expand_scenarios(spec).size(), 4u);
+
+  runner::SweepOptions serial;
+  serial.jobs = 1;
+  runner::SweepOptions threaded;
+  threaded.jobs = 2;
+  const auto a = runner::run_sweep(spec, serial);
+  const auto b = runner::run_sweep(spec, threaded);
+  ASSERT_EQ(a.failures(), 0u) << a.outcomes.front().error;
+  const auto rows_a = a.csv_rows();
+  const auto rows_b = b.csv_rows();
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  for (std::size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_EQ(rows_a[i], rows_b[i]) << "row " << i;
+  }
+  // Serving rows carry the serving columns (non-zero throughput).
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_TRUE(a.outcomes[i].scenario.serving);
+    EXPECT_EQ(a.outcomes[i].serve_requests, 200u);
+    EXPECT_GT(a.outcomes[i].throughput_rps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nadmm::serve

@@ -14,6 +14,16 @@
 namespace nadmm {
 namespace {
 
+/// Contiguous zero-copy shards sized to the cluster — the explicit form
+/// of what the deprecated (train, test) solver overloads did implicitly.
+nadmm::data::ShardedDataset shards(const nadmm::comm::SimCluster& cluster,
+                                   const nadmm::data::Dataset& train,
+                                   const nadmm::data::Dataset* test) {
+  nadmm::data::ShardPlan plan;
+  plan.parts = cluster.size();
+  return nadmm::data::make_sharded(train, test, plan);
+}
+
 TEST(Stress, SixteenRankCollectiveStorm) {
   comm::SimCluster cluster(16, la::DeviceModel{"t", 100.0},
                            comm::infiniband_100g());
@@ -57,7 +67,7 @@ TEST(Stress, SixteenRankNewtonAdmmOnSparseData) {
   core::NewtonAdmmOptions opts;
   opts.max_iterations = 15;
   opts.lambda = 1e-3;
-  const auto r = core::newton_admm(cluster, tt.train, &tt.test, opts);
+  const auto r = core::newton_admm(cluster, shards(cluster, tt.train, &tt.test), opts);
   ASSERT_EQ(r.trace.size(), 15u);
   EXPECT_LT(r.final_objective, r.trace.front().objective);
   EXPECT_GT(r.final_test_accuracy, 1.0 / 20.0);  // above chance
@@ -72,7 +82,7 @@ TEST(Stress, UnevenShardSizesStillConverge) {
   core::NewtonAdmmOptions opts;
   opts.max_iterations = 30;
   opts.lambda = 1e-2;
-  const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = core::newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_LT(r.final_objective, 100.0 * std::log(3.0));
 }
 
@@ -85,7 +95,7 @@ TEST(Stress, MoreRanksThanInterestingWork) {
   core::NewtonAdmmOptions opts;
   opts.max_iterations = 10;
   opts.lambda = 1e-2;
-  const auto r = core::newton_admm(cluster, tt.train, nullptr, opts);
+  const auto r = core::newton_admm(cluster, shards(cluster, tt.train, nullptr), opts);
   EXPECT_EQ(r.iterations, 10);
   EXPECT_TRUE(std::isfinite(r.final_objective));
 }
@@ -102,7 +112,8 @@ TEST(Stress, RepeatedSolverRunsOnOneClusterViaHarness) {
   auto cluster = runner::make_cluster(c);
   // The same cluster object must serve several solver runs back to back.
   for (const char* solver : {"newton-admm", "giant", "sync-sgd", "disco"}) {
-    const auto r = runner::run_solver(solver, cluster, tt.train, &tt.test, c);
+    const auto r = runner::run_solver(solver, cluster,
+      runner::shard_for_solver(solver, tt.train, &tt.test, c), c);
     EXPECT_EQ(r.iterations, 5) << solver;
     EXPECT_TRUE(std::isfinite(r.final_objective)) << solver;
   }
