@@ -292,6 +292,19 @@ int cmd_sweep(int argc, const char* const* argv) {
                   "serve a pre-trained model file instead of training");
   opts.add_double("dispatch-overhead", -1.0,
                   "serving per-dispatch cost in seconds (-1: keep)");
+  opts.add_double("scale", -1.0,
+                  "paper-scale multiplier for n-train/n-test (-1: keep; "
+                  "each scale keeps its own resume journal)");
+  opts.add_string("weak-scaling", "",
+                  "true|false: n-train is the per-worker shard (empty: keep)",
+                  [](const std::string& flag, const std::string& value) {
+                    if (!value.empty() && value != "true" &&
+                        value != "false") {
+                      throw InvalidArgument("--" + flag +
+                                            ": invalid value '" + value +
+                                            "' (expected true|false)");
+                    }
+                  });
   opts.add_int("n-train", -1, "training samples (-1: keep spec/default)");
   opts.add_int("n-test", -1, "test samples (-1: keep spec/default)");
   opts.add_int("e18-features", -1, "e18/blobs feature dim (-1: keep)");
@@ -356,6 +369,14 @@ int cmd_sweep(int argc, const char* const* argv) {
     if (value >= 0) {
       runner::apply_sweep_assignment(spec, key, std::to_string(value));
     }
+  }
+  if (cli.get_double("scale") > 0.0) {
+    runner::apply_sweep_assignment(spec, "scale",
+                                   std::to_string(cli.get_double("scale")));
+  }
+  if (!cli.get_string("weak-scaling").empty()) {
+    runner::apply_sweep_assignment(spec, "weak_scaling",
+                                   cli.get_string("weak-scaling"));
   }
   if (cli.get_double("objective-target") >= 0.0) {
     runner::apply_sweep_assignment(

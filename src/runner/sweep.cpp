@@ -197,9 +197,11 @@ bool json_get_int(const std::string& line, const std::string& key,
 constexpr const char* kJournalKind = "nadmm-sweep-journal";
 // v2: partition axis in the expansion/tag and the peak_dataset_bytes
 // column. v3: serving-mode columns (requests/batches/throughput/latency
-// percentiles). Older journals are rejected on --resume — their
+// percentiles). v4: the scale/weak_scaling spec knobs entered the
+// fingerprint serialization (the reproduction pipeline keys one journal
+// per scale). Older journals are rejected on --resume — their
 // fingerprints no longer match either.
-constexpr std::int64_t kJournalVersion = 3;
+constexpr std::int64_t kJournalVersion = 4;
 
 std::string journal_header_line(const std::string& fingerprint,
                                 std::size_t scenarios) {
@@ -397,6 +399,18 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     for (const auto& item : spec.batch_policies) {
       static_cast<void>(serve::make_batch_policy(item));  // validate
     }
+  } else if (key == "scale") {
+    spec.scale = parse_double(key, value);
+    NADMM_CHECK(spec.scale > 0.0, "sweep key 'scale': must be > 0");
+  } else if (key == "weak_scaling") {
+    if (value == "true" || value == "1") {
+      spec.weak_scaling = true;
+    } else if (value == "false" || value == "0") {
+      spec.weak_scaling = false;
+    } else {
+      throw InvalidArgument("sweep key 'weak_scaling': expected true|false, "
+                            "got '" + value + "'");
+    }
   } else if (key == "serve_requests") {
     spec.serve_requests = static_cast<std::size_t>(parse_int(key, value));
   } else if (key == "serve_model") {
@@ -412,7 +426,7 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
         "lambdas|stragglers|partitions|arrivals|batch_policies; scalars: "
         "n_train|n_test|e18_features|seed|iterations|cg_iterations|cg_tol|"
         "line_search_iterations|staleness|sync_every|objective_target|mode|"
-        "serve_requests|serve_model|dispatch_overhead)");
+        "scale|weak_scaling|serve_requests|serve_model|dispatch_overhead)");
   }
 }
 
@@ -475,9 +489,22 @@ std::string Scenario::tag() const {
   return buf;
 }
 
+namespace {
+
+/// Sample count after the spec's paper-scale multiplier.
+std::size_t scaled_count(std::size_t base, double scale) {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(base) * scale));
+}
+
+}  // namespace
+
 std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
   NADMM_CHECK(!spec.solvers.empty(), "sweep needs at least one solver");
   NADMM_CHECK(!spec.datasets.empty(), "sweep needs at least one dataset");
+  const std::size_t scaled_train =
+      std::max<std::size_t>(1, scaled_count(spec.base.n_train, spec.scale));
+  const std::size_t scaled_test = scaled_count(spec.base.n_test, spec.scale);
   if (spec.mode == "serving") {
     NADMM_CHECK(!spec.devices.empty(), "sweep needs at least one device");
     NADMM_CHECK(!spec.networks.empty(), "sweep needs at least one network");
@@ -499,6 +526,8 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
                 s.index = index++;
                 s.solver = solver;
                 s.config = spec.base;
+                s.config.n_train = scaled_train;
+                s.config.n_test = scaled_test;
                 s.config.dataset = dataset;
                 s.config.device = device;
                 s.config.network = network;
@@ -539,6 +568,12 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
                     s.index = index++;
                     s.solver = solver;
                     s.config = spec.base;
+                    // Weak scaling: base.n_train is the per-worker shard.
+                    s.config.n_train =
+                        spec.weak_scaling
+                            ? scaled_train * static_cast<std::size_t>(workers)
+                            : scaled_train;
+                    s.config.n_test = scaled_test;
                     s.config.dataset = dataset;
                     s.config.workers = workers;
                     s.config.device = device;
@@ -600,6 +635,8 @@ std::string spec_fingerprint(const SweepSpec& spec) {
      << ";gradient_tol=" << fmt_double(b.gradient_tol)
      << ";omp_threads=" << b.omp_threads
      << ";staleness=" << b.staleness << ";sync_every=" << b.sync_every << ';';
+  os << "scale=" << fmt_double(spec.scale)
+     << ";weak_scaling=" << spec.weak_scaling << ';';
   os << "mode=" << spec.mode << ';';
   join("arrivals", spec.arrivals, str);
   join("batch_policies", spec.batch_policies, str);

@@ -52,6 +52,20 @@ struct SweepSpec {
   /// data/partition.hpp).
   std::vector<std::string> partitions{"contiguous"};
 
+  /// Paper-scale multiplier applied at expansion time: every scenario's
+  /// sample counts become round(base.n_train × scale) /
+  /// round(base.n_test × scale) (clamped to ≥ 1 train sample). Axes and
+  /// all other knobs are untouched, so the same spec file serves the
+  /// committed small grid (scale = 1) and a paper-scale validation run
+  /// (scale ≥ 4). Part of the spec fingerprint — each scale keeps its
+  /// own resume journal.
+  double scale = 1.0;
+  /// Weak-scaling grids: interpret base.n_train as the *per-worker*
+  /// shard — each scenario trains on n_train × workers rows (after
+  /// `scale`), holding per-rank load constant along the workers axis
+  /// (paper Figures 2/5). Train mode only; n_test stays fixed.
+  bool weak_scaling = false;
+
   /// Grid mode: "train" (the default; the axes above) or "serving" —
   /// each scenario trains (or loads) a model once per (solver, dataset)
   /// and replays a synthetic request stream against it, expanding

@@ -139,6 +139,47 @@ TEST(SweepExpansion, PartitionAxisExpandsAndTags) {
   EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
 }
 
+TEST(SweepExpansion, ScaleMultipliesSampleCountsAtExpansion) {
+  SweepSpec spec = tiny_spec();
+  apply_sweep_assignment(spec, "scale", "2.5");
+  EXPECT_DOUBLE_EQ(spec.scale, 2.5);
+  for (const auto& s : expand_scenarios(spec)) {
+    EXPECT_EQ(s.config.n_train, 300u);  // round(120 × 2.5)
+    EXPECT_EQ(s.config.n_test, 100u);
+  }
+  // The base counts stay untouched, and scale enters the fingerprint so
+  // a paper-scale run never resumes from a small grid's journal.
+  EXPECT_EQ(spec.base.n_train, 120u);
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(tiny_spec()));
+  EXPECT_THROW(apply_sweep_assignment(spec, "scale", "0"), InvalidArgument);
+  EXPECT_THROW(apply_sweep_assignment(spec, "scale", "-1"), InvalidArgument);
+  EXPECT_THROW(apply_sweep_assignment(spec, "scale", "big"), InvalidArgument);
+}
+
+TEST(SweepExpansion, WeakScalingGrowsTrainSetWithWorkers) {
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm"};
+  spec.lambdas = {1e-3};
+  spec.workers = {2, 4, 8};
+  apply_sweep_assignment(spec, "weak_scaling", "true");
+  const auto scenarios = expand_scenarios(spec);
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].config.n_train, 240u);  // per-worker 120 × w
+  EXPECT_EQ(scenarios[1].config.n_train, 480u);
+  EXPECT_EQ(scenarios[2].config.n_train, 960u);
+  for (const auto& s : scenarios) EXPECT_EQ(s.config.n_test, 40u);
+  // Composes with scale: the per-worker shard is scaled first.
+  apply_sweep_assignment(spec, "scale", "0.5");
+  EXPECT_EQ(expand_scenarios(spec)[2].config.n_train, 480u);  // 60 × 8
+  SweepSpec strong = tiny_spec();
+  strong.solvers = {"newton-admm"};
+  strong.lambdas = {1e-3};
+  strong.workers = {2, 4, 8};
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(strong));
+  EXPECT_THROW(apply_sweep_assignment(spec, "weak_scaling", "maybe"),
+               InvalidArgument);
+}
+
 TEST(SweepExpansion, TagIsFilesystemSafeAndUnique) {
   const auto scenarios = expand_scenarios(tiny_spec());
   std::set<std::string> tags;
@@ -152,6 +193,21 @@ TEST(SweepExpansion, TagIsFilesystemSafeAndUnique) {
 }
 
 // ------------------------------------------------------------ execution
+
+TEST(SweepRun, ScaledSweepMatchesManuallyEnlargedSpec) {
+  SweepSpec spec = tiny_spec();
+  spec.solvers = {"newton-admm"};
+  spec.lambdas = {1e-3};
+  apply_sweep_assignment(spec, "scale", "2");
+  SweepSpec manual = tiny_spec();
+  manual.solvers = {"newton-admm"};
+  manual.lambdas = {1e-3};
+  manual.base.n_train = 240;
+  manual.base.n_test = 80;
+  SweepOptions options;
+  EXPECT_EQ(run_sweep(spec, options).csv_rows(),
+            run_sweep(manual, options).csv_rows());
+}
 
 TEST(SweepRun, ReportsPeakDatasetBytesAcrossPartitionModes) {
   SweepSpec spec = tiny_spec();

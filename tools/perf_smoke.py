@@ -23,61 +23,16 @@ Usage:
 
 import argparse
 import json
-import re
 import sys
 
+from nadmm_results import bench_entries, load_bench_pairs
+
 BASELINE_DEFAULT = "BENCH_kernels.json"
-NAME_RE = re.compile(r"^(BM_\w+?)_(Engine|Seed)/(\d+)$")
 
-
-def load_pairs(bench_json_path):
-    """Return {(kernel, threads): {"engine": ips, "seed": ips}}.
-
-    When the run used --benchmark_repetitions, median aggregates are
-    preferred over per-iteration entries for noise robustness.
-    """
-    with open(bench_json_path) as f:
-        data = json.load(f)
-    has_aggregates = any(
-        b.get("run_type") == "aggregate" for b in data.get("benchmarks", []))
-    pairs = {}
-    for b in data.get("benchmarks", []):
-        name = b["name"]
-        if has_aggregates:
-            if b.get("aggregate_name") != "median":
-                continue
-            name = name.removesuffix("_median")
-        elif b.get("run_type") == "aggregate":
-            continue
-        m = NAME_RE.match(name)
-        if not m:
-            continue
-        kernel, side, threads = m.group(1), m.group(2), int(m.group(3))
-        ips = b.get("items_per_second")
-        if ips is None:
-            # Fall back to inverse real time when items were not set.
-            ips = 1.0 / b["real_time"] if b.get("real_time") else None
-        if ips is None:
-            continue
-        pairs.setdefault((kernel, threads), {})[side.lower()] = ips
-    return pairs
-
-
-def to_entries(pairs):
-    entries = []
-    for (kernel, threads), sides in sorted(pairs.items()):
-        if "engine" not in sides or "seed" not in sides:
-            continue
-        entries.append(
-            {
-                "kernel": kernel,
-                "threads": threads,
-                "engine_items_per_s": round(sides["engine"], 1),
-                "seed_items_per_s": round(sides["seed"], 1),
-                "speedup": round(sides["engine"] / sides["seed"], 3),
-            }
-        )
-    return entries
+# Parsing lives in tools/nadmm_results.py (shared with tools/reproduce.py
+# and the claim-check tests); these aliases keep existing imports working.
+load_pairs = load_bench_pairs
+to_entries = bench_entries
 
 
 def main():
