@@ -11,20 +11,33 @@
 // runs on the destination rank at max(rank clock, delivery time), with
 // any gap booked as idle wait.
 //
+// Messages are priced as wire frames (comm/wire.hpp): header + payload,
+// not bare payload bytes. With faults enabled (`set_faults`), remote
+// sends actually travel as encoded frames through a per-link reliable
+// channel — sequence numbers, checksums, ack/nack, timeout retransmit —
+// and a seeded FaultModel drops/duplicates/reorders/corrupts frames in
+// flight. The app handler still sees exactly one in-order delivery per
+// send (or none, if the channel abandons the frame after repeated loss).
+//
 // Determinism: delivery follows the strict total order
 // (delivery_time, seq), where `seq` is a global send counter — unique,
 // so no further tiebreak (e.g. by rank) can ever be reached. The event
-// loop is single-threaded, so two runs of the same configuration replay
-// byte-identical schedules regardless of host load, sweep-pool
-// interleaving, or how many scenarios run concurrently.
+// loop is single-threaded, and fault decisions consume a fixed number
+// of per-link RNG draws per transmission, so two runs of the same
+// (configuration, fault spec, seed) replay byte-identical schedules
+// regardless of host load, sweep-pool interleaving, or how many
+// scenarios run concurrently.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "comm/clock.hpp"
+#include "comm/fault.hpp"
 #include "comm/network_model.hpp"
+#include "comm/wire.hpp"
 #include "la/device.hpp"
 
 namespace nadmm::comm {
@@ -35,21 +48,34 @@ struct AsyncMessage {
   int to = -1;
   int tag = 0;               ///< protocol-defined discriminator
   double send_time = 0.0;     ///< sender's clock when the send was issued
-  double delivery_time = 0.0; ///< send_time + point_to_point(bytes)
+  double delivery_time = 0.0; ///< send_time + point_to_point(frame bytes)
   std::uint64_t seq = 0;      ///< global send order (deterministic tiebreak)
   std::vector<double> payload;
+
+  // Engine-internal routing for the fault-mode reliable channel; app
+  // handlers only ever observe event_kind == 0 (an app delivery).
+  std::uint8_t event_kind = 0;        ///< detail::EventKind
+  std::uint64_t link_seq = 0;         ///< per-link seq / ack cursor
+  int peer = -1;                      ///< retry-timer link destination
+  std::vector<std::uint8_t> frame;    ///< encoded bytes (fault-mode data)
 };
 
 /// Per-rank statistics returned by AsyncEngine::run.
 struct AsyncRankReport {
   double compute_seconds = 0.0;
-  double comm_seconds = 0.0;   ///< serialization charges for sent messages
+  double comm_seconds = 0.0;   ///< serialization charges for sent frames
   double wait_seconds = 0.0;   ///< idle time between handler invocations
   double finish_time = 0.0;    ///< rank clock when the event queue drained
   std::uint64_t total_flops = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// Messages addressed to this rank that were never delivered: dropped
+  /// on a halted mailbox, or abandoned by the reliable channel after
+  /// exhausting retransmit attempts.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t retransmits = 0;     ///< data frames re-sent by this rank
+  std::uint64_t gaps_detected = 0;   ///< out-of-order holds at this rank
 };
 
 class AsyncEngine;
@@ -65,8 +91,8 @@ class AsyncRank {
   [[nodiscard]] const NetworkModel& network() const;
 
   /// Post `payload` to rank `to`. The message is delivered at
-  /// now() + point_to_point(bytes); the sender's clock is charged the
-  /// serialization term. Loopback sends (to == rank()) are free and
+  /// now() + point_to_point(frame bytes); the sender's clock is charged
+  /// the serialization term. Loopback sends (to == rank()) are free and
   /// deliver at now().
   void send(int to, int tag, std::vector<double> payload);
 
@@ -74,7 +100,7 @@ class AsyncRank {
   void send_self(int tag, double delay, std::vector<double> payload = {});
 
   /// Stop accepting messages: anything still in flight toward this rank
-  /// is dropped on delivery.
+  /// is dropped on delivery (and counted in messages_dropped).
   void halt() { halted_ = true; }
   [[nodiscard]] bool halted() const { return halted_; }
 
@@ -89,6 +115,9 @@ class AsyncRank {
   bool halted_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t gaps_ = 0;
 };
 
 /// The virtual-time scheduler. Construct with one device model per rank,
@@ -104,6 +133,12 @@ class AsyncEngine {
   AsyncEngine(std::vector<la::DeviceModel> devices, NetworkModel network,
               int omp_threads = 0);
 
+  /// Route remote sends through the fault-injecting reliable channel.
+  /// Must be called before run(). A spec with all probabilities zero
+  /// still enables the channel (frames, acks, timers flow), which is
+  /// how the retransmit-overhead bench isolates channel cost.
+  void set_faults(const FaultSpec& spec, std::uint64_t seed);
+
   using StartFn = std::function<void(AsyncRank&)>;
   using MessageFn = std::function<void(AsyncRank&, const AsyncMessage&)>;
 
@@ -118,8 +153,43 @@ class AsyncEngine {
  private:
   friend class AsyncRank;
 
+  /// Reliable-channel state for one directed link (from, to).
+  struct Unacked {
+    std::vector<std::uint8_t> frame;  ///< canonical encoded bytes
+    int attempts = 1;                 ///< transmissions so far
+  };
+  struct LinkSender {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, Unacked> unacked;  ///< deterministic order
+    bool timer_pending = false;
+  };
+  struct LinkReceiver {
+    std::uint64_t expected = 0;                ///< next in-order seq
+    std::map<std::uint64_t, wire::Frame> held; ///< out-of-order buffer
+    /// Last seq nacked while `expected` was stuck there — suppresses a
+    /// nack storm when many successors of one lost frame arrive; the
+    /// retransmit timer backstops a lost retransmission.
+    std::uint64_t last_nacked = ~0ULL;
+  };
+
   void push_event(AsyncMessage message);
   AsyncMessage pop_event();
+
+  std::size_t link_index(int from, int to) const {
+    return static_cast<std::size_t>(from) * devices_.size() +
+           static_cast<std::size_t>(to);
+  }
+  void channel_send(AsyncRank& sender, int to, int tag,
+                    std::vector<double> payload);
+  void transmit(double base_time, int from, int to, std::uint64_t seq);
+  void send_control(wire::FrameKind kind, int from, int to,
+                    std::uint64_t cursor, double base_time);
+  void settle_links(std::vector<AsyncRank>& ranks);
+  void handle_data(const AsyncMessage& event, const MessageFn& on_message);
+  void handle_control(const AsyncMessage& event);
+  void handle_timer(const AsyncMessage& event);
+  void deliver_app(AsyncRank& rank, const AsyncMessage& event,
+                   const MessageFn& on_message);
 
   std::vector<la::DeviceModel> devices_;
   NetworkModel network_;
@@ -128,6 +198,14 @@ class AsyncEngine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t delivered_ = 0;
   bool ran_ = false;
+
+  bool faults_enabled_ = false;
+  FaultSpec fault_spec_;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<FaultModel> fault_links_;
+  std::vector<LinkSender> link_senders_;
+  std::vector<LinkReceiver> link_receivers_;
+  std::vector<AsyncRank>* running_ranks_ = nullptr;
 };
 
 }  // namespace nadmm::comm

@@ -1,0 +1,73 @@
+// Binary wire protocol for the async engine.
+//
+// Until PR 8 the engine priced messages at `payload.size() * 8` without
+// ever serializing them, so there was no byte layout to corrupt, no
+// sequence number to gap, and no checksum to fail. This codec gives
+// every AsyncMessage a real frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic          'N''A''D''M' (0x4d44414e LE)
+//        4     2  version        kWireVersion (1)
+//        6     2  kind           data / ack / nack (FrameKind)
+//        8     4  from           sender rank
+//       12     4  to             destination rank
+//       16     4  tag            protocol discriminator
+//       20     4  reserved       zero on encode, ignored on decode
+//       24     8  link_seq       per-(from,to) data sequence number;
+//                                cumulative ack / requested seq for
+//                                control frames
+//       32     8  payload_len    number of doubles that follow
+//       40     8  checksum       word-wise FNV-1a (8-byte LE words;
+//                                binio::fnv1a_words) over bytes [0, 40)
+//                                with the checksum field zeroed, then
+//                                payload
+//       48    8n  payload        doubles as IEEE-754 bits, LE
+//
+// All integers little-endian; doubles as bit patterns, so encode/decode
+// round-trips are exact for denormals, ±inf and NaN. `frame_bytes(n)`
+// is the engine's pricing unit: what the network model charges is the
+// byte count of the frame that would travel, whether or not the fault
+// path actually materializes it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nadmm::comm::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4d44414eU;  // "NADM" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 48;
+
+/// Frame discriminator. Data frames carry protocol payloads; ack/nack
+/// are the reliable channel's control plane (empty payload).
+enum class FrameKind : std::uint16_t { kData = 0, kAck = 1, kNack = 2 };
+
+/// Decoded frame header + payload.
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  int from = -1;
+  int to = -1;
+  int tag = 0;
+  std::uint64_t link_seq = 0;  ///< data seq, or ack/nack cursor
+  std::vector<double> payload;
+};
+
+/// Size in bytes of an encoded frame carrying `payload_doubles` doubles.
+[[nodiscard]] constexpr std::uint64_t frame_bytes(
+    std::uint64_t payload_doubles) {
+  return kHeaderBytes + payload_doubles * 8;
+}
+
+/// Encode a frame to its canonical byte layout.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Decode a frame, validating magic, version, length, and checksum.
+/// Throws nadmm::RuntimeError with a precise reason on any violation
+/// (truncated header/payload, bad magic, unsupported version, length
+/// mismatch, checksum mismatch).
+[[nodiscard]] Frame decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace nadmm::comm::wire

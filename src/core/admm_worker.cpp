@@ -55,6 +55,41 @@ std::span<const double> AdmmWorker::local_step() {
 
 void AdmmWorker::snapshot_z_prev() { la::copy(z_, z_prev_); }
 
+namespace {
+constexpr std::uint16_t kWorkerSnapshotVersion = 1;
+constexpr std::uint16_t kConsensusSnapshotVersion = 1;
+}  // namespace
+
+void AdmmWorker::save_checkpoint(binio::ByteWriter& w) const {
+  w.put_u16(kWorkerSnapshotVersion);
+  w.put_u64(dim_);
+  w.put_f64_span(x_);
+  w.put_f64_span(y_);
+  w.put_f64_span(y_hat_);
+  w.put_f64_span(z_);
+  w.put_f64_span(z_prev_);
+  w.put_f64(round_rho_);
+  penalty_.save(w);
+}
+
+void AdmmWorker::restore_checkpoint(binio::ByteReader& r) {
+  const std::uint16_t version = r.get_u16();
+  NADMM_CHECK(version == kWorkerSnapshotVersion,
+              "worker snapshot: unsupported version " +
+                  std::to_string(version));
+  NADMM_CHECK(r.get_u64() == dim_, "worker snapshot: dimension mismatch");
+  x_ = r.get_f64_vector();
+  y_ = r.get_f64_vector();
+  y_hat_ = r.get_f64_vector();
+  z_ = r.get_f64_vector();
+  z_prev_ = r.get_f64_vector();
+  NADMM_CHECK(x_.size() == dim_ && y_.size() == dim_ && y_hat_.size() == dim_ &&
+                  z_.size() == dim_ && z_prev_.size() == dim_,
+              "worker snapshot: iterate dimension mismatch");
+  round_rho_ = r.get_f64();
+  penalty_.restore(r);
+}
+
 void AdmmWorker::apply_consensus(int k) {
   const double rho = round_rho_;
   // --- local dual update (eq. 6c) and penalty adaptation (step 8) ---
@@ -86,6 +121,39 @@ void ConsensusState::apply(int w, std::span<const double> packed) {
   nadmm::flops::add(2 * sum_.size());
   rho_sum_ += packed[sum_.size()] - rho_[static_cast<std::size_t>(w)];
   rho_[static_cast<std::size_t>(w)] = packed[sum_.size()];
+}
+
+void ConsensusState::save(binio::ByteWriter& w) const {
+  w.put_u16(kConsensusSnapshotVersion);
+  w.put_u64(contrib_.size());
+  w.put_u64(sum_.size());
+  w.put_f64(rho_sum_);
+  w.put_f64_span(sum_);
+  for (const auto& c : contrib_) w.put_f64_span(c);
+  w.put_f64_span(rho_);
+}
+
+void ConsensusState::restore(binio::ByteReader& r) {
+  const std::uint16_t version = r.get_u16();
+  NADMM_CHECK(version == kConsensusSnapshotVersion,
+              "consensus snapshot: unsupported version " +
+                  std::to_string(version));
+  NADMM_CHECK(r.get_u64() == contrib_.size(),
+              "consensus snapshot: worker count mismatch");
+  NADMM_CHECK(r.get_u64() == sum_.size(),
+              "consensus snapshot: dimension mismatch");
+  const std::size_t dim = sum_.size();
+  rho_sum_ = r.get_f64();
+  sum_ = r.get_f64_vector();
+  NADMM_CHECK(sum_.size() == dim, "consensus snapshot: sum dimension mismatch");
+  for (auto& c : contrib_) {
+    c = r.get_f64_vector();
+    NADMM_CHECK(c.size() == sum_.size(),
+                "consensus snapshot: contribution dimension mismatch");
+  }
+  rho_ = r.get_f64_vector();
+  NADMM_CHECK(rho_.size() == contrib_.size(),
+              "consensus snapshot: rho count mismatch");
 }
 
 void ConsensusState::compute_z(std::span<double> z) const {

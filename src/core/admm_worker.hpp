@@ -24,6 +24,7 @@
 #include "model/prox.hpp"
 #include "model/softmax.hpp"
 #include "solvers/newton.hpp"
+#include "support/binio.hpp"
 
 namespace nadmm::core {
 
@@ -67,6 +68,15 @@ class AdmmWorker {
   [[nodiscard]] model::SoftmaxObjective& objective() { return local_; }
   [[nodiscard]] const data::Dataset& shard() const { return shard_; }
 
+  /// Versioned binary snapshot of the iterate state (x, y, ĥ, z, z_prev,
+  /// round ρ, penalty memory). The shard and options are not serialized:
+  /// a restored worker must be constructed over the same shard and
+  /// configuration, after which replaying the post-checkpoint consensus
+  /// stream reproduces the live worker bit-for-bit (center_/packed_ are
+  /// per-step scratch rebuilt by the next local_step).
+  void save_checkpoint(binio::ByteWriter& w) const;
+  void restore_checkpoint(binio::ByteReader& r);
+
  private:
   std::size_t dim_;
   data::Dataset shard_;
@@ -99,6 +109,12 @@ class ConsensusState {
   }
   [[nodiscard]] double rho_sum() const { return rho_sum_; }
   [[nodiscard]] std::size_t dim() const { return sum_.size(); }
+
+  /// Versioned binary snapshot of the merge state (running sums + the
+  /// per-worker contributions they were built from). λ comes from the
+  /// constructor; restore validates worker count and dimension.
+  void save(binio::ByteWriter& w) const;
+  void restore(binio::ByteReader& r);
 
  private:
   double lambda_;

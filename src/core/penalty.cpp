@@ -37,6 +37,37 @@ PenaltyController::PenaltyController(const PenaltyOptions& options,
   y0_.assign(dim, 0.0);
 }
 
+namespace {
+constexpr std::uint16_t kPenaltySnapshotVersion = 1;
+}  // namespace
+
+void PenaltyController::save(binio::ByteWriter& w) const {
+  w.put_u16(kPenaltySnapshotVersion);
+  w.put_f64(rho_);
+  w.put_u8(has_memory_ ? 1 : 0);
+  w.put_f64_span(x0_);
+  w.put_f64_span(yhat0_);
+  w.put_f64_span(z0_);
+  w.put_f64_span(y0_);
+}
+
+void PenaltyController::restore(binio::ByteReader& r) {
+  const std::uint16_t version = r.get_u16();
+  NADMM_CHECK(version == kPenaltySnapshotVersion,
+              "penalty snapshot: unsupported version " +
+                  std::to_string(version));
+  const std::size_t dim = x0_.size();
+  rho_ = r.get_f64();
+  has_memory_ = r.get_u8() != 0;
+  x0_ = r.get_f64_vector();
+  yhat0_ = r.get_f64_vector();
+  z0_ = r.get_f64_vector();
+  y0_ = r.get_f64_vector();
+  NADMM_CHECK(x0_.size() == dim && yhat0_.size() == dim &&
+                  z0_.size() == dim && y0_.size() == dim,
+              "penalty snapshot: dimension mismatch");
+}
+
 void PenaltyController::observe(int k, std::span<const double> x,
                                 std::span<const double> z,
                                 std::span<const double> z_prev,

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/binio.hpp"
+
 namespace nadmm::core {
 
 enum class PenaltyRule { kFixed, kResidualBalancing, kSpectral };
@@ -54,6 +56,12 @@ class PenaltyController {
   void observe(int k, std::span<const double> x, std::span<const double> z,
                std::span<const double> z_prev, std::span<const double> y,
                std::span<const double> y_hat);
+
+  /// Versioned binary snapshot of the adaptive state (ρ and the spectral
+  /// secant memory). Options are not serialized — a restored controller
+  /// must be constructed from the same configuration.
+  void save(binio::ByteWriter& w) const;
+  void restore(binio::ByteReader& r);
 
  private:
   void observe_residual_balancing(std::span<const double> x,

@@ -46,6 +46,13 @@ struct RunResult {
   /// guarantees the top non-zero bucket is <= the --staleness bound.
   std::vector<std::uint64_t> staleness_hist;
 
+  // Wire/fault-tolerance counters (async engine solvers; 0 elsewhere).
+  std::uint64_t retransmits = 0;       ///< data frames re-sent (all ranks)
+  std::uint64_t gaps_detected = 0;     ///< out-of-order holds (all ranks)
+  std::uint64_t messages_dropped = 0;  ///< sends never delivered (all ranks)
+  std::uint64_t checkpoints = 0;       ///< coordinator snapshots taken
+  std::uint64_t restores = 0;          ///< kill-and-rejoin recoveries
+
   [[nodiscard]] double max_wait_seconds() const {
     double w = 0.0;
     for (const double v : rank_wait_seconds) w = v > w ? v : w;

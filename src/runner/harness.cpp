@@ -129,6 +129,26 @@ solvers::AsyncAdmmOptions async_options(const ExperimentConfig& config,
   o.admm = admm_options(config);
   o.staleness = config.staleness;
   o.sync_every = stale_sync ? std::max(1, config.sync_every) : 0;
+  o.fault = config.fault.empty() ? "none" : config.fault;
+  o.seed = config.seed;
+  o.checkpoint_every = config.checkpoint_every;
+  if (!config.kill.empty() && config.kill != "none") {
+    const auto colon = config.kill.find(':');
+    NADMM_CHECK(colon != std::string::npos,
+                "kill spec must be 'none' or '<rank>:<epoch>', got '" +
+                    config.kill + "'");
+    char* end = nullptr;
+    const long rank = std::strtol(config.kill.c_str(), &end, 10);
+    NADMM_CHECK(end == config.kill.c_str() + colon && rank >= 0,
+                "kill rank must be a non-negative integer, got '" +
+                    config.kill + "'");
+    const long epoch = std::strtol(config.kill.c_str() + colon + 1, &end, 10);
+    NADMM_CHECK(end != nullptr && *end == '\0' && epoch >= 1,
+                "kill epoch must be an integer >= 1, got '" + config.kill +
+                    "'");
+    o.kill_rank = static_cast<int>(rank);
+    o.kill_epoch = static_cast<int>(epoch);
+  }
   return o;
 }
 

@@ -63,6 +63,16 @@ struct ExperimentConfig {
   int omp_threads = 0;            ///< OpenMP threads per rank (0 = auto)
   int staleness = 4;              ///< async-admm bounded-staleness τ (rounds)
   int sync_every = 4;             ///< stale-sync-admm barrier period k
+  /// Link-fault injection for the async engine: "none", or a
+  /// comma-separated "drop:p,dup:p,reorder:p,corrupt:p" spec
+  /// (comm::FaultSpec::parse). The fault RNG is seeded from `seed`.
+  std::string fault = "none";
+  /// Elastic-membership kill: "none", or "<rank>:<epoch>" — kill that
+  /// rank after the given epoch and rejoin it from the last checkpoint.
+  std::string kill = "none";
+  /// Coordinator checkpoint period in applied updates (0 = off; must be
+  /// > 0 when `kill` is set).
+  int checkpoint_every = 0;
 };
 
 /// The content-defining parameters of the config's dataset — scenarios

@@ -111,6 +111,9 @@ runner::ExperimentConfig config_from_cli(const CliParser& cli) {
   c.objective_target = cli.get_double("objective-target");
   c.staleness = static_cast<int>(cli.get_int("staleness"));
   c.sync_every = static_cast<int>(cli.get_int("sync-every"));
+  c.fault = cli.get_string("fault");
+  c.kill = cli.get_string("kill");
+  c.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every"));
   c.sgd_batch = static_cast<std::size_t>(cli.get_int("sgd-batch"));
   c.sgd_step = cli.get_double("sgd-step");
   c.dane_epochs = static_cast<int>(cli.get_int("dane-epochs"));
@@ -281,6 +284,18 @@ int cmd_sweep(int argc, const char* const* argv) {
                   runner::v_each(',', runner::v_straggler()));
   opts.add_string("partitions", "", "e.g. contiguous,strided,weighted",
                   runner::v_each(',', runner::v_partition()));
+  opts.add_string("faults", "",
+                  "e.g. none,drop:0.05,drop:0.1+dup:0.02 ('+' joins "
+                  "clauses within one entry)",
+                  runner::v_each(',', runner::v_fault()));
+  opts.add_string("kill", "",
+                  "kill/rejoin spec applied to every scenario: <rank>:<epoch> "
+                  "(empty: keep spec/default)",
+                  [](const std::string& flag, const std::string& value) {
+                    if (!value.empty()) runner::v_kill()(flag, value);
+                  });
+  opts.add_int("checkpoint-every", -1,
+               "coordinator checkpoint period in applied updates (-1: keep)");
   opts.add_string("arrivals", "",
                   "serving-mode arrival axis, e.g. poisson:1000,bursty",
                   runner::v_each(',', runner::v_arrival()));
@@ -350,7 +365,8 @@ int cmd_sweep(int argc, const char* const* argv) {
         AxisFlag{"partitions", "partitions"},
         AxisFlag{"arrivals", "arrivals"},
         AxisFlag{"batch-policies", "batch_policies"},
-        AxisFlag{"serve-model", "serve_model"}}) {
+        AxisFlag{"serve-model", "serve_model"},
+        AxisFlag{"faults", "faults"}}) {
     const std::string value = cli.get_string(flag);
     if (!value.empty()) runner::apply_sweep_assignment(spec, key, value);
   }
@@ -369,6 +385,14 @@ int cmd_sweep(int argc, const char* const* argv) {
     if (value >= 0) {
       runner::apply_sweep_assignment(spec, key, std::to_string(value));
     }
+  }
+  if (!cli.get_string("kill").empty()) {
+    runner::apply_sweep_assignment(spec, "kill", cli.get_string("kill"));
+  }
+  if (cli.get_int("checkpoint-every") >= 0) {
+    runner::apply_sweep_assignment(
+        spec, "checkpoint_every",
+        std::to_string(cli.get_int("checkpoint-every")));
   }
   if (cli.get_double("scale") > 0.0) {
     runner::apply_sweep_assignment(spec, "scale",

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "comm/fault.hpp"
 #include "comm/network_model.hpp"
 #include "la/device.hpp"
 #include "runner/registry.hpp"
@@ -282,6 +283,30 @@ OptionValidator v_partition() {
   return v_one_of({"contiguous", "strided", "weighted"});
 }
 
+OptionValidator v_fault() {
+  return [](const std::string& flag, const std::string& value) {
+    try {
+      static_cast<void>(comm::FaultSpec::parse(value));
+    } catch (const std::exception& e) {
+      reject(flag, value, e.what());
+    }
+  };
+}
+
+OptionValidator v_kill() {
+  return [](const std::string& flag, const std::string& value) {
+    if (value == "none") return;
+    const auto colon = value.find(':');
+    if (colon == std::string::npos) {
+      reject(flag, value, "expected none or <rank>:<epoch>");
+    }
+    const std::int64_t rank = parse_int(flag, value.substr(0, colon));
+    const std::int64_t epoch = parse_int(flag, value.substr(colon + 1));
+    if (rank < 0) reject(flag, value, "rank must be >= 0");
+    if (epoch < 1) reject(flag, value, "epoch must be >= 1");
+  };
+}
+
 OptionValidator v_solver() {
   return [](const std::string& flag, const std::string& value) {
     try {
@@ -391,6 +416,18 @@ const OptionSet& scenario_options() {
               v_int_min(1));
     s.add_int("sync-every", 4, "stale-sync-admm barrier period (rounds)",
               v_int_min(1));
+    s.add_string("fault", "none",
+                 "async-engine link faults: none or "
+                 "drop:<p>[,dup:<p>][,reorder:<p>][,corrupt:<p>]",
+                 v_fault());
+    s.add_string("kill", "none",
+                 "kill a rank after an epoch and rejoin it from the last "
+                 "checkpoint: <rank>:<epoch> (none disables; needs "
+                 "--checkpoint-every > 0)",
+                 v_kill());
+    s.add_int("checkpoint-every", 0,
+              "coordinator checkpoint period in applied updates (0 = off)",
+              v_int_min(0));
     s.add_int("sgd-batch", 128, "sync-sgd minibatch size", v_int_min(1));
     s.add_double("sgd-step", 0.1, "sync-sgd step size",
                  v_double_min(0.0, /*inclusive=*/false));

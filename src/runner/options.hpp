@@ -92,6 +92,8 @@ OptionValidator v_device_list();  ///< ','/'+'-separated device specs
 OptionValidator v_network();      ///< comm::network_from_string presets
 OptionValidator v_straggler();    ///< "none" or <rank>:<slowdown>
 OptionValidator v_partition();    ///< contiguous|strided|weighted
+OptionValidator v_fault();        ///< "none" or comm::FaultSpec::parse spec
+OptionValidator v_kill();         ///< "none" or <rank>:<epoch>
 OptionValidator v_solver();       ///< registered solver name
 OptionValidator v_arrival();      ///< serve/arrival.hpp spec
 OptionValidator v_batch_policy(); ///< serve/batching.hpp spec

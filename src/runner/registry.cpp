@@ -282,7 +282,9 @@ void SolverRegistry::register_builtins() {
       });
   add({"async-admm", SolverKind::kDistributed,
        "stale-consensus Newton-ADMM: coordinator merges updates on arrival",
-       CommClass::kAsynchronous, with(newton_knobs, {"staleness"})},
+       CommClass::kAsynchronous,
+       with(newton_knobs,
+            {"staleness", "fault", "kill", "checkpoint-every"})},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return solvers::async_admm(cluster, data,
@@ -290,7 +292,9 @@ void SolverRegistry::register_builtins() {
       });
   add({"stale-sync-admm", SolverKind::kDistributed,
        "semi-synchronous Newton-ADMM: barrier every --sync-every rounds",
-       CommClass::kAsynchronous, with(newton_knobs, {"sync-every"})},
+       CommClass::kAsynchronous,
+       with(newton_knobs,
+            {"sync-every", "fault", "kill", "checkpoint-every"})},
       [](comm::SimCluster& cluster, const data::ShardedDataset& data,
          const ExperimentConfig& config) {
         return solvers::async_admm(cluster, data,

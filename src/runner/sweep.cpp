@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "comm/fault.hpp"
 #include "runner/registry.hpp"
 #include "serve/arrival.hpp"
 #include "serve/batching.hpp"
@@ -199,9 +200,12 @@ constexpr const char* kJournalKind = "nadmm-sweep-journal";
 // column. v3: serving-mode columns (requests/batches/throughput/latency
 // percentiles). v4: the scale/weak_scaling spec knobs entered the
 // fingerprint serialization (the reproduction pipeline keys one journal
-// per scale). Older journals are rejected on --resume — their
+// per scale). v5: the faults axis plus kill/checkpoint_every base knobs
+// entered the fingerprint, and the wire counters (retransmits /
+// gaps_detected / messages_dropped / checkpoints / restores) entered
+// the outcome records. Older journals are rejected on --resume — their
 // fingerprints no longer match either.
-constexpr std::int64_t kJournalVersion = 4;
+constexpr std::int64_t kJournalVersion = 5;
 
 std::string journal_header_line(const std::string& fingerprint,
                                 std::size_t scenarios) {
@@ -236,7 +240,12 @@ std::string journal_outcome_line(const ScenarioOutcome& o) {
        << ", \"mean_batch\": " << fmt_double(o.mean_batch)      //
        << ", \"p50_latency_s\": " << fmt_double(o.p50_latency_s)
        << ", \"p99_latency_s\": " << fmt_double(o.p99_latency_s)
-       << ", \"p999_latency_s\": " << fmt_double(o.p999_latency_s);
+       << ", \"p999_latency_s\": " << fmt_double(o.p999_latency_s)
+       << ", \"retransmits\": " << o.result.retransmits
+       << ", \"gaps_detected\": " << o.result.gaps_detected
+       << ", \"messages_dropped\": " << o.result.messages_dropped
+       << ", \"checkpoints\": " << o.result.checkpoints
+       << ", \"restores\": " << o.result.restores;
   } else {
     os << ", \"error\": \"" << json_escape(o.error) << "\"";
   }
@@ -307,6 +316,20 @@ bool restore_outcome_line(const std::string& line,
         !json_get_double(line, "p999_latency_s", o.p999_latency_s)) {
       return false;
     }
+    std::int64_t retransmits = 0, gaps = 0, dropped = 0, checkpoints = 0,
+                 restores = 0;
+    if (!json_get_int(line, "retransmits", retransmits) ||
+        !json_get_int(line, "gaps_detected", gaps) ||
+        !json_get_int(line, "messages_dropped", dropped) ||
+        !json_get_int(line, "checkpoints", checkpoints) ||
+        !json_get_int(line, "restores", restores)) {
+      return false;
+    }
+    o.result.retransmits = static_cast<std::uint64_t>(retransmits);
+    o.result.gaps_detected = static_cast<std::uint64_t>(gaps);
+    o.result.messages_dropped = static_cast<std::uint64_t>(dropped);
+    o.result.checkpoints = static_cast<std::uint64_t>(checkpoints);
+    o.result.restores = static_cast<std::uint64_t>(restores);
     o.peak_dataset_bytes = static_cast<std::uint64_t>(peak_bytes);
     o.serve_requests = static_cast<std::uint64_t>(requests);
     o.serve_batches = static_cast<std::uint64_t>(batches);
@@ -362,6 +385,17 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     for (const auto& item : spec.partitions) {
       static_cast<void>(data::partition_mode_from_string(item));  // validate
     }
+  } else if (key == "faults") {
+    spec.faults = list();
+    for (const auto& item : spec.faults) {
+      static_cast<void>(comm::FaultSpec::parse(item));  // validate
+    }
+  } else if (key == "kill") {
+    spec.base.kill = value;
+  } else if (key == "checkpoint_every") {
+    spec.base.checkpoint_every = static_cast<int>(parse_int(key, value));
+    NADMM_CHECK(spec.base.checkpoint_every >= 0,
+                "sweep key 'checkpoint_every': must be >= 0");
   } else if (key == "n_train") {
     spec.base.n_train = static_cast<std::size_t>(parse_int(key, value));
   } else if (key == "n_test") {
@@ -423,10 +457,11 @@ void apply_sweep_assignment(SweepSpec& spec, const std::string& raw_key,
     throw InvalidArgument(
         "unknown sweep key '" + key +
         "' (grid axes: solvers|datasets|workers|devices|networks|penalties|"
-        "lambdas|stragglers|partitions|arrivals|batch_policies; scalars: "
-        "n_train|n_test|e18_features|seed|iterations|cg_iterations|cg_tol|"
-        "line_search_iterations|staleness|sync_every|objective_target|mode|"
-        "scale|weak_scaling|serve_requests|serve_model|dispatch_overhead)");
+        "lambdas|stragglers|partitions|faults|arrivals|batch_policies; "
+        "scalars: n_train|n_test|e18_features|seed|iterations|cg_iterations|"
+        "cg_tol|line_search_iterations|staleness|sync_every|kill|"
+        "checkpoint_every|objective_target|mode|scale|weak_scaling|"
+        "serve_requests|serve_model|dispatch_overhead)");
   }
 }
 
@@ -486,7 +521,13 @@ std::string Scenario::tag() const {
                 config.network.c_str(), config.penalty.c_str(),
                 fmt_compact(config.lambda).c_str(),
                 fs_safe(config.straggler).c_str(), config.partition.c_str());
-  return buf;
+  std::string tag = buf;
+  // Appended only when set, so pre-fault grids keep their tags (and
+  // their journals) unchanged.
+  if (!config.fault.empty() && config.fault != "none") {
+    tag += "_f" + fs_safe(config.fault);
+  }
+  return tag;
 }
 
 namespace {
@@ -552,6 +593,8 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
               "sweep needs at least one straggler entry ('none' disables)");
   NADMM_CHECK(!spec.partitions.empty(),
               "sweep needs at least one partition mode");
+  NADMM_CHECK(!spec.faults.empty(),
+              "sweep needs at least one fault entry ('none' disables)");
 
   std::vector<Scenario> scenarios;
   int index = 0;
@@ -564,25 +607,30 @@ std::vector<Scenario> expand_scenarios(const SweepSpec& spec) {
               for (const double lambda : spec.lambdas) {
                 for (const auto& straggler : spec.stragglers) {
                   for (const auto& partition : spec.partitions) {
-                    Scenario s;
-                    s.index = index++;
-                    s.solver = solver;
-                    s.config = spec.base;
-                    // Weak scaling: base.n_train is the per-worker shard.
-                    s.config.n_train =
-                        spec.weak_scaling
-                            ? scaled_train * static_cast<std::size_t>(workers)
-                            : scaled_train;
-                    s.config.n_test = scaled_test;
-                    s.config.dataset = dataset;
-                    s.config.workers = workers;
-                    s.config.device = device;
-                    s.config.network = network;
-                    s.config.penalty = penalty;
-                    s.config.lambda = lambda;
-                    s.config.straggler = straggler;
-                    s.config.partition = partition;
-                    scenarios.push_back(std::move(s));
+                    for (const auto& fault : spec.faults) {
+                      Scenario s;
+                      s.index = index++;
+                      s.solver = solver;
+                      s.config = spec.base;
+                      // Weak scaling: base.n_train is the per-worker
+                      // shard.
+                      s.config.n_train =
+                          spec.weak_scaling
+                              ? scaled_train *
+                                    static_cast<std::size_t>(workers)
+                              : scaled_train;
+                      s.config.n_test = scaled_test;
+                      s.config.dataset = dataset;
+                      s.config.workers = workers;
+                      s.config.device = device;
+                      s.config.network = network;
+                      s.config.penalty = penalty;
+                      s.config.lambda = lambda;
+                      s.config.straggler = straggler;
+                      s.config.partition = partition;
+                      s.config.fault = fault;
+                      scenarios.push_back(std::move(s));
+                    }
                   }
                 }
               }
@@ -617,6 +665,7 @@ std::string spec_fingerprint(const SweepSpec& spec) {
   join("lambdas", spec.lambdas, fmt_double);
   join("stragglers", spec.stragglers, str);
   join("partitions", spec.partitions, str);
+  join("faults", spec.faults, str);
   // Every base knob that survives scenario expansion (the per-axis fields
   // are overwritten per scenario and already covered above).
   const auto& b = spec.base;
@@ -634,7 +683,9 @@ std::string spec_fingerprint(const SweepSpec& spec) {
      << ";fo_step=" << fmt_double(b.fo_step)
      << ";gradient_tol=" << fmt_double(b.gradient_tol)
      << ";omp_threads=" << b.omp_threads
-     << ";staleness=" << b.staleness << ";sync_every=" << b.sync_every << ';';
+     << ";staleness=" << b.staleness << ";sync_every=" << b.sync_every
+     << ";kill=" << b.kill << ";checkpoint_every=" << b.checkpoint_every
+     << ';';
   os << "scale=" << fmt_double(spec.scale)
      << ";weak_scaling=" << spec.weak_scaling << ';';
   os << "mode=" << spec.mode << ';';
@@ -670,7 +721,9 @@ std::vector<std::string> SweepReport::csv_rows() const {
       "final_test_accuracy,total_sim_seconds,avg_epoch_sim_seconds,"
       "total_comm_sim_seconds,max_wait_seconds,staleness_hist,"
       "peak_dataset_bytes,arrival,batch_policy,requests,batches,"
-      "throughput_rps,mean_batch,p50_latency_s,p99_latency_s,p999_latency_s");
+      "throughput_rps,mean_batch,p50_latency_s,p99_latency_s,p999_latency_s,"
+      "fault,kill,checkpoint_every,retransmits,gaps_detected,"
+      "messages_dropped,checkpoints,restores");
   for (const auto& o : outcomes) {
     const auto& c = o.scenario.config;
     const auto& r = o.result;
@@ -692,7 +745,11 @@ std::vector<std::string> SweepReport::csv_rows() const {
         << o.serve_requests << ',' << o.serve_batches << ','
         << fmt_double(o.throughput_rps) << ',' << fmt_double(o.mean_batch)
         << ',' << fmt_double(o.p50_latency_s) << ','
-        << fmt_double(o.p99_latency_s) << ',' << fmt_double(o.p999_latency_s);
+        << fmt_double(o.p99_latency_s) << ',' << fmt_double(o.p999_latency_s)
+        << ',' << c.fault << ',' << c.kill << ',' << c.checkpoint_every << ','
+        << (o.ok ? r.retransmits : 0) << ',' << (o.ok ? r.gaps_detected : 0)
+        << ',' << (o.ok ? r.messages_dropped : 0) << ','
+        << (o.ok ? r.checkpoints : 0) << ',' << (o.ok ? r.restores : 0);
     rows.push_back(row.str());
   }
   return rows;
@@ -726,6 +783,9 @@ void SweepReport::write_json(const std::string& path) const {
         << ", \"lambda\": " << fmt_json_number(c.lambda)                //
         << ", \"straggler\": \"" << json_escape(c.straggler) << "\""    //
         << ", \"partition\": \"" << json_escape(c.partition) << "\""    //
+        << ", \"fault\": \"" << json_escape(c.fault) << "\""            //
+        << ", \"kill\": \"" << json_escape(c.kill) << "\""              //
+        << ", \"checkpoint_every\": " << c.checkpoint_every             //
         << ", \"arrival\": \"" << json_escape(o.scenario.arrival) << "\""
         << ", \"batch_policy\": \"" << json_escape(o.scenario.batch) << "\""
         << ", \"status\": \"" << (o.ok ? "ok" : "error") << "\"";
@@ -749,7 +809,12 @@ void SweepReport::write_json(const std::string& path) const {
           << ", \"mean_batch\": " << fmt_json_number(o.mean_batch)       //
           << ", \"p50_latency_s\": " << fmt_json_number(o.p50_latency_s)
           << ", \"p99_latency_s\": " << fmt_json_number(o.p99_latency_s)
-          << ", \"p999_latency_s\": " << fmt_json_number(o.p999_latency_s);
+          << ", \"p999_latency_s\": " << fmt_json_number(o.p999_latency_s)
+          << ", \"retransmits\": " << r.retransmits                      //
+          << ", \"gaps_detected\": " << r.gaps_detected                  //
+          << ", \"messages_dropped\": " << r.messages_dropped            //
+          << ", \"checkpoints\": " << r.checkpoints                      //
+          << ", \"restores\": " << r.restores;
     } else {
       out << ", \"error\": \"" << json_escape(o.error) << "\"";
     }

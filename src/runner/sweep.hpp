@@ -51,6 +51,11 @@ struct SweepSpec {
   /// Shard-plan axis: contiguous | strided | weighted (see
   /// data/partition.hpp).
   std::vector<std::string> partitions{"contiguous"};
+  /// Link-fault axis: "none" or comm::FaultSpec::parse specs
+  /// ("drop:0.05,dup:0.02"). Only the async-engine solvers inject
+  /// faults; synchronous solvers ignore the value (their SimCluster has
+  /// no wire), so pair this axis with async-admm/stale-sync-admm rows.
+  std::vector<std::string> faults{"none"};
 
   /// Paper-scale multiplier applied at expansion time: every scenario's
   /// sample counts become round(base.n_train × scale) /
@@ -137,6 +142,9 @@ struct ScenarioOutcome {
   double max_wait_seconds = 0.0;
   std::string rank_waits;
   std::string staleness_hist;
+  // Wire/fault-tolerance counters also live in result (retransmits,
+  // gaps_detected, messages_dropped, checkpoints, restores); journal
+  // restores rehydrate them there so CSV/JSON stay byte-identical.
   /// Resident dataset bytes the scenario held while training: the full
   /// splits plus whatever the shards own. Zero-copy view plans report
   /// just the full storage; streamed `libsvm:` scenarios report the

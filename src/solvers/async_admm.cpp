@@ -11,6 +11,7 @@
 #include "la/vector_ops.hpp"
 #include "model/metrics.hpp"
 #include "model/softmax.hpp"
+#include "support/binio.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -24,6 +25,35 @@ enum : int {
   kTagStop = 3,       ///< coordinator → worker: run is over
 };
 
+constexpr std::uint16_t kCheckpointVersion = 1;
+
+/// One applied update, as logged since the last checkpoint: enough to
+/// replay the coordinator's commit + reply-gate decisions.
+struct CommitEntry {
+  int w = 0;
+  int round = 0;
+  bool flagged = false;
+  std::vector<double> packed;  ///< [c ; ρ], dim+1 values
+};
+
+/// One consensus delivery a worker applied since the last checkpoint.
+struct ReplyEntry {
+  int k = 0;              ///< round index passed to apply_consensus
+  std::vector<double> z;  ///< the payload the worker copied in
+};
+
+std::vector<std::uint8_t> worker_bytes(const core::AdmmWorker& worker) {
+  binio::ByteWriter w;
+  worker.save_checkpoint(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> consensus_bytes(const core::ConsensusState& acc) {
+  binio::ByteWriter w;
+  acc.save(w);
+  return w.take();
+}
+
 }  // namespace
 
 core::RunResult async_admm(comm::SimCluster& cluster,
@@ -36,6 +66,18 @@ core::RunResult async_admm(comm::SimCluster& cluster,
   NADMM_CHECK(options.sync_every >= 0, "async_admm: sync_every must be >= 0");
   NADMM_CHECK(data.parts() == cluster.size(),
               "async_admm: shard plan does not match the cluster size");
+  NADMM_CHECK(options.checkpoint_every >= 0,
+              "async_admm: checkpoint_every must be >= 0");
+  const comm::FaultSpec fault_spec = comm::FaultSpec::parse(options.fault);
+  if (options.kill_rank >= 0) {
+    NADMM_CHECK(options.kill_rank < cluster.size(),
+                "async_admm: kill rank out of range");
+    NADMM_CHECK(options.kill_epoch >= 1,
+                "async_admm: kill epoch must be >= 1");
+    NADMM_CHECK(options.checkpoint_every > 0,
+                "async_admm: a kill needs checkpoints — set "
+                "--checkpoint-every > 0");
+  }
 
   const int n = cluster.size();
   const std::size_t dim = data.dim();
@@ -108,8 +150,21 @@ core::RunResult async_admm(comm::SimCluster& cluster,
   std::vector<std::uint64_t>& hist = result.staleness_hist;
   WallTimer wall;
 
+  // --- checkpoint/restart state (all untimed: crash-consistency
+  // machinery, not part of the simulated protocol cost) ---
+  const bool checkpointing = options.checkpoint_every > 0;
+  std::vector<std::uint8_t> checkpoint;      ///< last serialized snapshot
+  std::uint64_t checkpoint_commits = 0;      ///< commits at that snapshot
+  std::vector<CommitEntry> commit_log;       ///< updates since the snapshot
+  std::vector<std::vector<ReplyEntry>> reply_log(static_cast<std::size_t>(n));
+  bool pending_kill = false;
+  bool killed = false;
+
   comm::AsyncEngine engine(cluster.devices(), cluster.network(),
                            cluster.omp_threads_per_rank());
+  if (options.fault != "none" && !options.fault.empty()) {
+    engine.set_faults(fault_spec, options.seed);
+  }
 
   // One local Newton round on this rank, then ship the contribution.
   const auto do_round = [&](comm::AsyncRank& ctx) {
@@ -131,6 +186,172 @@ core::RunResult async_admm(comm::SimCluster& cluster,
     ctx.send(to, kTagStop, {});
   };
 
+  // Serialize the full recoverable state: coordinator bookkeeping, the
+  // consensus accumulator, and every worker's iterate snapshot. Taken at
+  // handler exit (the triggering update fully applied), so replaying the
+  // since-checkpoint logs reproduces any later handler state exactly.
+  const auto take_checkpoint = [&] {
+    binio::ByteWriter w;
+    w.put_u16(kCheckpointVersion);
+    w.put_u64(commits);
+    w.put_i64(epochs);
+    for (int r = 0; r < n; ++r) {
+      w.put_i64(rounds[static_cast<std::size_t>(r)]);
+    }
+    for (int r = 0; r < n; ++r) {
+      w.put_i64(worker_round[static_cast<std::size_t>(r)]);
+    }
+    for (int r = 0; r < n; ++r) {
+      w.put_u8(
+          static_cast<std::uint8_t>(deferred[static_cast<std::size_t>(r)]));
+    }
+    w.put_u64(barrier.size());
+    for (const int b : barrier) w.put_i64(b);
+    acc.save(w);
+    for (int r = 0; r < n; ++r) {
+      binio::ByteWriter inner;
+      workers[static_cast<std::size_t>(r)]->save_checkpoint(inner);
+      w.put_u64(inner.size());
+      w.put_bytes(inner.bytes());
+    }
+    checkpoint = w.take();
+    checkpoint_commits = commits;
+    commit_log.clear();
+    for (auto& log : reply_log) log.clear();
+    ++result.checkpoints;
+  };
+
+  const auto maybe_checkpoint = [&](comm::AsyncRank& ctx) {
+    if (!checkpointing || stopping) return;
+    if (commits - checkpoint_commits <
+        static_cast<std::uint64_t>(options.checkpoint_every)) {
+      return;
+    }
+    ctx.clock().pause();  // crash-consistency machinery is untimed
+    take_checkpoint();
+    ctx.clock().resume();
+  };
+
+  // Kill-and-rejoin: discard the victim's live state, restore from the
+  // last checkpoint, replay the since-checkpoint logs, and prove the
+  // rebuilt state byte-identical to what was lost before adopting it.
+  const auto perform_kill = [&](comm::AsyncRank& ctx) {
+    pending_kill = false;
+    killed = true;
+    const int victim = options.kill_rank;
+    NADMM_CHECK(!checkpoint.empty(),
+                "async_admm: kill at epoch " +
+                    std::to_string(options.kill_epoch) +
+                    " precedes the first checkpoint — lower "
+                    "--checkpoint-every");
+    ctx.clock().pause();
+    binio::ByteReader r(checkpoint, "solver checkpoint");
+    const std::uint16_t version = r.get_u16();
+    NADMM_CHECK(version == kCheckpointVersion,
+                "solver checkpoint: unsupported version " +
+                    std::to_string(version));
+    const std::uint64_t commits0 = r.get_u64();
+    const int epochs0 = static_cast<int>(r.get_i64());
+    std::vector<int> rounds0(static_cast<std::size_t>(n), 0);
+    for (auto& v : rounds0) v = static_cast<int>(r.get_i64());
+    std::vector<int> worker_round0(static_cast<std::size_t>(n), 0);
+    for (auto& v : worker_round0) v = static_cast<int>(r.get_i64());
+    std::vector<char> deferred0(static_cast<std::size_t>(n), 0);
+    for (auto& v : deferred0) v = static_cast<char>(r.get_u8());
+    std::vector<int> barrier0(static_cast<std::size_t>(r.get_u64()), 0);
+    for (auto& v : barrier0) v = static_cast<int>(r.get_i64());
+    core::ConsensusState acc2(n, dim, admm.lambda);
+    acc2.restore(r);
+
+    // Rebuild the victim worker over the same shard/config and replay
+    // every consensus delivery it applied since the checkpoint.
+    std::unique_ptr<core::AdmmWorker> rejoined;
+    for (int rank = 0; rank < n; ++rank) {
+      const std::uint64_t len = r.get_u64();
+      const auto record = r.get_raw(static_cast<std::size_t>(len));
+      if (rank != victim) continue;
+      rejoined = std::make_unique<core::AdmmWorker>(
+          data.ranks[static_cast<std::size_t>(victim)].train, admm, dim);
+      binio::ByteReader wr(record, "worker checkpoint record");
+      rejoined->restore_checkpoint(wr);
+      wr.expect_end();
+    }
+    r.expect_end();
+    for (const ReplyEntry& e : reply_log[static_cast<std::size_t>(victim)]) {
+      rejoined->snapshot_z_prev();
+      std::copy(e.z.begin(), e.z.end(), rejoined->z().begin());
+      rejoined->apply_consensus(e.k);
+      rejoined->local_step();
+    }
+    // The live worker it replaces holds a warm softmax forward pass at
+    // its current x (the last point its Newton-CG evaluated); a cold
+    // cache would make the rejoined worker's next local_step recompute
+    // it, leaking extra flops into the simulated timeline. Warm it here
+    // on the paused clock so the flop ledger matches a run that never
+    // lost the rank.
+    static_cast<void>(rejoined->objective().value(rejoined->x()));
+    NADMM_CHECK(
+        worker_bytes(*workers[static_cast<std::size_t>(victim)]) ==
+            worker_bytes(*rejoined),
+        "async_admm kill-rejoin: worker replay diverged from the lost state");
+    workers[static_cast<std::size_t>(victim)] = std::move(rejoined);
+
+    if (victim == 0) {
+      // The coordinator died too: replay the commit log through the same
+      // per-update logic the live handler ran, then prove every piece of
+      // coordinator state matches before adopting the rebuilt copy.
+      std::vector<int> rounds2 = rounds0;
+      std::vector<char> deferred2 = deferred0;
+      std::vector<int> barrier2 = barrier0;
+      std::uint64_t commits2 = commits0;
+      int epochs2 = epochs0;
+      for (const CommitEntry& e : commit_log) {
+        rounds2[static_cast<std::size_t>(e.w)] = e.round;
+        acc2.apply(e.w, e.packed);
+        ++commits2;
+        if (commits2 % static_cast<std::uint64_t>(n) == 0) ++epochs2;
+        if (e.flagged) {
+          barrier2.push_back(e.w);
+          if (static_cast<int>(barrier2.size()) == n) barrier2.clear();
+          continue;
+        }
+        const int min_r = *std::min_element(rounds2.begin(), rounds2.end());
+        if (rounds2[static_cast<std::size_t>(e.w)] - min_r > staleness) {
+          deferred2[static_cast<std::size_t>(e.w)] = 1;
+        }
+        for (int d = 0; d < n; ++d) {
+          if (deferred2[static_cast<std::size_t>(d)] &&
+              rounds2[static_cast<std::size_t>(d)] - min_r <= staleness) {
+            deferred2[static_cast<std::size_t>(d)] = 0;
+          }
+        }
+      }
+      std::vector<int> worker_round2 = worker_round0;
+      for (int rank = 0; rank < n; ++rank) {
+        worker_round2[static_cast<std::size_t>(rank)] += static_cast<int>(
+            reply_log[static_cast<std::size_t>(rank)].size());
+      }
+      NADMM_CHECK(consensus_bytes(acc2) == consensus_bytes(acc),
+                  "async_admm kill-rejoin: consensus replay diverged");
+      NADMM_CHECK(rounds2 == rounds && worker_round2 == worker_round &&
+                      deferred2 == deferred && barrier2 == barrier &&
+                      commits2 == commits && epochs2 == epochs,
+                  "async_admm kill-rejoin: coordinator replay diverged");
+      std::vector<double> z2(dim, 0.0);
+      acc2.compute_z(z2);
+      NADMM_CHECK(z2 == z,
+                  "async_admm kill-rejoin: consensus iterate diverged");
+      acc = std::move(acc2);
+      z = std::move(z2);
+      rounds = std::move(rounds2);
+      worker_round = std::move(worker_round2);
+      deferred = std::move(deferred2);
+      barrier = std::move(barrier2);
+    }
+    ++result.restores;
+    ctx.clock().resume();
+  };
+
   const auto coordinator_handle = [&](comm::AsyncRank& ctx,
                                       const comm::AsyncMessage& msg) {
     const int w = msg.from;
@@ -138,6 +359,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
       reply_stop(ctx, w);
       return;
     }
+    // Deferred to the start of the next update so the kill lands on a
+    // clean handler boundary (the logs cut exactly at applied updates).
+    if (pending_kill) perform_kill(ctx);
     // Observed staleness: completed rounds ahead of the slowest worker
     // when this update's round started. The reply gate bounded it then,
     // and the minimum only grows, so hist's top bucket stays <= τ.
@@ -152,6 +376,11 @@ core::RunResult async_admm(comm::SimCluster& cluster,
     acc.apply(w, std::span<const double>(msg.payload).subspan(2));
     acc.compute_z(z);
     ++commits;
+    if (checkpointing) {
+      commit_log.push_back(
+          {w, rounds[static_cast<std::size_t>(w)], flagged,
+           std::vector<double>(msg.payload.begin() + 2, msg.payload.end())});
+    }
 
     if (commits % static_cast<std::uint64_t>(n) == 0) {
       // --- epoch diagnostics on the paused clock ---
@@ -186,6 +415,10 @@ core::RunResult async_admm(comm::SimCluster& cluster,
            objective <= admm.objective_target)) {
         stopping = true;
       }
+      if (options.kill_rank >= 0 && !killed && !stopping &&
+          epochs == options.kill_epoch) {
+        pending_kill = true;
+      }
       ctx.clock().resume();
     }
 
@@ -208,6 +441,7 @@ core::RunResult async_admm(comm::SimCluster& cluster,
         for (const int b : barrier) reply_z(ctx, b);
         barrier.clear();
       }
+      maybe_checkpoint(ctx);
       return;
     }
     const int min_r = *std::min_element(rounds.begin(), rounds.end());
@@ -226,6 +460,7 @@ core::RunResult async_admm(comm::SimCluster& cluster,
         reply_z(ctx, d);
       }
     }
+    maybe_checkpoint(ctx);
   };
 
   const auto reports = engine.run(
@@ -236,6 +471,11 @@ core::RunResult async_admm(comm::SimCluster& cluster,
             coordinator_handle(ctx, msg);
             break;
           case kTagConsensus: {
+            if (checkpointing) {
+              reply_log[static_cast<std::size_t>(ctx.rank())].push_back(
+                  {worker_round[static_cast<std::size_t>(ctx.rank())] - 1,
+                   msg.payload});
+            }
             auto& worker = *workers[static_cast<std::size_t>(ctx.rank())];
             worker.snapshot_z_prev();
             std::copy(msg.payload.begin(), msg.payload.end(),
@@ -257,6 +497,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
   result.rank_wait_seconds.reserve(reports.size());
   for (const auto& r : reports) {
     result.rank_wait_seconds.push_back(r.wait_seconds);
+    result.retransmits += r.retransmits;
+    result.gaps_detected += r.gaps_detected;
+    result.messages_dropped += r.messages_dropped;
   }
   if (result.iterations > 0) {
     result.avg_epoch_sim_seconds =

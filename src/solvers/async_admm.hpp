@@ -38,6 +38,20 @@ struct AsyncAdmmOptions {
   /// k > 0: barrier every k rounds (the stale-sync solver); 0: fully
   /// asynchronous with the τ gate.
   int sync_every = 0;
+  /// Link-fault injection spec for the engine's reliable channel
+  /// ("none" disables the channel; see comm::FaultSpec::parse).
+  std::string fault = "none";
+  /// Seed for the per-link fault RNG (the experiment seed).
+  std::uint64_t seed = 42;
+  /// Checkpoint the coordinator + worker mirrors every K applied
+  /// updates (0 = off). Required > 0 when a kill is scheduled.
+  int checkpoint_every = 0;
+  /// Kill rank `kill_rank` once epoch `kill_epoch` completes, then
+  /// rejoin it as a fresh worker restored from the last checkpoint +
+  /// replay. kill_rank < 0 disables. The restore is validated in-run:
+  /// the rejoined state must be byte-identical to the lost one.
+  int kill_rank = -1;
+  int kill_epoch = 1;
 };
 
 /// Run stale-consensus ADMM on the cluster's rank/device/network spec

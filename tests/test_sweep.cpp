@@ -492,6 +492,38 @@ TEST(SweepJournal, StaleJournalFromDifferentSpecIsRejected) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SweepJournal, OldJournalVersionIsRejectedOnResume) {
+  // A v4 journal predates the faults axis and the wire counters; its
+  // outcome records can't rehydrate a v5 report, so --resume must
+  // refuse it with the version named (a rerun without --resume starts
+  // fresh).
+  const std::string dir = testing::TempDir() + "/nadmm_journal_old";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+
+  SweepSpec spec = tiny_spec();
+  const auto scenarios = expand_scenarios(spec);
+  {
+    std::ofstream out(journal);
+    out << "{\"kind\": \"nadmm-sweep-journal\", \"version\": 4, "
+        << "\"fingerprint\": \"" << spec_fingerprint(spec)
+        << "\", \"scenarios\": " << scenarios.size() << "}\n";
+  }
+  SweepOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  try {
+    static_cast<void>(run_sweep(spec, resume));
+    FAIL() << "v4 journal accepted on --resume";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version 4"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepJournal, ErrorOutcomesRoundTripThroughTheJournal) {
   const std::string dir = testing::TempDir() + "/nadmm_journal_error";
   std::filesystem::remove_all(dir);
