@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::comm {
 
@@ -50,6 +51,8 @@ void AsyncRank::send(int to, int tag, std::vector<double> payload) {
               "async send: destination rank out of range");
   clock_.sync_compute();  // timestamp after any compute since the last sync
   ++sent_;
+  telem::instant("wire", "send");
+  telem::count("sends");
   if (engine_->faults_enabled_ && to != rank_) {
     engine_->channel_send(*this, to, tag, std::move(payload));
     return;
@@ -133,7 +136,11 @@ void AsyncEngine::channel_send(AsyncRank& sender, int to, int tag,
   frame.tag = tag;
   frame.link_seq = ls.next_seq++;
   frame.payload = std::move(payload);
-  std::vector<std::uint8_t> bytes = wire::encode(frame);
+  std::vector<std::uint8_t> bytes;
+  {
+    TELEM_SPAN("wire", "encode");
+    bytes = wire::encode(frame);
+  }
   sender.clock_.add_comm(network_.serialization(bytes.size()));
   ls.unacked.emplace(frame.link_seq, Unacked{std::move(bytes), 1});
   transmit(sender.clock_.total_seconds(), sender.rank_, to, frame.link_seq);
@@ -146,6 +153,10 @@ void AsyncEngine::transmit(double base_time, int from, int to,
   const Unacked& entry = ls.unacked.at(seq);
   const double transit = network_.point_to_point(entry.frame.size());
   const FaultDecision fate = fault_links_[link].next(transit);
+  if (fate.drop) {
+    telem::instant("wire", "drop");
+    telem::count("wire_drops");
+  }
   if (!fate.drop) {
     AsyncMessage ev;
     ev.event_kind = kDataEv;
@@ -200,6 +211,13 @@ void AsyncEngine::send_control(wire::FrameKind kind, int from, int to,
   // timer retransmits, the receiver discards the duplicate).
   AsyncRank& sender = (*running_ranks_)[static_cast<std::size_t>(from)];
   sender.clock_.add_comm(network_.serialization(wire::frame_bytes(0)));
+  if (kind == wire::FrameKind::kAck) {
+    telem::instant("wire", "ack");
+    telem::count("acks");
+  } else {
+    telem::instant("wire", "nack");
+    telem::count("nacks");
+  }
   AsyncMessage ev;
   ev.event_kind = kind == wire::FrameKind::kAck ? kAckEv : kNackEv;
   ev.from = from;
@@ -245,7 +263,10 @@ void AsyncEngine::deliver_app(AsyncRank& rank, const AsyncMessage& event,
   rank.clock_.resume();
   ++rank.received_;
   ++delivered_;
-  on_message(rank, event);
+  {
+    TELEM_SPAN("comm", "deliver");
+    on_message(rank, event);
+  }
   rank.clock_.sync_compute();
 }
 
@@ -261,6 +282,7 @@ void AsyncEngine::handle_data(const AsyncMessage& event,
 
   wire::Frame frame;
   try {
+    TELEM_SPAN("wire", "decode");
     frame = wire::decode(event.frame);
   } catch (const RuntimeError&) {
     // Corrupted in flight — the checksum (or framing) rejected it.
@@ -281,6 +303,7 @@ void AsyncEngine::handle_data(const AsyncMessage& event,
   if (frame.link_seq > lr.expected) {
     if (lr.held.find(frame.link_seq) == lr.held.end()) {
       ++dst.gaps_;
+      telem::count("gaps_detected");
       lr.held.emplace(frame.link_seq, std::move(frame));
     }
     if (lr.last_nacked != lr.expected) {
@@ -303,7 +326,10 @@ void AsyncEngine::handle_data(const AsyncMessage& event,
     dst.clock_.resume();
     ++dst.received_;
     ++delivered_;
-    on_message(dst, app);
+    {
+      TELEM_SPAN("comm", "deliver");
+      on_message(dst, app);
+    }
     dst.clock_.sync_compute();
   };
 
@@ -343,6 +369,8 @@ void AsyncEngine::handle_control(const AsyncMessage& event) {
   // the queue drains, when no late copy can still be in flight.
   if (it->second.attempts > kMaxAttempts) return;
   ++sender.retransmits_;
+  telem::instant("wire", "retransmit");
+  telem::count("retransmits");
   sender.clock_.add_comm(network_.serialization(it->second.frame.size()));
   transmit(sender.clock_.total_seconds(), link_from, link_to, event.link_seq);
 }
@@ -363,6 +391,7 @@ void AsyncEngine::handle_timer(const AsyncMessage& event) {
     return;
   }
   sender.clock_.wait_until(event.delivery_time);
+  telem::instant("wire", "rto");
   std::vector<std::uint64_t> pending;
   pending.reserve(ls.unacked.size());
   for (const auto& [seq, entry] : ls.unacked) {
@@ -375,6 +404,8 @@ void AsyncEngine::handle_timer(const AsyncMessage& event) {
     ++it->second.attempts;
     if (it->second.attempts > kMaxAttempts) continue;  // retired, see above
     ++sender.retransmits_;
+    telem::instant("wire", "retransmit");
+    telem::count("retransmits");
     sender.clock_.add_comm(network_.serialization(it->second.frame.size()));
     transmit(sender.clock_.total_seconds(), from, to, seq);
   }
@@ -405,6 +436,9 @@ std::vector<AsyncRankReport> AsyncEngine::run(const StartFn& on_start,
   // folds the handler's delta in afterwards.
   if (on_start) {
     for (auto& rank : ranks) {
+      // Bind the rank's telemetry track (and its clock for virtual
+      // stamps) around every handler; spans opened inside inherit both.
+      telem::TrackScope track(rank.rank_, &rank.clock_);
       rank.clock_.resume();
       on_start(rank);
       rank.clock_.sync_compute();
@@ -413,6 +447,11 @@ std::vector<AsyncRankReport> AsyncEngine::run(const StartFn& on_start,
 
   while (!queue_.empty()) {
     AsyncMessage m = pop_event();
+    // Every event advances the clock of the rank it lands on (data and
+    // app events on m.to, control and timers on the link's sender —
+    // also m.to by construction).
+    telem::TrackScope track(m.to,
+                            &ranks[static_cast<std::size_t>(m.to)].clock_);
     switch (m.event_kind) {
       case kAppEv:
         deliver_app(ranks[static_cast<std::size_t>(m.to)], m, on_message);

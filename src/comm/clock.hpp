@@ -82,6 +82,24 @@ class SimClock {
     if (t > now) wait_s_ += t - now;
   }
 
+  /// Simulated time including compute executed since the last
+  /// sync_compute(), priced as if it were folded in right now. Unlike
+  /// sync_compute() this never mutates the clock, so observers (the
+  /// telemetry tracer stamps spans with it) cannot perturb the priced
+  /// timeline: the roofline max() is non-additive, so introducing extra
+  /// sync points would change where interval boundaries fall.
+  [[nodiscard]] double projected_seconds() const {
+    if (paused_) return total_seconds();
+    const std::uint64_t now = nadmm::flops::read();
+    const std::uint64_t now_bytes = nadmm::flops::read_bytes();
+    if (now < flops_at_last_sync_ || now_bytes < bytes_at_last_sync_) {
+      // Counters were reset behind our back; pending deltas are unknowable.
+      return total_seconds();
+    }
+    return total_seconds() + device_.seconds_for(now - flops_at_last_sync_,
+                                                 now_bytes - bytes_at_last_sync_);
+  }
+
   [[nodiscard]] double compute_seconds() const { return compute_s_; }
   [[nodiscard]] double comm_seconds() const { return comm_s_; }
   [[nodiscard]] double wait_seconds() const { return wait_s_; }

@@ -5,6 +5,7 @@
 #include "la/flops.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::core {
 
@@ -30,6 +31,7 @@ AdmmWorker::AdmmWorker(data::Dataset shard, const NewtonAdmmOptions& options,
 }
 
 std::span<const double> AdmmWorker::local_step() {
+  TELEM_SPAN("core", "local_step");
   const double rho = penalty_.rho();
   round_rho_ = rho;
   // --- local x-update (eq. 6a) ---
@@ -109,6 +111,7 @@ ConsensusState::ConsensusState(int workers, std::size_t dim, double lambda)
 }
 
 void ConsensusState::apply(int w, std::span<const double> packed) {
+  TELEM_SPAN("core", "consensus_apply");
   NADMM_CHECK(w >= 0 && static_cast<std::size_t>(w) < contrib_.size(),
               "consensus apply: worker index out of range");
   NADMM_CHECK(packed.size() == sum_.size() + 1,
@@ -157,6 +160,7 @@ void ConsensusState::restore(binio::ByteReader& r) {
 }
 
 void ConsensusState::compute_z(std::span<double> z) const {
+  TELEM_SPAN("core", "consensus_merge");
   NADMM_CHECK(z.size() == sum_.size(), "consensus z: dimension mismatch");
   const double denom = lambda_ + rho_sum_;
   const double inv = 1.0 / denom;

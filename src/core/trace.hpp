@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,12 +47,26 @@ struct RunResult {
   /// guarantees the top non-zero bucket is <= the --staleness bound.
   std::vector<std::uint64_t> staleness_hist;
 
-  // Wire/fault-tolerance counters (async engine solvers; 0 elsewhere).
-  std::uint64_t retransmits = 0;       ///< data frames re-sent (all ranks)
-  std::uint64_t gaps_detected = 0;     ///< out-of-order holds (all ranks)
-  std::uint64_t messages_dropped = 0;  ///< sends never delivered (all ranks)
-  std::uint64_t checkpoints = 0;       ///< coordinator snapshots taken
-  std::uint64_t restores = 0;          ///< kill-and-rejoin recoveries
+  /// Generic run metrics (sorted, sparse: only non-zero values are
+  /// stored so journal round-trips are byte-exact). Async engine
+  /// solvers populate the wire/fault-tolerance counters: "retransmits"
+  /// (data frames re-sent, all ranks), "gaps_detected" (out-of-order
+  /// holds), "messages_dropped" (sends never delivered), "checkpoints"
+  /// (coordinator snapshots), "restores" (kill-and-rejoin recoveries).
+  /// New subsystems add keys without touching this struct; sweep
+  /// CSV/JSON/journal carry the map generically.
+  std::map<std::string, std::uint64_t> metrics;
+
+  /// Value of a metric, 0 when absent.
+  [[nodiscard]] std::uint64_t metric(const std::string& name) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? 0 : it->second;
+  }
+
+  /// Add to a metric, keeping the map sparse (no zero entries).
+  void add_metric(const std::string& name, std::uint64_t delta) {
+    if (delta != 0) metrics[name] += delta;
+  }
 
   [[nodiscard]] double max_wait_seconds() const {
     double w = 0.0;

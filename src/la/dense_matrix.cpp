@@ -6,6 +6,7 @@
 #include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::la {
 
@@ -35,6 +36,8 @@ using flops::output_passes;
 
 void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
+  // Spans close after the flop credit so the trace records the deltas.
+  TELEM_SPAN("kernel", "gemm_nn");
   kernels::gemm_nn(alpha, a, b, beta, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   flops::add(2 * m * k * n);
@@ -43,6 +46,7 @@ void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
 
 void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
+  TELEM_SPAN("kernel", "gemm_tn");
   kernels::gemm_tn(alpha, a, b, beta, c);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   flops::add(2 * k * m * n);
@@ -69,6 +73,7 @@ void gemv(double alpha, DenseView a, std::span<const double> x,
 
 void gemv_t(double alpha, DenseView a, std::span<const double> x,
             double beta, std::span<double> y) {
+  TELEM_SPAN("kernel", "gemv_t");
   kernels::gemv_t(alpha, a, x, beta, y);
   const std::size_t k = a.rows(), m = a.cols();
   flops::add(2 * m * k);

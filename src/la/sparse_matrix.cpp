@@ -7,6 +7,7 @@
 #include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::la {
 
@@ -168,6 +169,7 @@ void spmm_nn(double alpha, const CsrView& a, const DenseMatrix& b,
 
 void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
              double beta, DenseMatrix& c) {
+  TELEM_SPAN("kernel", "spmm_tn");
   kernels::spmm_tn(alpha, a, b, beta, c);
   const std::size_t n = b.cols();
   flops::add(2 * a.nnz() * n);

@@ -7,6 +7,7 @@
 #include "la/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::model {
 
@@ -49,10 +50,13 @@ void SoftmaxObjective::ensure_forward(std::span<const double> x) {
   // the probability panel P_ic = e^{s_ic − M_i} / α_i and the per-sample
   // LSE, and returning the summed cross-entropy loss.
   const std::size_t n = shard_->num_samples();
-  loss_sum_ = la::kernels::softmax_forward(scores_, shard_->labels(), probs_,
-                                           lse_);
-  nadmm::flops::add(5 * n * cm1_ + 4 * n);
-  nadmm::flops::add_bytes(8 * (2 * n * cm1_ + n) + 4 * n);
+  {
+    TELEM_SPAN("kernel", "softmax_forward");
+    loss_sum_ = la::kernels::softmax_forward(scores_, shard_->labels(), probs_,
+                                             lse_);
+    nadmm::flops::add(5 * n * cm1_ + 4 * n);
+    nadmm::flops::add_bytes(8 * (2 * n * cm1_ + n) + 4 * n);
+  }
   cache_valid_ = true;
 }
 

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -131,6 +134,11 @@ int cmd_run(int argc, const char* const* argv) {
                   runner::v_solver());
   opts.extend(runner::scenario_options());
   opts.add_string("trace-csv", "", "if set, write the full trace CSV here");
+  opts.add_string("trace-out", "",
+                  "if set, write a Chrome trace_event JSON of the run's "
+                  "telemetry spans here (open in Perfetto / chrome://tracing)");
+  opts.add_flag("trace-ascii", "print an ASCII per-rank timeline after "
+                               "the run");
   opts.add_string("save-model", "",
                   "if set, save the trained model here (for `nadmm serve`)");
   opts.register_into(cli);
@@ -150,11 +158,34 @@ int cmd_run(int argc, const char* const* argv) {
               config.device.c_str(), config.network.c_str(),
               config.penalty.c_str(), config.lambda);
 
+  // Telemetry attaches per thread; the async engine binds the per-rank
+  // tracks/clocks itself once a tracer is current.
+  const std::string trace_out = cli.get_string("trace-out");
+  const bool trace_ascii = cli.get_flag("trace-ascii");
+  std::unique_ptr<telem::Tracer> tracer;
+  std::optional<telem::TracerScope> tracer_scope;
+  if (!trace_out.empty() || trace_ascii) {
+    tracer = std::make_unique<telem::Tracer>(solver + "/" + config.dataset);
+    tracer_scope.emplace(*tracer);
+  }
+
   auto cluster = runner::make_cluster(config);
   const auto result = runner::run_solver(
       solver, cluster,
       runner::shard_for_solver(solver, tt.train, &tt.test, config), config);
+  tracer_scope.reset();
   runner::print_trace_summary(result);
+
+  if (tracer) {
+    if (!trace_out.empty()) {
+      tracer->write_chrome_trace_file(trace_out);
+      std::printf("\ntelemetry trace written to %s (%zu events)\n",
+                  trace_out.c_str(), tracer->event_count());
+    }
+    if (trace_ascii) {
+      std::printf("\n%s", tracer->ascii_timeline().c_str());
+    }
+  }
 
   const std::string trace_csv = cli.get_string("trace-csv");
   if (!trace_csv.empty()) {
@@ -192,6 +223,9 @@ int cmd_serve(int argc, const char* const* argv) {
     opts.add(*runner::scenario_options().find(shared));
   }
   opts.extend(runner::serving_options());
+  opts.add_string("trace-out", "",
+                  "if set, write a Chrome trace_event JSON of the serving "
+                  "telemetry here");
   opts.register_into(cli);
   if (!cli.parse(argc, argv)) return 0;
   opts.validate(cli);
@@ -229,7 +263,20 @@ int cmd_serve(int argc, const char* const* argv) {
               tt.test.num_features(), config.device.c_str(),
               config.network.c_str());
 
+  const std::string trace_out = cli.get_string("trace-out");
+  std::unique_ptr<telem::Tracer> tracer;
+  std::optional<telem::TracerScope> tracer_scope;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<telem::Tracer>("serve/" + data_config.dataset);
+    tracer_scope.emplace(*tracer);
+  }
   const auto r = serve::simulate(model, tt.test, config);
+  tracer_scope.reset();
+  if (tracer) {
+    tracer->write_chrome_trace_file(trace_out);
+    std::printf("telemetry trace written to %s (%zu events)\n",
+                trace_out.c_str(), tracer->event_count());
+  }
   std::printf(
       "\narrival=%s batch=%s\n"
       "requests:        %llu in %.6f sim-seconds (%zu batches, mean %.2f, "
@@ -334,6 +381,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   opts.add_string("json", "", "if set, also write a JSON report here");
   opts.add_string("trace-dir", "",
                   "if set, write per-scenario trace CSVs here");
+  opts.add_string("trace-out", "",
+                  "if set, write one Chrome trace_event JSON per scenario "
+                  "into this directory (<dir>/<tag>.trace.json; "
+                  "byte-identical across --jobs)");
   opts.add_flag("resume", "skip scenarios recorded in <out>.journal.jsonl");
   opts.add_string("cache-budget", "2g",
                   "dataset cache byte budget (k/m/g suffixes; 0 disables)",
@@ -417,6 +468,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   runner::SweepOptions options;
   options.jobs = static_cast<int>(cli.get_int("jobs"));
   options.trace_dir = cli.get_string("trace-dir");
+  options.trace_event_dir = cli.get_string("trace-out");
   options.journal_path = out + ".journal.jsonl";
   options.resume = cli.get_flag("resume");
   options.cache_budget =

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -18,6 +19,7 @@
 #include "serve/batching.hpp"
 #include "serve/server.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::runner {
 
@@ -203,9 +205,46 @@ constexpr const char* kJournalKind = "nadmm-sweep-journal";
 // per scale). v5: the faults axis plus kill/checkpoint_every base knobs
 // entered the fingerprint, and the wire counters (retransmits /
 // gaps_detected / messages_dropped / checkpoints / restores) entered
-// the outcome records. Older journals are rejected on --resume — their
-// fingerprints no longer match either.
-constexpr std::int64_t kJournalVersion = 5;
+// the outcome records. v6: the five fixed wire-counter fields were
+// replaced by the generic sparse "metrics" map ("name:value;…", sorted,
+// non-zero entries only) mirroring core::RunResult::metrics. Older
+// journals are rejected on --resume — their fingerprints no longer
+// match either.
+constexpr std::int64_t kJournalVersion = 6;
+
+/// RunResult::metrics as the journal/JSON wire form: "name:value;…" in
+/// key order. The map never stores zero values (add_metric skips them),
+/// so fresh runs and journal restores serialize identically.
+std::string fmt_metrics(const std::map<std::string, std::uint64_t>& metrics) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) os << ';';
+    first = false;
+    os << name << ':' << value;
+  }
+  return os.str();
+}
+
+bool parse_metrics(const std::string& text,
+                   std::map<std::string, std::uint64_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    char* num_end = nullptr;
+    const std::uint64_t value =
+        std::strtoull(item.c_str() + colon + 1, &num_end, 10);
+    if (num_end != item.c_str() + item.size()) return false;
+    if (value != 0) out[item.substr(0, colon)] = value;
+    pos = end + 1;
+  }
+  return true;
+}
 
 std::string journal_header_line(const std::string& fingerprint,
                                 std::size_t scenarios) {
@@ -241,11 +280,8 @@ std::string journal_outcome_line(const ScenarioOutcome& o) {
        << ", \"p50_latency_s\": " << fmt_double(o.p50_latency_s)
        << ", \"p99_latency_s\": " << fmt_double(o.p99_latency_s)
        << ", \"p999_latency_s\": " << fmt_double(o.p999_latency_s)
-       << ", \"retransmits\": " << o.result.retransmits
-       << ", \"gaps_detected\": " << o.result.gaps_detected
-       << ", \"messages_dropped\": " << o.result.messages_dropped
-       << ", \"checkpoints\": " << o.result.checkpoints
-       << ", \"restores\": " << o.result.restores;
+       << ", \"metrics\": \"" << json_escape(fmt_metrics(o.result.metrics))
+       << "\"";
   } else {
     os << ", \"error\": \"" << json_escape(o.error) << "\"";
   }
@@ -316,20 +352,11 @@ bool restore_outcome_line(const std::string& line,
         !json_get_double(line, "p999_latency_s", o.p999_latency_s)) {
       return false;
     }
-    std::int64_t retransmits = 0, gaps = 0, dropped = 0, checkpoints = 0,
-                 restores = 0;
-    if (!json_get_int(line, "retransmits", retransmits) ||
-        !json_get_int(line, "gaps_detected", gaps) ||
-        !json_get_int(line, "messages_dropped", dropped) ||
-        !json_get_int(line, "checkpoints", checkpoints) ||
-        !json_get_int(line, "restores", restores)) {
+    std::string metrics_text;
+    if (!json_get_string(line, "metrics", metrics_text) ||
+        !parse_metrics(metrics_text, o.result.metrics)) {
       return false;
     }
-    o.result.retransmits = static_cast<std::uint64_t>(retransmits);
-    o.result.gaps_detected = static_cast<std::uint64_t>(gaps);
-    o.result.messages_dropped = static_cast<std::uint64_t>(dropped);
-    o.result.checkpoints = static_cast<std::uint64_t>(checkpoints);
-    o.result.restores = static_cast<std::uint64_t>(restores);
     o.peak_dataset_bytes = static_cast<std::uint64_t>(peak_bytes);
     o.serve_requests = static_cast<std::uint64_t>(requests);
     o.serve_batches = static_cast<std::uint64_t>(batches);
@@ -719,7 +746,8 @@ std::vector<std::string> SweepReport::csv_rows() const {
       "scenario,solver,dataset,n_train,n_test,workers,device,network,penalty,"
       "lambda,straggler,partition,status,iterations,final_objective,"
       "final_test_accuracy,total_sim_seconds,avg_epoch_sim_seconds,"
-      "total_comm_sim_seconds,max_wait_seconds,staleness_hist,"
+      "total_comm_sim_seconds,max_wait_seconds,rank_wait_seconds,"
+      "staleness_hist,"
       "peak_dataset_bytes,arrival,batch_policy,requests,batches,"
       "throughput_rps,mean_batch,p50_latency_s,p99_latency_s,p999_latency_s,"
       "fault,kill,checkpoint_every,retransmits,gaps_detected,"
@@ -740,16 +768,19 @@ std::vector<std::string> SweepReport::csv_rows() const {
         << fmt_double(o.ok ? r.total_sim_seconds : 0.0) << ','
         << fmt_double(o.ok ? r.avg_epoch_sim_seconds : 0.0) << ','
         << fmt_double(comm) << ',' << fmt_double(o.max_wait_seconds) << ','
-        << o.staleness_hist << ',' << o.peak_dataset_bytes << ','
+        << o.rank_waits << ',' << o.staleness_hist << ','
+        << o.peak_dataset_bytes << ','
         << o.scenario.arrival << ',' << o.scenario.batch << ','
         << o.serve_requests << ',' << o.serve_batches << ','
         << fmt_double(o.throughput_rps) << ',' << fmt_double(o.mean_batch)
         << ',' << fmt_double(o.p50_latency_s) << ','
         << fmt_double(o.p99_latency_s) << ',' << fmt_double(o.p999_latency_s)
         << ',' << c.fault << ',' << c.kill << ',' << c.checkpoint_every << ','
-        << (o.ok ? r.retransmits : 0) << ',' << (o.ok ? r.gaps_detected : 0)
-        << ',' << (o.ok ? r.messages_dropped : 0) << ','
-        << (o.ok ? r.checkpoints : 0) << ',' << (o.ok ? r.restores : 0);
+        << (o.ok ? r.metric("retransmits") : 0) << ','
+        << (o.ok ? r.metric("gaps_detected") : 0) << ','
+        << (o.ok ? r.metric("messages_dropped") : 0) << ','
+        << (o.ok ? r.metric("checkpoints") : 0) << ','
+        << (o.ok ? r.metric("restores") : 0);
     rows.push_back(row.str());
   }
   return rows;
@@ -810,11 +841,8 @@ void SweepReport::write_json(const std::string& path) const {
           << ", \"p50_latency_s\": " << fmt_json_number(o.p50_latency_s)
           << ", \"p99_latency_s\": " << fmt_json_number(o.p99_latency_s)
           << ", \"p999_latency_s\": " << fmt_json_number(o.p999_latency_s)
-          << ", \"retransmits\": " << r.retransmits                      //
-          << ", \"gaps_detected\": " << r.gaps_detected                  //
-          << ", \"messages_dropped\": " << r.messages_dropped            //
-          << ", \"checkpoints\": " << r.checkpoints                      //
-          << ", \"restores\": " << r.restores;
+          << ", \"metrics\": \"" << json_escape(fmt_metrics(r.metrics))
+          << "\"";
     } else {
       out << ", \"error\": \"" << json_escape(o.error) << "\"";
     }
@@ -830,6 +858,9 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
 
   if (!options.trace_dir.empty()) {
     std::filesystem::create_directories(options.trace_dir);
+  }
+  if (!options.trace_event_dir.empty()) {
+    std::filesystem::create_directories(options.trace_event_dir);
   }
 
   SweepReport report;
@@ -972,6 +1003,22 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   auto run_one = [&](const Scenario& scenario) {
     ScenarioOutcome outcome;
     outcome.scenario = scenario;
+    // One tracer per scenario: spans stamp virtual time only, so the
+    // exported file is byte-identical no matter how many scheduler
+    // threads ran the grid. The scope is thread-local, so concurrent
+    // scenarios on other workers never share a tracer.
+    std::unique_ptr<telem::Tracer> tracer;
+    std::optional<telem::TracerScope> tracer_scope;
+    if (!options.trace_event_dir.empty()) {
+      tracer = std::make_unique<telem::Tracer>(scenario.tag());
+      tracer_scope.emplace(*tracer);
+    }
+    const auto write_trace = [&] {
+      if (!tracer || !outcome.ok) return;
+      tracer_scope.reset();  // detach before export
+      tracer->write_chrome_trace_file(options.trace_event_dir + "/" +
+                                      scenario.tag() + ".trace.json");
+    };
     try {
       ExperimentConfig config = scenario.config;
       if (options.deterministic) config.omp_threads = 1;
@@ -1010,6 +1057,7 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
         outcome.result.final_test_accuracy = sr.accuracy;
         outcome.result.total_sim_seconds = sr.total_sim_seconds;
         outcome.ok = true;
+        write_trace();
         return outcome;
       }
       const SolverInfo& info =
@@ -1057,6 +1105,7 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       outcome.staleness_hist =
           fmt_staleness_hist(outcome.result.staleness_hist);
       outcome.ok = true;
+      write_trace();
     } catch (const std::exception& e) {
       outcome.ok = false;
       outcome.error = e.what();

@@ -142,9 +142,10 @@ struct ScenarioOutcome {
   double max_wait_seconds = 0.0;
   std::string rank_waits;
   std::string staleness_hist;
-  // Wire/fault-tolerance counters also live in result (retransmits,
-  // gaps_detected, messages_dropped, checkpoints, restores); journal
-  // restores rehydrate them there so CSV/JSON stay byte-identical.
+  // The generic result.metrics map ("retransmits", "gaps_detected",
+  // "messages_dropped", "checkpoints", "restores", ...) lives in
+  // result; journal restores rehydrate it there so CSV/JSON stay
+  // byte-identical.
   /// Resident dataset bytes the scenario held while training: the full
   /// splits plus whatever the shards own. Zero-copy view plans report
   /// just the full storage; streamed `libsvm:` scenarios report the
@@ -190,6 +191,13 @@ struct SweepReport {
 struct SweepOptions {
   int jobs = 1;            ///< scheduler threads (clamped to #scenarios)
   std::string trace_dir;   ///< if set, write one trace CSV per scenario
+  /// If set, attach a telemetry tracer to every scenario and write one
+  /// Chrome trace_event JSON per scenario tag into this directory
+  /// (`<dir>/<tag>.trace.json`). Traces stamp virtual time only, so the
+  /// files are byte-identical across `--jobs` levels. Not part of the
+  /// spec fingerprint: tracing an existing journal's grid on resume is
+  /// allowed (only freshly executed scenarios get trace files).
+  std::string trace_event_dir;
   /// Pin each rank to one OpenMP thread (see header comment). Disabling
   /// re-enables intra-rank parallelism but forfeits byte-stable reports.
   bool deterministic = true;

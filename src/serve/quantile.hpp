@@ -36,6 +36,12 @@ class QuantileSketch {
   /// the exact [min, max]. Throws InvalidArgument on an empty sketch.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Fold `other` into this sketch. Because the state is a pure function
+  /// of the value multiset, merge(a, b) is exactly the sketch of the
+  /// concatenated samples — which is what lets telemetry combine
+  /// per-rank histograms. Both sketches must share ε and floor.
+  void merge(const QuantileSketch& other);
+
  private:
   double floor_;
   double growth_;          // bucket width ratio g = (1 + ε)²

@@ -12,6 +12,7 @@
 #include "serve/batching.hpp"
 #include "serve/quantile.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace nadmm::serve {
 
@@ -114,6 +115,8 @@ ServeResult simulate(const SavedModel& model, const data::Dataset& pool,
   std::vector<std::int32_t> labels(cap);
 
   auto dispatch = [&](comm::AsyncRank& rank) {
+    TELEM_SPAN("serve", "batch_dispatch");
+    telem::count("batches_dispatched");
     const std::size_t b = std::min(queue.size(), cap);
     gather_rows(pool, queue, b, rows, labels);
     la::DenseMatrix scores(b, c);

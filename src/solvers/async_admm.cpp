@@ -13,6 +13,7 @@
 #include "model/softmax.hpp"
 #include "support/binio.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace nadmm::solvers {
@@ -218,7 +219,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
     checkpoint_commits = commits;
     commit_log.clear();
     for (auto& log : reply_log) log.clear();
-    ++result.checkpoints;
+    result.add_metric("checkpoints", 1);
+    telem::count("checkpoints");
+    telem::instant("fault", "checkpoint");
   };
 
   const auto maybe_checkpoint = [&](comm::AsyncRank& ctx) {
@@ -348,7 +351,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
       deferred = std::move(deferred2);
       barrier = std::move(barrier2);
     }
-    ++result.restores;
+    result.add_metric("restores", 1);
+    telem::count("restores");
+    telem::instant("fault", "restore");
     ctx.clock().resume();
   };
 
@@ -419,6 +424,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
           epochs == options.kill_epoch) {
         pending_kill = true;
       }
+      // Epoch boundary: sample every registered telemetry counter as a
+      // Chrome counter event (virtual-time x-axis in the trace).
+      telem::snapshot_metrics();
       ctx.clock().resume();
     }
 
@@ -497,9 +505,9 @@ core::RunResult async_admm(comm::SimCluster& cluster,
   result.rank_wait_seconds.reserve(reports.size());
   for (const auto& r : reports) {
     result.rank_wait_seconds.push_back(r.wait_seconds);
-    result.retransmits += r.retransmits;
-    result.gaps_detected += r.gaps_detected;
-    result.messages_dropped += r.messages_dropped;
+    result.add_metric("retransmits", r.retransmits);
+    result.add_metric("gaps_detected", r.gaps_detected);
+    result.add_metric("messages_dropped", r.messages_dropped);
   }
   if (result.iterations > 0) {
     result.avg_epoch_sim_seconds =

@@ -1,0 +1,284 @@
+// Unified telemetry: virtual-time span tracing + metrics registry.
+//
+// The tracer answers "where does *simulated* time go inside one run" —
+// which rank waited, which epoch stalled on a retransmit storm, what
+// fraction of an epoch was gemm vs. wire vs. RTO backoff — without
+// perturbing the run it observes:
+//
+//   * Spans (`TELEM_SPAN("kernel", "gemm_nn")`) are RAII scopes stamped
+//     with BOTH virtual SimClock time and host wall time, plus the
+//     flop/byte deltas the scope executed (via flops::Scope). Virtual
+//     stamps come from SimClock::projected_seconds(), which prices
+//     pending work WITHOUT folding it in: calling sync_compute() from a
+//     span would insert extra roofline sync points and change the very
+//     timeline being measured.
+//   * Each rank records into its own single-writer track buffer — no
+//     locks, no atomics on the record path — and tracks merge
+//     deterministically at export in (sim_time, track, seq) order.
+//     Committed artifacts carry virtual time only, so a trace is
+//     byte-identical across sweep `--jobs` levels and host load.
+//   * A metrics registry holds named counters, gauges, and log-bucketed
+//     histograms (serve::QuantileSketch). Counters/gauges can be
+//     snapshotted per epoch as Chrome counter events ("C" phase).
+//   * Exporters: Chrome trace_event JSON (open in Perfetto or
+//     chrome://tracing; one process per rank, instants for
+//     sends/acks/nacks/drops/checkpoints/restores) and an ASCII
+//     per-rank timeline. See docs/TRACING.md.
+//
+// Enablement is two-staged so the disabled path is a single relaxed
+// atomic load (bench_telemetry gates <2% overhead on the kernel bench):
+// a process-wide count of live TracerScopes, then a thread-local
+// context {tracer, track, clock} that TracerScope/TrackScope install.
+// Spans and instants record only when a TrackScope bound a rank and its
+// SimClock on the current thread; metric increments need only a tracer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/quantile.hpp"
+
+namespace nadmm::comm {
+class SimClock;
+}
+
+namespace nadmm::telem {
+
+class Tracer;
+
+/// What one recorded event is. Spans have a duration; instants mark a
+/// point (sim_end == sim_begin); counters sample a metric value.
+enum class EventKind : std::uint8_t { kSpan = 0, kInstant = 1, kCounter = 2 };
+
+/// One recorded event. `category`/`name` must point at storage that
+/// outlives the tracer (string literals, or the tracer's own interned
+/// metric names) — the record path never allocates for them.
+struct Event {
+  EventKind kind = EventKind::kSpan;
+  const char* category = "";
+  const char* name = "";
+  int track = 0;        ///< rank id == Chrome pid
+  std::uint64_t seq = 0;  ///< per-track record order (merge tiebreak)
+  double sim_begin = 0.0;  ///< virtual seconds
+  double sim_end = 0.0;
+  double wall_begin = 0.0;  ///< host seconds since tracer creation
+  double wall_end = 0.0;
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+  double value = 0.0;  ///< kCounter sample
+};
+
+/// One rank's event buffer. Exactly one thread appends to a track at a
+/// time (the async engine is single-threaded per scenario), so the
+/// record path is lock-free by construction.
+struct Track {
+  int id = 0;
+  std::uint64_t next_seq = 0;
+  std::vector<Event> events;
+};
+
+/// Collects events and metrics for one run (one sweep scenario, or one
+/// `nadmm run`/`serve` invocation). Not thread-safe across concurrent
+/// writers to the *same* track; distinct tracks are independent.
+class Tracer {
+ public:
+  explicit Tracer(std::string label = "nadmm");
+
+  /// The track for rank `id`, created on first use (stable address).
+  Track& track(int id);
+
+  /// Total events recorded across all tracks.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// All events merged in (sim_begin, track, seq) order — deterministic
+  /// for a deterministic simulation regardless of host interleaving.
+  [[nodiscard]] std::vector<Event> merged_events() const;
+
+  // -- metrics registry ----------------------------------------------
+  void add_counter(const std::string& name, std::uint64_t delta);
+  void set_gauge(const std::string& name, double value);
+  void observe(const std::string& name, double value);
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, serve::QuantileSketch>&
+  histograms() const {
+    return histograms_;
+  }
+  /// Emit one Chrome counter event per registered counter/gauge on
+  /// `track_id` at virtual time `sim_time` (call at epoch boundaries).
+  void snapshot_metrics(int track_id, double sim_time);
+
+  // -- exporters ------------------------------------------------------
+  /// Chrome trace_event JSON. Virtual time only unless `include_wall`;
+  /// committed artifacts must keep it false for byte-determinism.
+  void write_chrome_trace(std::ostream& os, bool include_wall = false) const;
+  /// Write the Chrome trace to `path` (throws RuntimeError on I/O error).
+  void write_chrome_trace_file(const std::string& path,
+                               bool include_wall = false) const;
+  /// Per-rank ASCII timeline + per-category totals (virtual time only).
+  [[nodiscard]] std::string ascii_timeline(int width = 64) const;
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] double wall_now() const;
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point wall_epoch_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, serve::QuantileSketch> histograms_;
+};
+
+namespace detail {
+
+/// Count of live TracerScopes process-wide. The disabled-mode fast path
+/// is exactly one relaxed load of this.
+inline std::atomic<int> g_active{0};
+
+/// Thread-local sink: which tracer, which rank track, whose clock.
+struct Context {
+  Tracer* tracer = nullptr;
+  int track = -1;
+  const comm::SimClock* clock = nullptr;
+};
+inline thread_local Context g_ctx;
+
+}  // namespace detail
+
+/// True when the calling thread can record spans/instants right now.
+[[nodiscard]] inline bool active() {
+  return detail::g_active.load(std::memory_order_relaxed) != 0 &&
+         detail::g_ctx.tracer != nullptr && detail::g_ctx.clock != nullptr;
+}
+
+/// The tracer installed on this thread, or nullptr.
+[[nodiscard]] inline Tracer* current() {
+  return detail::g_active.load(std::memory_order_relaxed) != 0
+             ? detail::g_ctx.tracer
+             : nullptr;
+}
+
+/// Installs `tracer` as the calling thread's sink for its lifetime.
+/// One per sweep-scenario worker thread / CLI run.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer& tracer);
+  ~TracerScope();
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+/// Binds a rank track + its SimClock on the calling thread. The async
+/// engine wraps every event handler in one; spans recorded inside
+/// inherit the rank and stamp its virtual clock.
+class TrackScope {
+ public:
+  TrackScope(int track, const comm::SimClock* clock);
+  ~TrackScope();
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+
+ private:
+  int prev_track_;
+  const comm::SimClock* prev_clock_;
+};
+
+/// RAII span. Prefer the TELEM_SPAN macro. The inline constructor is
+/// the disabled-mode hot path: one relaxed atomic load, then out.
+class SpanGuard {
+ public:
+  SpanGuard(const char* category, const char* name) {
+    if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+      begin(category, name);
+    }
+  }
+  ~SpanGuard() {
+    if (track_ != nullptr) end();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  void begin(const char* category, const char* name);
+  void end();
+
+  Track* track_ = nullptr;  ///< nullptr ⇒ inactive, destructor is free
+  const comm::SimClock* clock_ = nullptr;
+  const char* category_ = "";
+  const char* name_ = "";
+  double sim_begin_ = 0.0;
+  double wall_begin_ = 0.0;
+  std::uint64_t flops_begin_ = 0;
+  std::uint64_t bytes_begin_ = 0;
+};
+
+namespace detail {
+void instant_impl(const char* category, const char* name);
+void count_impl(const char* name, std::uint64_t delta);
+void gauge_impl(const char* name, double value);
+void observe_impl(const char* name, double value);
+void snapshot_metrics_impl();
+}  // namespace detail
+
+/// Record a zero-duration instant event ("i" phase) on the bound track.
+inline void instant(const char* category, const char* name) {
+  if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+    detail::instant_impl(category, name);
+  }
+}
+
+/// Increment a named counter on the thread's tracer (no track needed).
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+    detail::count_impl(name, delta);
+  }
+}
+
+/// Set a named gauge on the thread's tracer.
+inline void gauge(const char* name, double value) {
+  if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+    detail::gauge_impl(name, value);
+  }
+}
+
+/// Feed one sample into a named log-bucketed histogram.
+inline void observe(const char* name, double value) {
+  if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+    detail::observe_impl(name, value);
+  }
+}
+
+/// Snapshot all registered counters/gauges as counter events on the
+/// bound track at the current virtual time (epoch-boundary hook).
+inline void snapshot_metrics() {
+  if (detail::g_active.load(std::memory_order_relaxed) != 0) {
+    detail::snapshot_metrics_impl();
+  }
+}
+
+#define NADMM_TELEM_CONCAT_INNER(a, b) a##b
+#define NADMM_TELEM_CONCAT(a, b) NADMM_TELEM_CONCAT_INNER(a, b)
+
+/// Opens a telemetry span for the rest of the enclosing scope.
+/// `category` and `name` must be string literals (or otherwise outlive
+/// the tracer).
+#define TELEM_SPAN(category, name)          \
+  ::nadmm::telem::SpanGuard NADMM_TELEM_CONCAT(telem_span_, __COUNTER__) { \
+    (category), (name)                      \
+  }
+
+}  // namespace nadmm::telem

@@ -426,7 +426,7 @@ TEST(AsyncAdmmFaults, ConvergesUnderLossAndCountsRetransmits) {
   const auto clean = run_registry("async-admm", config);
   config.fault = "drop:0.05,dup:0.02";
   const auto faulty = run_registry("async-admm", config);
-  EXPECT_GT(faulty.retransmits, 0u);
+  EXPECT_GT(faulty.metric("retransmits"), 0u);
   EXPECT_TRUE(std::isfinite(faulty.final_objective));
   // Losses cost latency, not quality: the recovered run lands in the
   // same objective ballpark as the clean one.
@@ -440,8 +440,8 @@ TEST(AsyncAdmmFaults, FaultyRunsAreByteDeterministic) {
   const auto a = run_registry("async-admm", config);
   const auto b = run_registry("async-admm", config);
   EXPECT_EQ(trace_fingerprint(a), trace_fingerprint(b));
-  EXPECT_EQ(a.retransmits, b.retransmits);
-  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.metric("retransmits"), b.metric("retransmits"));
+  EXPECT_EQ(a.metric("messages_dropped"), b.metric("messages_dropped"));
 }
 
 TEST(AsyncAdmmFaults, KillAndRejoinIsBitIdenticalToNoKill) {
@@ -453,18 +453,18 @@ TEST(AsyncAdmmFaults, KillAndRejoinIsBitIdenticalToNoKill) {
   config.fault = "drop:0.05";
   config.checkpoint_every = 4;
   const auto baseline = run_registry("async-admm", config);
-  EXPECT_GT(baseline.checkpoints, 0u);
-  EXPECT_EQ(baseline.restores, 0u);
+  EXPECT_GT(baseline.metric("checkpoints"), 0u);
+  EXPECT_EQ(baseline.metric("restores"), 0u);
 
   config.kill = "1:2";
   const auto killed = run_registry("async-admm", config);
-  EXPECT_EQ(killed.restores, 1u);
+  EXPECT_EQ(killed.metric("restores"), 1u);
   EXPECT_EQ(trace_fingerprint(killed), trace_fingerprint(baseline));
 
   // The coordinator rank replays its own commit log the same way.
   config.kill = "0:3";
   const auto coord = run_registry("async-admm", config);
-  EXPECT_EQ(coord.restores, 1u);
+  EXPECT_EQ(coord.metric("restores"), 1u);
   EXPECT_EQ(trace_fingerprint(coord), trace_fingerprint(baseline));
 }
 
@@ -476,7 +476,7 @@ TEST(AsyncAdmmFaults, StaleSyncSupportsKillToo) {
   const auto baseline = run_registry("stale-sync-admm", config);
   config.kill = "1:2";
   const auto killed = run_registry("stale-sync-admm", config);
-  EXPECT_EQ(killed.restores, 1u);
+  EXPECT_EQ(killed.metric("restores"), 1u);
   EXPECT_EQ(trace_fingerprint(killed), trace_fingerprint(baseline));
 }
 

@@ -90,6 +90,74 @@ TEST(QuantileSketch, EdgesAndErrors) {
   EXPECT_THROW(sketch.add(-1.0), InvalidArgument);
 }
 
+TEST(QuantileSketch, MergeOfSketchesEqualsSketchOfConcatenation) {
+  // The bucket state is a pure function of the value multiset, so
+  // merging per-rank sketches must be indistinguishable from one sketch
+  // that saw every sample — exactly, not just within ε.
+  const auto all = synthetic_latencies(8'000);
+  QuantileSketch left, right, combined;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i < all.size() / 3 ? left : right).add(all[i]);
+    combined.add(all[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeWithEmptySketchIsIdentityBothWays) {
+  QuantileSketch filled, empty;
+  filled.add(0.5);
+  filled.add(2.0);
+
+  QuantileSketch a = filled;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), filled.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+
+  QuantileSketch b;  // empty absorbs filled
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 0.5);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+  EXPECT_DOUBLE_EQ(b.quantile(1.0), 2.0);
+
+  QuantileSketch c;
+  c.merge(QuantileSketch());  // empty ∪ empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_THROW(static_cast<void>(c.quantile(0.5)), InvalidArgument);
+}
+
+TEST(QuantileSketch, MergeSingleSampleMatchesDirectInsert) {
+  QuantileSketch single;
+  single.add(3.25);
+  QuantileSketch target;
+  target.add(1.0);
+  target.merge(single);
+
+  QuantileSketch direct;
+  direct.add(1.0);
+  direct.add(3.25);
+  EXPECT_EQ(target.count(), direct.count());
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(target.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedResolution) {
+  QuantileSketch fine(0.01), coarse(0.1);
+  fine.add(1.0);
+  coarse.add(1.0);
+  EXPECT_THROW(fine.merge(coarse), InvalidArgument);
+}
+
 // ------------------------------------------------------ arrival streams
 
 TEST(ArrivalStreams, SameSeedIsBitIdenticalAcrossModels) {

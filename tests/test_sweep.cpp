@@ -494,7 +494,7 @@ TEST(SweepJournal, StaleJournalFromDifferentSpecIsRejected) {
 
 TEST(SweepJournal, OldJournalVersionIsRejectedOnResume) {
   // A v4 journal predates the faults axis and the wire counters; its
-  // outcome records can't rehydrate a v5 report, so --resume must
+  // outcome records can't rehydrate a current report, so --resume must
   // refuse it with the version named (a rerun without --resume starts
   // fresh).
   const std::string dir = testing::TempDir() + "/nadmm_journal_old";
@@ -520,6 +520,39 @@ TEST(SweepJournal, OldJournalVersionIsRejectedOnResume) {
     EXPECT_NE(std::string(e.what()).find("unsupported version 4"),
               std::string::npos)
         << e.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepJournal, V5JournalIsRejectedWithBothVersionsNamed) {
+  // v5 journals carry five fixed wire-counter fields; v6 replaced them
+  // with the generic sparse metrics map, so restoring a v5 record would
+  // silently drop its counters. The rejection must name both the found
+  // and the expected version so the fix (rerun without --resume) is
+  // obvious from the message alone.
+  const std::string dir = testing::TempDir() + "/nadmm_journal_v5";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/report.csv.journal.jsonl";
+
+  SweepSpec spec = tiny_spec();
+  const auto scenarios = expand_scenarios(spec);
+  {
+    std::ofstream out(journal);
+    out << "{\"kind\": \"nadmm-sweep-journal\", \"version\": 5, "
+        << "\"fingerprint\": \"" << spec_fingerprint(spec)
+        << "\", \"scenarios\": " << scenarios.size() << "}\n";
+  }
+  SweepOptions resume;
+  resume.journal_path = journal;
+  resume.resume = true;
+  try {
+    static_cast<void>(run_sweep(spec, resume));
+    FAIL() << "v5 journal accepted on --resume";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported version 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 6"), std::string::npos) << what;
   }
   std::filesystem::remove_all(dir);
 }

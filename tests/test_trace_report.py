@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/trace_report.py: Chrome-trace parsing and the
+per-rank / per-category / top-N aggregation. Registered with CTest
+(tests/CMakeLists.txt); stock unittest, no third-party deps."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "tools"))
+
+from trace_report import load_trace, summarize  # noqa: E402
+
+TRACE = {
+    "displayTimeUnit": "ms",
+    "otherData": {"label": "test"},
+    "traceEvents": [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "rank 0"}},
+        # rank 0: 2 µs of kernel work + 5 µs of core work
+        {"ph": "X", "pid": 0, "tid": 0, "cat": "core", "name": "local_step",
+         "ts": 0.0, "dur": 5.0, "args": {"flops": 100, "bytes": 800}},
+        {"ph": "X", "pid": 0, "tid": 0, "cat": "kernel", "name": "gemm_nn",
+         "ts": 1.0, "dur": 2.0, "args": {"flops": 90, "bytes": 700}},
+        # rank 1: 3 µs of wire work + two instants
+        {"ph": "X", "pid": 1, "tid": 0, "cat": "wire", "name": "encode",
+         "ts": 4.0, "dur": 3.0},
+        {"ph": "i", "pid": 1, "tid": 0, "cat": "wire", "name": "send",
+         "ts": 5.0, "s": "p"},
+        {"ph": "i", "pid": 1, "tid": 0, "cat": "wire", "name": "send",
+         "ts": 6.0, "s": "p"},
+        {"ph": "C", "pid": 1, "tid": 0, "name": "sends", "ts": 6.0,
+         "args": {"value": 2}},
+    ],
+}
+
+
+class LoadTraceTest(unittest.TestCase):
+    def write(self, payload):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        self.addCleanup(os.unlink, f.name)
+        json.dump(payload, f)
+        f.close()
+        return f.name
+
+    def test_object_and_bare_array_forms(self):
+        self.assertEqual(len(load_trace(self.write(TRACE))), 7)
+        bare = self.write(TRACE["traceEvents"])
+        self.assertEqual(len(load_trace(bare)), 7)
+
+    def test_non_trace_json_is_rejected(self):
+        with self.assertRaises(ValueError):
+            load_trace(self.write({"whatever": 1}))
+
+
+class SummarizeTest(unittest.TestCase):
+    def setUp(self):
+        self.report = summarize(TRACE["traceEvents"])
+
+    def test_per_category_totals(self):
+        cats = self.report["categories"]
+        self.assertAlmostEqual(cats["core"], 5e-6)
+        self.assertAlmostEqual(cats["kernel"], 2e-6)
+        self.assertAlmostEqual(cats["wire"], 3e-6)
+
+    def test_per_rank_breakdown(self):
+        r0 = self.report["ranks"][0]
+        self.assertEqual(r0["span_count"], 2)
+        self.assertAlmostEqual(r0["span_seconds"]["core"], 5e-6)
+        self.assertAlmostEqual(r0["sim_end_s"], 5e-6)
+        r1 = self.report["ranks"][1]
+        self.assertEqual(r1["instants"], {"send": 2})
+        self.assertAlmostEqual(r1["sim_end_s"], 7e-6)  # encode ends at 7 µs
+
+    def test_top_spans_longest_first(self):
+        spans = self.report["spans"]
+        self.assertEqual([s["name"] for s in spans],
+                         ["local_step", "encode", "gemm_nn"])
+        self.assertEqual(spans[0]["flops"], 100)
+        self.assertEqual(spans[2]["bytes"], 700)
+
+    def test_metadata_and_counter_events_are_ignored(self):
+        # 3 spans only — M and C phases must not count as work.
+        self.assertEqual(sum(r["span_count"]
+                             for r in self.report["ranks"].values()), 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -105,6 +105,13 @@ def main():
     if failures:
         print(f"perf_smoke: {len(failures)} kernel(s) regressed >"
               f"{tolerance:.0%} against {args.baseline}", file=sys.stderr)
+        for (kernel, threads), measured, floor in failures:
+            base_speedup = base[(kernel, threads)]
+            ratio = measured / base_speedup if base_speedup > 0 else float("inf")
+            print(f"perf_smoke:   {kernel} (threads={threads}): baseline "
+                  f"speedup {base_speedup:.3f}, current {measured:.3f} "
+                  f"({ratio:.2f}x of baseline; floor {floor:.3f})",
+                  file=sys.stderr)
         return 1
     print(f"perf_smoke: all {len(entries)} kernel speedups within "
           f"{tolerance:.0%} of baseline")

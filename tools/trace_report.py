@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Summarize a telemetry Chrome trace (from `nadmm run --trace-out`,
+`nadmm serve --trace-out`, or `nadmm sweep --trace-out=<dir>`).
+
+The trace stamps virtual SimClock time, so every number here is
+simulated seconds — deterministic across hosts and sweep --jobs levels.
+Reports:
+
+  * per-rank breakdown: span time per category, instant counts;
+  * per-category totals across ranks (where does simulated time go);
+  * top-N longest spans (the stalls worth opening in Perfetto).
+
+Pure stdlib; shares no state with the C++ exporter beyond the
+trace_event format itself.
+
+Usage:
+  tools/trace_report.py TRACE.json [--top N] [--json]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_trace(path):
+    """Parse one Chrome trace_event JSON file into its event list."""
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, list):  # bare trace-event array variant
+        return data
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents array — not a Chrome trace")
+    return events
+
+
+def summarize(events):
+    """Aggregate spans/instants into the report structure.
+
+    Returns {"ranks": {pid: {...}}, "categories": {cat: seconds},
+    "spans": [longest-first]}. Durations convert from the trace's
+    microseconds to seconds.
+    """
+    ranks = defaultdict(lambda: {
+        "span_seconds": defaultdict(float),
+        "span_count": 0,
+        "instants": defaultdict(int),
+        "end_us": 0.0,
+    })
+    categories = defaultdict(float)
+    spans = []
+    for e in events:
+        ph = e.get("ph")
+        pid = e.get("pid", 0)
+        if ph == "X":
+            cat = e.get("cat", "?")
+            dur_s = float(e.get("dur", 0.0)) * 1e-6
+            r = ranks[pid]
+            r["span_seconds"][cat] += dur_s
+            r["span_count"] += 1
+            r["end_us"] = max(r["end_us"], float(e.get("ts", 0.0)) +
+                              float(e.get("dur", 0.0)))
+            categories[cat] += dur_s
+            spans.append({
+                "rank": pid,
+                "category": cat,
+                "name": e.get("name", "?"),
+                "ts_s": float(e.get("ts", 0.0)) * 1e-6,
+                "dur_s": dur_s,
+                "flops": e.get("args", {}).get("flops", 0),
+                "bytes": e.get("args", {}).get("bytes", 0),
+            })
+        elif ph == "i":
+            r = ranks[pid]
+            r["instants"][e.get("name", "?")] += 1
+            r["end_us"] = max(r["end_us"], float(e.get("ts", 0.0)))
+    spans.sort(key=lambda s: (-s["dur_s"], s["ts_s"], s["rank"], s["name"]))
+    return {
+        "ranks": {pid: {
+            "span_seconds": dict(r["span_seconds"]),
+            "span_count": r["span_count"],
+            "instants": dict(r["instants"]),
+            "sim_end_s": r["end_us"] * 1e-6,
+        } for pid, r in sorted(ranks.items())},
+        "categories": dict(categories),
+        "spans": spans,
+    }
+
+
+def print_report(path, report, top):
+    print(f"trace report — {path}")
+    total = sum(report["categories"].values())
+    print(f"\nper-category simulated span time ({total:.6g}s total):")
+    for cat, secs in sorted(report["categories"].items(),
+                            key=lambda kv: -kv[1]):
+        share = secs / total if total > 0 else 0.0
+        print(f"  {cat:<10} {secs:.6g}s  ({share:.1%})")
+
+    print("\nper-rank breakdown:")
+    for pid, r in report["ranks"].items():
+        cats = "  ".join(f"{c}={s:.6g}s"
+                         for c, s in sorted(r["span_seconds"].items(),
+                                            key=lambda kv: -kv[1]))
+        print(f"  rank {pid}: {r['span_count']} spans, "
+              f"sim end {r['sim_end_s']:.6g}s  {cats}")
+        if r["instants"]:
+            inst = "  ".join(f"{n}={c}"
+                             for n, c in sorted(r["instants"].items()))
+            print(f"    instants: {inst}")
+
+    shown = report["spans"][:top]
+    if shown:
+        print(f"\ntop {len(shown)} longest spans:")
+        width = max(len(f"{s['category']}/{s['name']}") for s in shown)
+        for s in shown:
+            label = f"{s['category']}/{s['name']}"
+            print(f"  {label:<{width}}  rank {s['rank']}  "
+                  f"t={s['ts_s']:.6g}s  dur={s['dur_s']:.6g}s  "
+                  f"flops={s['flops']}  bytes={s['bytes']}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--top", type=int, default=10,
+                    help="longest spans to list (default 10)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
+    args = ap.parse_args()
+
+    report = summarize(load_trace(args.trace))
+    if args.json:
+        report["spans"] = report["spans"][:args.top]
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(args.trace, report, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
