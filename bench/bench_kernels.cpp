@@ -9,6 +9,13 @@
 // (kernel, threads), and the CI perf-smoke job fails when any measured
 // speedup regresses more than 25% below it. Speedups are same-run,
 // same-machine ratios, so the gate is robust to runner hardware.
+//
+// Every kernel also reports absolute throughput (items_per_second is
+// GFLOP/s-style work items, bytes_per_second is memory traffic), and two
+// host-peak probes — a STREAM-style triad for bandwidth and an unfused
+// mul+add chain for compute — record what this machine can actually do.
+// tools/perf_smoke.py divides the two to gate "fraction of host peak",
+// which is machine-normalized the same way the speedup ratios are.
 #include <benchmark/benchmark.h>
 
 #ifdef _OPENMP
@@ -21,6 +28,7 @@
 #include "data/generators.hpp"
 #include "la/dense_matrix.hpp"
 #include "la/kernels.hpp"
+#include "la/simd.hpp"
 #include "la/sparse_matrix.hpp"
 #include "model/softmax.hpp"
 #include "support/rng.hpp"
@@ -63,6 +71,8 @@ void BM_GemmNN_Mnist(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + p * c + n * c)));
 }
 
 template <bool kEngine>
@@ -82,6 +92,8 @@ void BM_GemmNN_Cifar(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + p * c + n * c)));
 }
 
 // ------------------------------------------- gemm_tn (gradient Aᵀ·W)
@@ -103,6 +115,8 @@ void BM_GemmTN_Mnist(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + n * c + p * c)));
 }
 
 template <bool kEngine>
@@ -126,6 +140,8 @@ void BM_GemmTN_MnistShard(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + n * c + p * c)));
 }
 
 template <bool kEngine>
@@ -147,6 +163,8 @@ void BM_GemmTN_Cifar(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + n * c + p * c)));
 }
 
 // --------------------------------------------------- gemv_t (CG vector)
@@ -169,6 +187,8 @@ void BM_GemvT_Mnist(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * p));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (n * p + n + p)));
 }
 
 // -------------------------------------- spmm_tn (sparse gradient Aᵀ·W)
@@ -195,6 +215,16 @@ void BM_SpmmTN_E18(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * a.nnz() * c));
+  // CSR storage (values + col_idx + row_ptr) plus the dense W read and
+  // the G panel write; the cached-CSC path touches the transpose instead
+  // but the byte count is the same.
+  const std::size_t csr_bytes =
+      a.nnz() * (sizeof(double) + sizeof(std::int64_t)) +
+      (a.rows() + 1) * sizeof(std::int64_t);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(csr_bytes +
+                                8 * (a.rows() * c + a.cols() * c)));
 }
 
 // ------------------------------------------------ fused softmax forward
@@ -221,6 +251,91 @@ void BM_SoftmaxForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * c));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * (2 * n * c + n)));
+}
+
+// ------------------------------------------- CSC materialization (E18)
+
+template <bool kEngine>
+void BM_CscBuildE18(benchmark::State& state) {
+  set_threads(state.range(0));
+  // Same E18-like shard as the spmm bench: the CSC transpose this build
+  // produces is exactly what the cached wide-shard gather consumes.
+  const auto tt = data::make_e18_like(400, 10, 27998, 9);
+  const auto& a = tt.train.sparse_features();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (auto _ : state) {
+    auto t = la::detail::build_transposed(a.rows(), a.cols(), rp, ci, va,
+                                          /*parallel=*/kEngine);
+    benchmark::DoNotOptimize(t.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+  // Read the CSR triple, write the CSC triple (counting pass rereads
+  // col_idx but that is bookkeeping, not the bound).
+  const std::size_t triple_bytes =
+      a.nnz() * (sizeof(double) + sizeof(std::int64_t)) +
+      (a.rows() + a.cols() + 2) * sizeof(std::int64_t);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * triple_bytes));
+}
+
+// ------------------------------------------------------ host peak probes
+//
+// Not Engine/Seed pairs on purpose: these two record what THIS machine
+// can do, so perf_smoke.py can express kernel throughput as a fraction
+// of host peak instead of an absolute number that only means something
+// on one runner.
+
+// STREAM-style triad a[i] = b[i] + s*c[i]: sustainable bandwidth.
+void BM_HostPeak_Triad(benchmark::State& state) {
+  const std::size_t n = std::size_t{1} << 22;  // 3 × 32 MiB streams
+  std::vector<double> a(n, 0.0), b(n, 1.5), c(n, 2.5);
+  for (auto _ : state) {
+    const double s = 3.0;
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  // 24 B/element: read b and c, write a (write-allocate traffic ignored,
+  // matching the classic STREAM accounting).
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(24 * n));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+
+// Unfused mul+add chains on the active SIMD backend: the compute peak an
+// engine kernel could reach under the bit-identity contract (the engine
+// never emits FMA, so neither does the probe — -ffp-contract=off keeps
+// the compiler from fusing these).
+void BM_HostPeak_Fma(benchmark::State& state) {
+  using V = la::simd::Active;
+  constexpr std::size_t kChains = 8;
+  constexpr std::size_t kSteps = 4096;
+  V acc[kChains];
+  double seed_vals[V::width];
+  for (std::size_t l = 0; l < V::width; ++l) {
+    seed_vals[l] = 1.0 + 1e-9 * static_cast<double>(l);
+  }
+  const V m = V::broadcast(1.0 + 1e-12);
+  const V add = V::broadcast(1e-12);
+  for (auto& v : acc) v = V::load(seed_vals);
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      for (auto& v : acc) v = v * m + add;
+    }
+    double sink[V::width];
+    acc[0].store(sink);
+    benchmark::DoNotOptimize(sink[0]);
+  }
+  // 2 flops (mul + add) per lane per chain step.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * V::width * kChains * kSteps));
 }
 
 // clang-format off
@@ -240,8 +355,21 @@ BENCHMARK_TEMPLATE(BM_SpmmTN_E18, true)->Name("BM_SpmmTN_E18_Engine")->Arg(1)->A
 BENCHMARK_TEMPLATE(BM_SpmmTN_E18, false)->Name("BM_SpmmTN_E18_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 BENCHMARK_TEMPLATE(BM_SoftmaxForward, true)->Name("BM_SoftmaxForward_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 BENCHMARK_TEMPLATE(BM_SoftmaxForward, false)->Name("BM_SoftmaxForward_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_CscBuildE18, true)->Name("BM_CscBuildE18_Engine")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_CscBuildE18, false)->Name("BM_CscBuildE18_Seed")->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HostPeak_Triad)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HostPeak_Fma)->Unit(benchmark::kMicrosecond);
 // clang-format on
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every bench JSON records which dispatch rung it ran on —
+// perf_smoke baselines from different ISAs should not be compared blindly.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("nadmm_isa", nadmm::la::kernels::active_isa());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

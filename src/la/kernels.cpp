@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <vector>
 
+#include "la/simd.hpp"
 #include "la/vector_ops.hpp"
 #include "support/check.hpp"
 
@@ -18,6 +20,13 @@ namespace {
 // Microkernel tile: MR rows of A against an NR-wide packed strip of B.
 constexpr std::size_t kMR = 4;
 constexpr std::size_t kNR = 8;
+
+// How many CSC entries ahead of the gather cursor to prefetch the B row
+// for. The gather's access pattern (row_idx-indexed rows of B) is the one
+// the hardware prefetcher cannot predict; 8 entries ≈ one column's worth
+// on the E18 shapes, far enough to cover a memory latency at the gather's
+// per-entry cost.
+constexpr std::int64_t kPrefetchAhead = 8;
 
 int max_team(bool parallel) {
 #ifdef _OPENMP
@@ -62,23 +71,16 @@ Range slice(std::size_t count, int t, int team) {
 /// into partial 0 (fixed thread order), then the slice [lo, hi) of the
 /// output is combined as C = beta·C + alpha·acc. Every element of the
 /// output is written by exactly one thread.
+template <class V>
 void fold_partials(double alpha, double beta, double* out, double* ws,
                    std::size_t stride, int team, std::size_t lo,
                    std::size_t hi) {
   double* acc = ws;
   for (int r = 1; r < team; ++r) {
     const double* src = ws + static_cast<std::size_t>(r) * stride;
-    for (std::size_t e = lo; e < hi; ++e) acc[e] += src[e];
+    simd::add_inplace<V>(acc + lo, src + lo, hi - lo);
   }
-  if (beta == 0.0) {
-    for (std::size_t e = lo; e < hi; ++e) out[e] = alpha * acc[e];
-  } else if (beta == 1.0) {
-    for (std::size_t e = lo; e < hi; ++e) out[e] += alpha * acc[e];
-  } else {
-    for (std::size_t e = lo; e < hi; ++e) {
-      out[e] = beta * out[e] + alpha * acc[e];
-    }
-  }
+  simd::combine<V>(alpha, beta, out + lo, acc + lo, hi - lo);
 }
 
 /// In-place C = beta·C for the degenerate k = 0 case.
@@ -90,6 +92,42 @@ void scale_output(double beta, std::span<double> c) {
   }
 }
 
+/// Grow-only, 64-byte-aligned, *uninitialized* per-thread buffer backing
+/// the packed panels and reduction workspaces. The kernels run every CG
+/// iteration, so steady-state calls must never touch the allocator; the
+/// allocation deliberately leaves pages untouched, which is the NUMA
+/// first-touch half of the contract: each team thread zero-fills only
+/// its own partial slice inside the parallel region, so on multi-socket
+/// hosts a partial's pages land on the node of the thread that folds
+/// them rather than wherever the calling thread happened to run.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer() { release(); }
+
+  double* ensure(std::size_t elems) {
+    if (cap_ < elems) {
+      release();
+      data_ = static_cast<double*>(
+          ::operator new(elems * sizeof(double), std::align_val_t{64}));
+      cap_ = elems;
+    }
+    return data_;
+  }
+
+ private:
+  void release() {
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t{64});
+    data_ = nullptr;
+    cap_ = 0;
+  }
+
+  double* data_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
 // ------------------------------------------------------------- gemm_nn
 
 /// Pack B (k×n row-major) into zero-padded kNR-wide strips: the
@@ -98,12 +136,12 @@ void scale_output(double beta, std::span<double> c) {
 /// panel lives in a grow-only per-thread buffer (this runs every CG
 /// iteration — see reduction_workspace below for the rationale); only
 /// the tail strip's padding columns are zeroed, full strips are fully
-/// overwritten.
+/// overwritten. Strips start 64-byte aligned (k·kNR doubles apart from
+/// an aligned base).
 double* pack_b(const double* pb, std::size_t k, std::size_t n,
                std::size_t nstrips) {
-  static thread_local std::vector<double> panel;
-  if (panel.size() < nstrips * k * kNR) panel.resize(nstrips * k * kNR);
-  double* bp = panel.data();
+  static thread_local AlignedBuffer panel;
+  double* bp = panel.ensure(nstrips * k * kNR);
   for (std::size_t s = 0; s < nstrips; ++s) {
     const std::size_t j0 = s * kNR;
     const std::size_t w = std::min(kNR, n - j0);
@@ -121,7 +159,8 @@ double* pack_b(const double* pb, std::size_t k, std::size_t n,
 /// registers across the whole k loop (compile-time bounds, __restrict so
 /// nothing is spilled for aliasing), C is touched exactly once per tile,
 /// and tail strips instantiate their true width — no padded flops and no
-/// per-element zero branch.
+/// per-element zero branch. This scalar form handles tail strips on every
+/// backend (same per-element accumulation order as the vector form).
 template <std::size_t MR, std::size_t W>
 inline void micro_nn(const double* __restrict pa, std::size_t lda,
                      const double* __restrict bp, std::size_t k, double alpha,
@@ -176,24 +215,88 @@ inline void micro_nn_dispatch(std::size_t mr, std::size_t w, const double* pa,
   }
 }
 
+/// Full-width strip microkernel on the SIMD backend: the kNR columns are
+/// kNR / V::width vector accumulators of independent chains per row, so
+/// each C element accumulates in exactly the same order as the scalar
+/// micro_nn<MR, kNR> — the backends differ only in how many independent
+/// chains advance per instruction. Epilogue uses the same beta 0/1/other
+/// expression trees. Register budget at kMR = 4: AVX-512 holds 4 acc +
+/// B + broadcast in 6 of 32 zmm; AVX2 8 + 2 + 1 of 16 ymm.
+template <class V, std::size_t MR>
+inline void micro_nn_full(const double* __restrict pa, std::size_t lda,
+                          const double* __restrict bp, std::size_t k,
+                          double alpha, double beta, double* __restrict pc,
+                          std::size_t ldc) {
+  static_assert(kNR % V::width == 0, "strip width must be a lane multiple");
+  constexpr std::size_t NV = kNR / V::width;
+  V acc[MR][NV];
+  for (std::size_t r = 0; r < MR; ++r) {
+    for (std::size_t j = 0; j < NV; ++j) acc[r][j] = V::zero();
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* __restrict b = bp + kk * kNR;
+    V bv[NV];
+    for (std::size_t j = 0; j < NV; ++j) bv[j] = V::load(b + j * V::width);
+    for (std::size_t r = 0; r < MR; ++r) {
+      const V av = V::broadcast(pa[r * lda + kk]);
+      for (std::size_t j = 0; j < NV; ++j) {
+        acc[r][j] = acc[r][j] + av * bv[j];
+      }
+    }
+  }
+  const V alphav = V::broadcast(alpha);
+  for (std::size_t r = 0; r < MR; ++r) {
+    double* __restrict crow = pc + r * ldc;
+    if (beta == 0.0) {
+      for (std::size_t j = 0; j < NV; ++j) {
+        (alphav * acc[r][j]).store(crow + j * V::width);
+      }
+    } else if (beta == 1.0) {
+      for (std::size_t j = 0; j < NV; ++j) {
+        (V::load(crow + j * V::width) + alphav * acc[r][j])
+            .store(crow + j * V::width);
+      }
+    } else {
+      const V betav = V::broadcast(beta);
+      for (std::size_t j = 0; j < NV; ++j) {
+        (betav * V::load(crow + j * V::width) + alphav * acc[r][j])
+            .store(crow + j * V::width);
+      }
+    }
+  }
+}
+
+template <class V>
+inline void micro_nn_full_mr(std::size_t mr, const double* pa, std::size_t lda,
+                             const double* bp, std::size_t k, double alpha,
+                             double beta, double* pc, std::size_t ldc) {
+  switch (mr) {
+    case 1: micro_nn_full<V, 1>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 2: micro_nn_full<V, 2>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    case 3: micro_nn_full<V, 3>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+    default: micro_nn_full<V, 4>(pa, lda, bp, k, alpha, beta, pc, ldc); break;
+  }
+}
+
 // ------------------------------------------------------------- gemm_tn
 
 /// Reusable per-calling-thread reduction workspace: the two-phase
 /// kernels run every CG iteration, and a fresh large allocation per call
-/// means fresh page faults per call. Grow-only, so steady-state calls
-/// never touch the allocator.
+/// means fresh page faults per call. Grow-only and uninitialized — each
+/// team thread first-touches its own partial slice (see AlignedBuffer).
 double* reduction_workspace(std::size_t elems) {
-  static thread_local std::vector<double> ws;
-  if (ws.size() < elems) ws.resize(elems);
-  return ws.data();
+  static thread_local AlignedBuffer ws;
+  return ws.ensure(elems);
 }
 
 /// Phase-1 block: fold U samples starting at row `i` into the local m×n
 /// partial in one pass over the panel — U× less accumulator traffic than
 /// the seed's one-sample loop, contiguous streaming loads of A and B,
 /// and no per-element zero branch. U is a compile-time constant so the
-/// inner sums fully unroll.
-template <std::size_t U>
+/// inner sums fully unroll; the class dimension advances V::width
+/// independent output elements per step (the per-element sum over u is
+/// the same tree on every backend).
+template <class V, std::size_t U>
 inline void tn_block(const double* __restrict pa, const double* __restrict pb,
                      std::size_t m, std::size_t n, std::size_t i,
                      double* __restrict local) {
@@ -206,8 +309,16 @@ inline void tn_block(const double* __restrict pa, const double* __restrict pb,
   for (std::size_t j = 0; j < m; ++j) {
     double x[U];
     for (std::size_t u = 0; u < U; ++u) x[u] = a[u][j];
+    V xv[U];
+    for (std::size_t u = 0; u < U; ++u) xv[u] = V::broadcast(x[u]);
     double* __restrict lrow = local + j * n;
-    for (std::size_t t = 0; t < n; ++t) {
+    std::size_t t = 0;
+    for (; t + V::width <= n; t += V::width) {
+      V s = V::zero();
+      for (std::size_t u = 0; u < U; ++u) s = s + xv[u] * V::load(b[u] + t);
+      (V::load(lrow + t) + s).store(lrow + t);
+    }
+    for (; t < n; ++t) {
       double s = 0.0;
       for (std::size_t u = 0; u < U; ++u) s += x[u] * b[u][t];
       lrow[t] += s;
@@ -217,17 +328,19 @@ inline void tn_block(const double* __restrict pa, const double* __restrict pb,
 
 /// Phase-1 core: accumulate Aᵀ·B for the sample range [i0, i1) into
 /// `local` (m×n, pre-zeroed), 8 samples per pass with 4/2/1 tails.
+template <class V>
 void accumulate_tn(const double* pa, const double* pb, std::size_t m,
                    std::size_t n, std::size_t i0, std::size_t i1,
                    double* local) {
   std::size_t i = i0;
-  for (; i + 8 <= i1; i += 8) tn_block<8>(pa, pb, m, n, i, local);
-  for (; i + 4 <= i1; i += 4) tn_block<4>(pa, pb, m, n, i, local);
-  for (; i + 2 <= i1; i += 2) tn_block<2>(pa, pb, m, n, i, local);
-  for (; i < i1; ++i) tn_block<1>(pa, pb, m, n, i, local);
+  for (; i + 8 <= i1; i += 8) tn_block<V, 8>(pa, pb, m, n, i, local);
+  for (; i + 4 <= i1; i += 4) tn_block<V, 4>(pa, pb, m, n, i, local);
+  for (; i + 2 <= i1; i += 2) tn_block<V, 2>(pa, pb, m, n, i, local);
+  for (; i < i1; ++i) tn_block<V, 1>(pa, pb, m, n, i, local);
 }
 
 /// Phase-1 core for gemv_t: y-panel is a single column.
+template <class V>
 void accumulate_tv(const double* __restrict pa, const double* __restrict x,
                    std::size_t m, std::size_t i0, std::size_t i1,
                    double* __restrict local) {
@@ -241,14 +354,23 @@ void accumulate_tv(const double* __restrict pa, const double* __restrict x,
     const double x1 = x[i + 1];
     const double x2 = x[i + 2];
     const double x3 = x[i + 3];
-    for (std::size_t j = 0; j < m; ++j) {
+    const V x0v = V::broadcast(x0);
+    const V x1v = V::broadcast(x1);
+    const V x2v = V::broadcast(x2);
+    const V x3v = V::broadcast(x3);
+    std::size_t j = 0;
+    for (; j + V::width <= m; j += V::width) {
+      V s = x0v * V::load(a0 + j) + x1v * V::load(a1 + j);
+      s = s + x2v * V::load(a2 + j);
+      s = s + x3v * V::load(a3 + j);
+      (V::load(local + j) + s).store(local + j);
+    }
+    for (; j < m; ++j) {
       local[j] += x0 * a0[j] + x1 * a1[j] + x2 * a2[j] + x3 * a3[j];
     }
   }
   for (; i < i1; ++i) {
-    const double xv = x[i];
-    const double* arow = pa + i * m;
-    for (std::size_t j = 0; j < m; ++j) local[j] += xv * arow[j];
+    simd::axpy<V>(x[i], pa + i * m, local, m);
   }
 }
 
@@ -275,7 +397,12 @@ std::size_t nnz_boundary(std::span<const std::int64_t> rp, std::int64_t nnz,
 /// the result is bit-identical for ANY thread count. The CSC view is
 /// built once per parent matrix (CsrMatrix::transposed()) and is shared
 /// by every shard view of it, so the build amortizes across all ranks'
-/// CG iterations.
+/// CG iterations. The entry loop software-prefetches the B row
+/// kPrefetchAhead entries ahead: row_idx-indexed loads are the one
+/// pattern the hardware prefetcher cannot cover, and the cursor runs
+/// contiguously through the entry arrays so the lookahead index is
+/// always in cache already.
+template <class V>
 void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
                        double beta, DenseMatrix& c,
                        [[maybe_unused]] bool parallel) {
@@ -286,6 +413,7 @@ void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
   const double* tvals = tv.values.data();
   const double* pb = b.data().data();
   double* pc = c.data().data();
+  const auto elim = static_cast<std::int64_t>(tv.values.size());
 
   if (a.covers_parent()) {
     const auto nnz = static_cast<std::int64_t>(a.nnz());
@@ -302,14 +430,18 @@ void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
       for (std::size_t j = j0; j < j1; ++j) {
         double* crow = pc + j * n;
         if (beta == 0.0) {
-          for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+          std::fill(crow, crow + n, 0.0);
         } else if (beta != 1.0) {
-          for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+          simd::scale<V>(beta, crow, n);
         }
         for (std::int64_t e = colptr[j]; e < colptr[j + 1]; ++e) {
+          if (e + kPrefetchAhead < elim) {
+            simd::prefetch(
+                pb + static_cast<std::size_t>(trows[e + kPrefetchAhead]) * n);
+          }
           const double v = alpha * tvals[e];
           const double* brow = pb + static_cast<std::size_t>(trows[e]) * n;
-          for (std::size_t q = 0; q < n; ++q) crow[q] += v * brow[q];
+          simd::axpy<V>(v, brow, crow, n);
         }
       }
       // jstar is the first column at which the prefix reaches nnz;
@@ -319,9 +451,9 @@ void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
       for (std::size_t j = jstar + jz.lo; j < jstar + jz.hi; ++j) {
         double* crow = pc + j * n;
         if (beta == 0.0) {
-          for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+          std::fill(crow, crow + n, 0.0);
         } else if (beta != 1.0) {
-          for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+          simd::scale<V>(beta, crow, n);
         }
       }
     }
@@ -345,19 +477,23 @@ void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
     for (std::size_t j = jr.lo; j < jr.hi; ++j) {
       double* crow = pc + j * n;
       if (beta == 0.0) {
-        for (std::size_t q = 0; q < n; ++q) crow[q] = 0.0;
+        std::fill(crow, crow + n, 0.0);
       } else if (beta != 1.0) {
-        for (std::size_t q = 0; q < n; ++q) crow[q] *= beta;
+        simd::scale<V>(beta, crow, n);
       }
       const std::int32_t* cb = trows + colptr[j];
       const std::int32_t* ce = trows + colptr[j + 1];
       const auto e0 = colptr[j] + (std::lower_bound(cb, ce, lo_row) - cb);
       const auto e1 = colptr[j] + (std::lower_bound(cb, ce, hi_row) - cb);
       for (std::int64_t e = e0; e < e1; ++e) {
+        if (e + kPrefetchAhead < elim) {
+          simd::prefetch(
+              pb + static_cast<std::size_t>(trows[e + kPrefetchAhead]) * n);
+        }
         const double v = alpha * tvals[e];
         const double* brow =
             pb + static_cast<std::size_t>(trows[e] - lo_row) * n;
-        for (std::size_t q = 0; q < n; ++q) crow[q] += v * brow[q];
+        simd::axpy<V>(v, brow, crow, n);
       }
     }
   }
@@ -370,6 +506,9 @@ void spmm_tn_transpose(double alpha, const CsrView& a, const DenseMatrix& b,
 /// update), so each score is exponentiated exactly once; a second short
 /// sweep normalizes. The implicit class contributes score 0 (m starts at
 /// 0, alpha at e⁰ = 1), matching the paper's eq. (9)-(10) stabilization.
+/// The running sweep is a true recurrence and stays scalar; the rescale
+/// and normalize sweeps scale independent elements and use the backend.
+template <class V>
 double softmax_row(const double* s, double* p, std::size_t c,
                    std::int32_t label, double& lse_out) {
   double m = 0.0;
@@ -382,27 +521,29 @@ double softmax_row(const double* s, double* p, std::size_t c,
       alpha += e;
     } else {
       const double rescale = std::exp(m - v);
-      for (std::size_t t = 0; t < j; ++t) p[t] *= rescale;
+      simd::scale<V>(rescale, p, j);
       alpha = alpha * rescale + 1.0;
       p[j] = 1.0;
       m = v;
     }
   }
   const double inv_alpha = 1.0 / alpha;
-  for (std::size_t j = 0; j < c; ++j) p[j] *= inv_alpha;
+  simd::scale<V>(inv_alpha, p, c);
   lse_out = m + std::log(alpha);
   const auto y = static_cast<std::size_t>(label);
   return lse_out - (y < c ? s[y] : 0.0);
 }
 
-}  // namespace
-
 // ===========================================================================
-// Engine kernels
+// Engine kernels, templated on the SIMD backend. The public kernels
+// instantiate simd::Active; kernels::scalar instantiates simd::Scalar as
+// the parity oracle. Identical blocking, partitioning and fold order —
+// only the number of independent chains per instruction differs.
 // ===========================================================================
 
-void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
-             double beta, DenseMatrix& c) {
+template <class V>
+void engine_gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
+                    double beta, DenseMatrix& c) {
   NADMM_CHECK(a.cols() == b.rows(), "gemm_nn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
               "gemm_nn: output shape mismatch");
@@ -423,14 +564,20 @@ void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
     for (std::size_t s = 0; s < nstrips; ++s) {
       const std::size_t j0 = s * kNR;
       const std::size_t w = std::min(kNR, n - j0);
-      micro_nn_dispatch(mr, w, pa + i * k, k, bp + s * k * kNR, k,
-                        alpha, beta, pc + i * n + j0, n);
+      if (w == kNR) {
+        micro_nn_full_mr<V>(mr, pa + i * k, k, bp + s * k * kNR, k,
+                            alpha, beta, pc + i * n + j0, n);
+      } else {
+        micro_nn_dispatch(mr, w, pa + i * k, k, bp + s * k * kNR, k,
+                          alpha, beta, pc + i * n + j0, n);
+      }
     }
   }
 }
 
-void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
-             double beta, DenseMatrix& c) {
+template <class V>
+void engine_gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
+                    double beta, DenseMatrix& c) {
   NADMM_CHECK(a.rows() == b.rows(), "gemm_tn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
               "gemm_tn: output shape mismatch");
@@ -458,15 +605,16 @@ void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
     double* local = ws + static_cast<std::size_t>(t) * mn;
     std::fill(local, local + mn, 0.0);
     const Range kr = slice(k, t, team);
-    accumulate_tn(pa, pb, m, n, kr.lo, kr.hi, local);
+    accumulate_tn<V>(pa, pb, m, n, kr.lo, kr.hi, local);
 #pragma omp barrier
     const Range er = slice(mn, t, team);
-    fold_partials(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
+    fold_partials<V>(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
   }
 }
 
-void gemv_t(double alpha, DenseView a, std::span<const double> x,
-            double beta, std::span<double> y) {
+template <class V>
+void engine_gemv_t(double alpha, DenseView a, std::span<const double> x,
+                   double beta, std::span<double> y) {
   NADMM_CHECK(a.rows() == x.size(), "gemv_t: x size mismatch");
   NADMM_CHECK(a.cols() == y.size(), "gemv_t: y size mismatch");
   const std::size_t k = a.rows(), m = a.cols();
@@ -487,15 +635,16 @@ void gemv_t(double alpha, DenseView a, std::span<const double> x,
     double* local = ws + static_cast<std::size_t>(t) * m;
     std::fill(local, local + m, 0.0);
     const Range kr = slice(k, t, team);
-    accumulate_tv(pa, x.data(), m, kr.lo, kr.hi, local);
+    accumulate_tv<V>(pa, x.data(), m, kr.lo, kr.hi, local);
 #pragma omp barrier
     const Range er = slice(m, t, team);
-    fold_partials(alpha, beta, y.data(), ws, m, team, er.lo, er.hi);
+    fold_partials<V>(alpha, beta, y.data(), ws, m, team, er.lo, er.hi);
   }
 }
 
-void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
-             double beta, DenseMatrix& c) {
+template <class V>
+void engine_spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
+                    double beta, DenseMatrix& c) {
   NADMM_CHECK(a.rows() == b.rows(), "spmm_tn: inner dimension mismatch");
   NADMM_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
               "spmm_tn: output shape mismatch");
@@ -514,7 +663,7 @@ void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
   // itself — build the transposed view and gather instead. Narrow
   // outputs keep the two-phase dense reduction below.
   if (static_cast<std::size_t>(tmax) * mn > a.nnz()) {
-    spmm_tn_transpose(alpha, a, b, beta, c, parallel);
+    spmm_tn_transpose<V>(alpha, a, b, beta, c, parallel);
     return;
   }
 
@@ -538,19 +687,19 @@ void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
       const double* brow = pb + i * n;
       for (std::int64_t e = rp[i]; e < rp[i + 1]; ++e) {
         double* lrow = local + static_cast<std::size_t>(ci[e]) * n;
-        const double av = va[e];
-        for (std::size_t j = 0; j < n; ++j) lrow[j] += av * brow[j];
+        simd::axpy<V>(va[e], brow, lrow, n);
       }
     }
 #pragma omp barrier
     const Range er = slice(mn, t, team);
-    fold_partials(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
+    fold_partials<V>(alpha, beta, pc, ws, mn, team, er.lo, er.hi);
   }
 }
 
-double softmax_forward(const DenseMatrix& scores,
-                       std::span<const std::int32_t> labels,
-                       DenseMatrix& probs, std::span<double> lse) {
+template <class V>
+double engine_softmax_forward(const DenseMatrix& scores,
+                              std::span<const std::int32_t> labels,
+                              DenseMatrix& probs, std::span<double> lse) {
   const std::size_t n = scores.rows();
   const std::size_t c = scores.cols();
   NADMM_CHECK(probs.rows() == n && probs.cols() == c,
@@ -571,7 +720,7 @@ double softmax_forward(const DenseMatrix& scores,
     const Range rr = slice(n, t, team);
     double loss = 0.0;
     for (std::size_t i = rr.lo; i < rr.hi; ++i) {
-      loss += softmax_row(ps + i * c, pp + i * c, c, labels[i], lse[i]);
+      loss += softmax_row<V>(ps + i * c, pp + i * c, c, labels[i], lse[i]);
     }
     partial[static_cast<std::size_t>(t)] = loss;
   }
@@ -581,6 +730,72 @@ double softmax_forward(const DenseMatrix& scores,
   for (double v : partial) total += v;
   return total;
 }
+
+}  // namespace
+
+// ===========================================================================
+// Public engine: the active backend.
+// ===========================================================================
+
+const char* active_isa() { return simd::kIsaName; }
+
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_gemm_nn<simd::Active>(alpha, a, b, beta, c);
+}
+
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_gemm_tn<simd::Active>(alpha, a, b, beta, c);
+}
+
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  engine_gemv_t<simd::Active>(alpha, a, x, beta, y);
+}
+
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_spmm_tn<simd::Active>(alpha, a, b, beta, c);
+}
+
+double softmax_forward(const DenseMatrix& scores,
+                       std::span<const std::int32_t> labels,
+                       DenseMatrix& probs, std::span<double> lse) {
+  return engine_softmax_forward<simd::Active>(scores, labels, probs, lse);
+}
+
+// Forced-scalar instantiation: the ISA parity oracle.
+
+namespace scalar {
+
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_gemm_nn<simd::Scalar>(alpha, a, b, beta, c);
+}
+
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_gemm_tn<simd::Scalar>(alpha, a, b, beta, c);
+}
+
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  engine_gemv_t<simd::Scalar>(alpha, a, x, beta, y);
+}
+
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c) {
+  engine_spmm_tn<simd::Scalar>(alpha, a, b, beta, c);
+}
+
+double softmax_forward(const DenseMatrix& scores,
+                       std::span<const std::int32_t> labels,
+                       DenseMatrix& probs, std::span<double> lse) {
+  return engine_softmax_forward<simd::Scalar>(scores, labels, probs, lse);
+}
+
+}  // namespace scalar
 
 // ===========================================================================
 // Seed reference kernels (verbatim pre-engine implementations, minus the

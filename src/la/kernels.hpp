@@ -23,6 +23,13 @@
 // are the parity oracle for tests and the "vs seed" side of
 // bench_kernels, which is what BENCH_kernels.json and the CI perf-smoke
 // gate measure against.
+//
+// The inner loops are written against the compile-time SIMD backend in
+// la/simd.hpp (AVX-512 / AVX2 / std::experimental::simd / scalar).
+// Vector lanes only ever span independent output elements and no path
+// fuses a multiply-add, so every backend is bit-identical to the scalar
+// engine — kernels::scalar exports the forced-scalar instantiation as
+// the oracle the ISA parity tests compare against.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +93,32 @@ void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
 double softmax_forward(const DenseMatrix& scores,
                        std::span<const std::int32_t> labels,
                        DenseMatrix& probs, std::span<double> lse);
+
+/// Name of the SIMD backend the engine was compiled against:
+/// "avx512" | "avx2" | "stdsimd" | "scalar". Recorded into bench JSON
+/// context and useful when reading parity-test failures from CI legs.
+const char* active_isa();
+
+/// Forced-scalar instantiation of the engine (same blocking, same
+/// two-phase reductions, 1-lane backend). This is the parity oracle for
+/// the ISA dispatch ladder: every vector backend must produce output
+/// bit-identical to these at every thread count. Not a seed copy — for
+/// that, see kernels::reference below.
+namespace scalar {
+
+void gemm_nn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c);
+void gemm_tn(double alpha, DenseView a, const DenseMatrix& b,
+             double beta, DenseMatrix& c);
+void gemv_t(double alpha, DenseView a, std::span<const double> x,
+            double beta, std::span<double> y);
+void spmm_tn(double alpha, const CsrView& a, const DenseMatrix& b,
+             double beta, DenseMatrix& c);
+double softmax_forward(const DenseMatrix& scores,
+                       std::span<const std::int32_t> labels,
+                       DenseMatrix& probs, std::span<double> lse);
+
+}  // namespace scalar
 
 /// Seed (pre-engine) kernels, kept verbatim as the parity oracle and the
 /// baseline side of bench_kernels. Not used on any hot path.

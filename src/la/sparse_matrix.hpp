@@ -35,7 +35,27 @@ struct CsrTransposed {
 
 class CsrView;
 
-/// Immutable CSR matrix of doubles.
+namespace detail {
+
+/// Build the CSC view of a CSR matrix given its raw arrays. With
+/// `parallel` set (and OpenMP compiled in) this is the two-pass parallel
+/// build: per-thread column histograms over nnz-balanced row blocks →
+/// one exclusive scan turning the histograms into per-thread per-column
+/// write cursors → parallel scatter. Thread blocks cover ascending row
+/// ranges and the scan orders cursors by thread id, so each column's
+/// entries land in ascending row order — the output is byte-identical
+/// to the sequential build for every thread count. Exposed so tests and
+/// benches can pit the two builds against each other directly.
+CsrTransposed build_transposed(std::size_t rows, std::size_t cols,
+                               std::span<const std::int64_t> row_ptr,
+                               std::span<const std::int64_t> col_idx,
+                               std::span<const double> values, bool parallel);
+
+}  // namespace detail
+
+/// CSR matrix of doubles. The sparsity structure (row_ptr / col_idx) is
+/// immutable after construction; stored values may be updated in place
+/// through values_mut(), which invalidates this matrix's cached CSC view.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -59,6 +79,16 @@ class CsrMatrix {
   [[nodiscard]] std::span<const std::int64_t> row_ptr() const { return row_ptr_; }
   [[nodiscard]] std::span<const std::int64_t> col_idx() const { return col_idx_; }
   [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// Mutable view of the stored values (the column structure stays
+  /// fixed). Calling this invalidates THIS matrix's cached transposed
+  /// (CSC) view — it is rebuilt from the current values on the next
+  /// transposed() call, never served stale. Copies taken before the
+  /// mutation keep the cache they shared (consistent with their own
+  /// deep-copied values). Not thread-safe against concurrent kernels on
+  /// the same matrix — but neither is mutating values_ while a kernel
+  /// reads them.
+  [[nodiscard]] std::span<double> values_mut();
 
   /// Extract a contiguous row range [begin, end) as a new CSR matrix with
   /// the same column dimension. Used by the data partitioner.
@@ -84,12 +114,14 @@ class CsrMatrix {
            values_.size() * (sizeof(std::int32_t) + sizeof(double));
   }
 
-  /// Lazy transposed (CSC) view, built deterministically on first use and
-  /// shared between copies of this matrix (the matrix is immutable, so
-  /// the view never goes stale). Thread-safe: concurrent first calls —
-  /// e.g. sweep scenarios sharing a cached dataset — build exactly once.
-  /// The ADMM gradient/Hessian path hits this every CG iteration on wide
-  /// shards, so the build cost amortizes to zero.
+  /// Lazy transposed (CSC) view, built deterministically on first use
+  /// (detail::build_transposed — parallel above a nnz threshold, output
+  /// bytes independent of thread count) and shared between copies of
+  /// this matrix. values_mut() invalidates it, so the view never goes
+  /// stale. Thread-safe: concurrent first calls — e.g. sweep scenarios
+  /// sharing a cached dataset — build exactly once. The ADMM
+  /// gradient/Hessian path hits this every CG iteration on wide shards,
+  /// so the build cost amortizes to zero.
   [[nodiscard]] const CsrTransposed& transposed() const;
 
  private:

@@ -1,0 +1,100 @@
+#include "support/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "support/check.hpp"
+
+namespace nadmm::support {
+
+Topology::Topology(std::vector<NumaNode> nodes) : nodes_(std::move(nodes)) {
+  NADMM_CHECK(!nodes_.empty(), "Topology: at least one node required");
+}
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    // Trim whitespace (sysfs files end in '\n').
+    while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.back())) != 0) {
+      piece.pop_back();
+    }
+    while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.front())) != 0) {
+      piece.erase(piece.begin());
+    }
+    if (piece.empty()) continue;
+    const std::size_t dash = piece.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(piece));
+      } else {
+        const int lo = std::stoi(piece.substr(0, dash));
+        const int hi = std::stoi(piece.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed piece: skip it, keep the rest.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::probe() {
+#if defined(__linux__)
+  std::vector<NumaNode> nodes;
+  // Node ids can be sparse (node0, node2 on partially populated boxes);
+  // a bounded scan with a miss allowance covers that without readdir.
+  int misses = 0;
+  for (int id = 0; id < 1024 && misses < 16; ++id) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(id) +
+                    "/cpulist");
+    if (!f) {
+      ++misses;
+      continue;
+    }
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    nodes.push_back(NumaNode{id, parse_cpulist(text)});
+  }
+  if (!nodes.empty()) return Topology(std::move(nodes));
+#endif
+  return Topology{};
+}
+
+const Topology& Topology::system() {
+  static const Topology topo = probe();
+  return topo;
+}
+
+int Topology::node_of_cpu(int cpu) const {
+  for (const NumaNode& n : nodes_) {
+    if (std::binary_search(n.cpus.begin(), n.cpus.end(), cpu)) return n.id;
+  }
+  return 0;
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+int current_node() {
+  const int cpu = current_cpu();
+  if (cpu < 0) return 0;
+  return Topology::system().node_of_cpu(cpu);
+}
+
+}  // namespace nadmm::support

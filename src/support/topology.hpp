@@ -1,0 +1,68 @@
+// NUMA / thread-topology probe.
+//
+// The kernel engine's NUMA story has two halves. The first is implicit:
+// reduction workspaces and packed panels are allocated uninitialized, so
+// first touch inside the parallel region places each thread's pages on
+// its own node (la/kernels.cpp, AlignedBuffer). The second half needs to
+// know the topology: ShardPlan::placement() maps device-weighted shards
+// onto sockets so a rank's working set is computed where it lives
+// (data/partition.hpp). This header is that knowledge — a one-shot sysfs
+// probe with a graceful single-node fallback, so everything downstream
+// behaves identically on laptops, CI runners and multi-socket boxes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nadmm::support {
+
+/// One NUMA node and the logical CPUs it owns.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+class Topology {
+ public:
+  /// Single unknown node — the fallback shape.
+  Topology() : nodes_{NumaNode{}} {}
+
+  /// Test hook: build from explicit nodes (must be non-empty).
+  explicit Topology(std::vector<NumaNode> nodes);
+
+  /// Probe /sys/devices/system/node/node*/cpulist. Any failure — no
+  /// sysfs (non-Linux, sandboxes), unreadable files, zero nodes —
+  /// degrades to the single-node default; callers never branch on
+  /// probe success.
+  [[nodiscard]] static Topology probe();
+
+  /// Cached probe() result (probed once per process).
+  [[nodiscard]] static const Topology& system();
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] bool single_node() const { return nodes_.size() == 1; }
+  [[nodiscard]] const std::vector<NumaNode>& nodes() const { return nodes_; }
+
+  /// Node owning `cpu`, or 0 if the cpu is unknown (keeps the
+  /// single-node fallback honest: everything maps to node 0).
+  [[nodiscard]] int node_of_cpu(int cpu) const;
+
+ private:
+  std::vector<NumaNode> nodes_;
+};
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into ascending cpu ids.
+/// Malformed pieces are skipped rather than thrown — a probe must never
+/// take the process down. Exposed for tests.
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// Logical CPU the calling thread is running on, or -1 if unknown.
+int current_cpu();
+
+/// NUMA node of the calling thread via Topology::system() (0 when
+/// unknown — the single-node fallback).
+int current_node();
+
+}  // namespace nadmm::support

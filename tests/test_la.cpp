@@ -2,6 +2,11 @@
 // CSR sparse kernels, flop accounting, device model.
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
 #include <cmath>
 
 #include "la/dense_matrix.hpp"
@@ -316,6 +321,101 @@ TEST(Csr, SpmvMatchesDense) {
   spmv(1.0, a, x, 0.0, y);
   gemv(1.0, a.to_dense(), x, 0.0, y_ref);
   for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-10);
+}
+
+// ------------------------------------------------- transposed (CSC) view
+
+/// Pin the OpenMP thread count for a scope (no-op without OpenMP).
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) {
+#ifdef _OPENMP
+    prev_ = omp_get_max_threads();
+    omp_set_num_threads(threads);
+#else
+    static_cast<void>(threads);
+#endif
+  }
+  ~ThreadGuard() {
+#ifdef _OPENMP
+    omp_set_num_threads(prev_);
+#endif
+  }
+
+ private:
+  int prev_ = 1;
+};
+
+TEST(Csr, ParallelTransposeBuildMatchesSequentialBytes) {
+  Rng rng(77);
+  std::vector<CsrMatrix> mats;
+  mats.emplace_back();                                 // empty, no rows
+  mats.emplace_back(CsrMatrix(5, 400, {}));            // empty, wide
+  mats.push_back(random_csr(60, 800, 0.01, rng));      // wide shard shape
+  mats.push_back(random_csr(400, 3000, 0.04, rng));    // E18-shaped
+  mats.push_back(random_csr(500, 40, 0.3, rng));       // tall, denser
+  {
+    // Skewed: a few heavy rows so nnz-balanced blocks cut unevenly.
+    std::vector<Triplet> t;
+    for (std::size_t j = 0; j < 200; ++j) t.push_back({0, j, rng.normal()});
+    for (std::size_t j = 0; j < 200; ++j) t.push_back({63, j, rng.normal()});
+    for (std::size_t i = 0; i < 64; ++i) t.push_back({i, i, 1.0 + double(i)});
+    mats.emplace_back(64, 200, std::move(t));
+  }
+  for (const auto& m : mats) {
+    const auto seq = detail::build_transposed(m.rows(), m.cols(), m.row_ptr(),
+                                              m.col_idx(), m.values(), false);
+    for (const int threads : {1, 2, 3, 8}) {
+      ThreadGuard guard(threads);
+      const auto par = detail::build_transposed(
+          m.rows(), m.cols(), m.row_ptr(), m.col_idx(), m.values(), true);
+      ASSERT_EQ(par.col_ptr, seq.col_ptr) << m.rows() << "x" << m.cols()
+                                          << " t=" << threads;
+      ASSERT_EQ(par.row_idx, seq.row_idx) << m.rows() << "x" << m.cols()
+                                          << " t=" << threads;
+      ASSERT_EQ(par.values.size(), seq.values.size());
+      for (std::size_t e = 0; e < par.values.size(); ++e) {
+        ASSERT_EQ(par.values[e], seq.values[e]) << "t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Csr, TransposedCacheRebuildsAfterValueMutation) {
+  Rng rng(78);
+  auto m = random_csr(30, 50, 0.2, rng);
+  const auto before = m.transposed();  // materialize, then copy out
+  ASSERT_FALSE(before.values.empty());
+
+  // Regression: mutating values after the CSC view exists used to leave
+  // the cache silently stale forever (single-shot laziness).
+  auto vals = m.values_mut();
+  for (double& v : vals) v *= 2.0;
+  const CsrTransposed& after = m.transposed();
+  ASSERT_EQ(after.col_ptr, before.col_ptr);
+  ASSERT_EQ(after.row_idx, before.row_idx);
+  for (std::size_t e = 0; e < after.values.size(); ++e) {
+    ASSERT_EQ(after.values[e], 2.0 * before.values[e]) << e;
+  }
+}
+
+TEST(Csr, CopiesKeepTheirOwnTransposeCacheAcrossMutation) {
+  Rng rng(79);
+  auto m = random_csr(20, 30, 0.2, rng);
+  static_cast<void>(m.transposed());
+  const CsrMatrix copy = m;  // shares the already-built cache
+  const double old0 = copy.transposed().values[0];
+
+  m.values_mut()[0] = 1234.5;
+  // The mutated matrix rebuilds; the copy keeps the cache that is
+  // consistent with its own (deep-copied, unmutated) values.
+  const std::size_t hot = static_cast<std::size_t>(
+      std::find(m.transposed().values.begin(), m.transposed().values.end(),
+                1234.5) -
+      m.transposed().values.begin());
+  ASSERT_LT(hot, m.transposed().values.size());
+  EXPECT_EQ(copy.transposed().values[0], old0);
+  EXPECT_NE(copy.transposed().values[hot], 1234.5);
 }
 
 // ------------------------------------------------------------ flops/device

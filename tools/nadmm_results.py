@@ -13,7 +13,7 @@ It has no third-party dependencies (stdlib only) and never imports
 matplotlib; rendering lives with the consumers.
 
 Contents:
-  Google-Benchmark JSON     load_bench_pairs(), bench_entries()
+  Google-Benchmark JSON     load_bench_pairs(), bench_entries(), host_peak()
   sweep report CSVs         load_csv(), distinct(), extract_series()
   claim checking            load_claims(), evaluate_claim(), ClaimError
 
@@ -82,26 +82,75 @@ def load_bench_pairs(bench_json_path):
             ips = 1.0 / b["real_time"] if b.get("real_time") else None
         if ips is None:
             continue
-        pairs.setdefault((kernel, threads), {})[side.lower()] = ips
+        sides = pairs.setdefault((kernel, threads), {})
+        sides[side.lower()] = ips
+        # Absolute memory traffic, when the bench set bytes (optional —
+        # older bench binaries and the unit-test fixtures omit it).
+        bps = b.get("bytes_per_second")
+        if bps is not None:
+            sides[side.lower() + "_bytes"] = bps
     return pairs
 
 
 def bench_entries(pairs):
-    """Flatten load_bench_pairs() output into sorted baseline entries."""
+    """Flatten load_bench_pairs() output into sorted baseline entries.
+
+    Alongside the machine-portable engine-vs-seed speedup, entries carry
+    absolute engine throughput when the bench recorded it:
+    `engine_gops` is giga work-items/s (flops for the gemm/gemv/spmm
+    kernels, elements for softmax, nnz for the CSC build) and
+    `engine_gb_per_s` is memory traffic. Absolute numbers only mean
+    something next to the same run's host-peak probes — see host_peak().
+    """
     entries = []
     for (kernel, threads), sides in sorted(pairs.items()):
         if "engine" not in sides or "seed" not in sides:
             continue
-        entries.append(
-            {
-                "kernel": kernel,
-                "threads": threads,
-                "engine_items_per_s": round(sides["engine"], 1),
-                "seed_items_per_s": round(sides["seed"], 1),
-                "speedup": round(sides["engine"] / sides["seed"], 3),
-            }
-        )
+        entry = {
+            "kernel": kernel,
+            "threads": threads,
+            "engine_items_per_s": round(sides["engine"], 1),
+            "seed_items_per_s": round(sides["seed"], 1),
+            "speedup": round(sides["engine"] / sides["seed"], 3),
+        }
+        entry["engine_gops"] = round(sides["engine"] / 1e9, 3)
+        if "engine_bytes" in sides:
+            entry["engine_gb_per_s"] = round(sides["engine_bytes"] / 1e9, 3)
+        entries.append(entry)
     return entries
+
+
+HOST_PEAK_BENCHES = {
+    "BM_HostPeak_Triad": ("triad_gb_per_s", "bytes_per_second"),
+    "BM_HostPeak_Fma": ("fma_gflops", "items_per_second"),
+}
+
+
+def host_peak(bench_json_path):
+    """Extract the host-peak probes from a bench_kernels JSON run.
+
+    Returns {"triad_gb_per_s": ..., "fma_gflops": ..., "isa": ...} with
+    only the keys the run actually contains — {} for bench binaries that
+    predate the probes. The triad probe is STREAM-style sustainable
+    bandwidth; the FMA probe is unfused mul+add peak on the active SIMD
+    backend, i.e. the ceiling an engine kernel can reach under the
+    bit-identity (no-FMA) contract.
+    """
+    with open(bench_json_path) as f:
+        data = json.load(f)
+    out = {}
+    isa = data.get("context", {}).get("nadmm_isa")
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("name", "").removesuffix("_median")
+        if name in HOST_PEAK_BENCHES:
+            key, field = HOST_PEAK_BENCHES[name]
+            if b.get(field) is not None:
+                out[key] = round(b[field] / 1e9, 3)
+    if out and isa:
+        out["isa"] = isa
+    return out
 
 
 # --------------------------------------------------------------------------

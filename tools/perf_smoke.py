@@ -8,11 +8,20 @@ la::kernels::reference — so the engine-vs-seed *speedup* per
 (kernel, threads) is a same-machine ratio that transfers across runner
 hardware far better than absolute timings.
 
+Alongside the ratio gate there is a *fraction-of-peak* gate: bench runs
+that carry the BM_HostPeak_* probes (STREAM-style triad GB/s, unfused
+mul+add GFLOP/s) record each single-thread kernel's throughput as a
+fraction of whichever host resource binds it tighter — a roofline-style
+max(gflops/fma_peak, gb_per_s/triad_peak). Both sides of that gate are
+normalized by the *same run's* probes, so it transfers across machines
+like the speedup ratio does. Entries or runs without the data skip the
+gate silently (older bench binaries, non-kernel benches).
+
 Modes:
-  check (default)   compare measured speedups against the committed
-                    baseline (BENCH_kernels.json); exit 1 if any entry
-                    regresses more than `tolerance` (default 25%) below
-                    its baseline speedup.
+  check (default)   compare measured speedups (and peak fractions, when
+                    available) against the committed baseline
+                    (BENCH_kernels.json); exit 1 if any entry regresses
+                    more than `tolerance` (default 25%) below baseline.
   --write-baseline  regenerate the baseline from a bench run.
 
 Usage:
@@ -25,7 +34,7 @@ import argparse
 import json
 import sys
 
-from nadmm_results import bench_entries, load_bench_pairs
+from nadmm_results import bench_entries, host_peak, load_bench_pairs
 
 BASELINE_DEFAULT = "BENCH_kernels.json"
 
@@ -33,6 +42,27 @@ BASELINE_DEFAULT = "BENCH_kernels.json"
 # and the claim-check tests); these aliases keep existing imports working.
 load_pairs = load_bench_pairs
 to_entries = bench_entries
+
+
+def peak_fraction(entry, host):
+    """Roofline-style fraction of host peak for one single-thread entry.
+
+    Returns max(compute fraction, bandwidth fraction) over whichever of
+    the two the entry + host data support, or None when neither does.
+    The max is deliberate: a memory-bound kernel sits far from the FMA
+    roof forever, so gating its *closest* roof is the meaningful check.
+    Fractions cap at 1.0 — a cache-resident kernel can stream far above
+    the DRAM triad roof, and *how far* above depends on the runner's
+    cache size, which is exactly the machine lottery this gate avoids.
+    """
+    if entry.get("threads") != 1 or not host:
+        return None
+    fractions = []
+    if entry.get("engine_gops") and host.get("fma_gflops"):
+        fractions.append(entry["engine_gops"] / host["fma_gflops"])
+    if entry.get("engine_gb_per_s") and host.get("triad_gb_per_s"):
+        fractions.append(entry["engine_gb_per_s"] / host["triad_gb_per_s"])
+    return min(max(fractions), 1.0) if fractions else None
 
 
 def main():
@@ -57,15 +87,25 @@ def main():
     if not entries:
         print("perf_smoke: no engine/seed benchmark pairs found", file=sys.stderr)
         return 1
+    host = host_peak(args.bench_json)
 
     if args.write_baseline:
+        for e in entries:
+            frac = peak_fraction(e, host)
+            if frac is not None:
+                e["peak_fraction"] = round(frac, 4)
         baseline = {
             "bench": args.bench_name,
             "gate": "engine-vs-seed speedup per (kernel, threads); "
-                    "fails when measured < baseline * (1 - tolerance)",
+                    "fails when measured < baseline * (1 - tolerance); "
+                    "single-thread entries additionally gate roofline "
+                    "fraction-of-host-peak, normalized per run by the "
+                    "BM_HostPeak_* probes",
             "tolerance": args.tolerance,
             "entries": entries,
         }
+        if host:
+            baseline["host"] = host
         with open(args.baseline, "w") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")
@@ -99,6 +139,32 @@ def main():
               file=sys.stderr)
         failures.append((key, 0.0, base[key]))
 
+    # Fraction-of-peak gate: only for single-thread entries where both the
+    # baseline (recorded fraction) and this run (host probes + absolute
+    # columns) carry the data. Normalizing each side by its own machine's
+    # probes is what makes the fraction portable.
+    base_frac = {(e["kernel"], e["threads"]): e["peak_fraction"]
+                 for e in baseline["entries"] if "peak_fraction" in e}
+    frac_rows = []
+    for e in entries:
+        key = (e["kernel"], e["threads"])
+        measured = peak_fraction(e, host)
+        if key not in base_frac or measured is None:
+            continue
+        floor = base_frac[key] * (1.0 - tolerance)
+        frac_rows.append((key, measured, base_frac[key], floor))
+    if frac_rows:
+        print(f"\n{'kernel':<{width}}  thr  peak-frac  baseline  floor")
+        for key, measured, base_val, floor in frac_rows:
+            status = "ok" if measured >= floor else "REGRESSION"
+            print(f"{key[0]:<{width}}  {key[1]:>3}  {measured:>9.3f}  "
+                  f"{base_val:>8.3f}  {floor:>5.3f}  {status}")
+            if measured < floor:
+                failures.append((key, measured, floor))
+    elif base_frac and not host:
+        print("perf_smoke: note: baseline has peak fractions but this run "
+              "lacks BM_HostPeak_* probes; fraction gate skipped")
+
     if missing:
         print(f"perf_smoke: note: {len(missing)} measured pairs have no "
               f"baseline entry (new benchmarks?): {missing}")
@@ -106,14 +172,11 @@ def main():
         print(f"perf_smoke: {len(failures)} kernel(s) regressed >"
               f"{tolerance:.0%} against {args.baseline}", file=sys.stderr)
         for (kernel, threads), measured, floor in failures:
-            base_speedup = base[(kernel, threads)]
-            ratio = measured / base_speedup if base_speedup > 0 else float("inf")
-            print(f"perf_smoke:   {kernel} (threads={threads}): baseline "
-                  f"speedup {base_speedup:.3f}, current {measured:.3f} "
-                  f"({ratio:.2f}x of baseline; floor {floor:.3f})",
-                  file=sys.stderr)
+            print(f"perf_smoke:   {kernel} (threads={threads}): current "
+                  f"{measured:.3f} below floor {floor:.3f}", file=sys.stderr)
         return 1
-    print(f"perf_smoke: all {len(entries)} kernel speedups within "
+    gated = len(entries) + len(frac_rows)
+    print(f"perf_smoke: all {gated} gated values within "
           f"{tolerance:.0%} of baseline")
     return 0
 
